@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * oneffset generation, brick scheduling across first-stage widths,
+ * the functional PIP, and activation synthesis. These gate the
+ * simulator's own throughput, not the modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "fixedpoint/oneffset.h"
+#include "models/pragmatic/pip.h"
+#include "models/pragmatic/schedule.h"
+#include "util/random.h"
+
+using namespace pra;
+
+namespace {
+
+std::vector<uint16_t>
+randomNeurons(size_t count, uint64_t seed, double zero_prob = 0.5)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint16_t> values(count);
+    for (auto &v : values)
+        v = rng.nextBool(zero_prob)
+                ? 0
+                : static_cast<uint16_t>(rng.nextBounded(8192));
+    return values;
+}
+
+void
+BM_OneffsetEncode(benchmark::State &state)
+{
+    auto neurons = randomNeurons(4096, 1);
+    size_t i = 0;
+    for (auto _ : state) {
+        auto list =
+            fixedpoint::encodeOneffsets(neurons[i++ % neurons.size()]);
+        benchmark::DoNotOptimize(list);
+    }
+}
+BENCHMARK(BM_OneffsetEncode);
+
+void
+BM_OneffsetStream(benchmark::State &state)
+{
+    auto neurons = randomNeurons(4096, 2);
+    size_t i = 0;
+    for (auto _ : state) {
+        fixedpoint::OneffsetStream stream(
+            neurons[i++ % neurons.size()]);
+        while (!stream.exhausted())
+            benchmark::DoNotOptimize(stream.next());
+    }
+}
+BENCHMARK(BM_OneffsetStream);
+
+void
+BM_BrickSchedule(benchmark::State &state)
+{
+    int l = static_cast<int>(state.range(0));
+    auto pool = randomNeurons(16 * 1024, 3);
+    size_t i = 0;
+    for (auto _ : state) {
+        std::span<const uint16_t> brick(&pool[(i * 16) % (16 * 1023)],
+                                        16);
+        benchmark::DoNotOptimize(models::brickScheduleCycles(brick, l));
+        i++;
+    }
+}
+BENCHMARK(BM_BrickSchedule)->DenseRange(0, 4);
+
+void
+BM_PipProcessBrick(benchmark::State &state)
+{
+    auto neurons = randomNeurons(16, 4);
+    std::vector<int16_t> synapses(16);
+    util::Xoshiro256 rng(5);
+    for (auto &s : synapses)
+        s = static_cast<int16_t>(rng.nextInRange(-255, 255));
+    models::PragmaticInnerProduct pip(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pip.processBrick(synapses, neurons));
+}
+BENCHMARK(BM_PipProcessBrick);
+
+void
+BM_ActivationSynthesisLayer(benchmark::State &state)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synth.synthesizeFixed16(2));
+}
+BENCHMARK(BM_ActivationSynthesisLayer);
+
+} // namespace
+
+BENCHMARK_MAIN();

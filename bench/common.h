@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure reproduction benches.
+ *
+ * Every bench accepts:
+ *   --full            simulate every pallet/window (no sampling)
+ *   --units=N         sampling cap per layer (pallets or windows)
+ *   --seed=S          workload seed
+ *   --networks=a,b    comma-separated subset (default: all six)
+ */
+
+#ifndef PRA_BENCH_COMMON_H
+#define PRA_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dnn/model_zoo.h"
+#include "sim/sampling.h"
+#include "util/args.h"
+
+namespace pra {
+namespace bench {
+
+/** Parsed common bench options. */
+struct BenchOptions
+{
+    sim::SampleSpec sample{64};
+    uint64_t seed = 0x5eed;
+    std::vector<dnn::Network> networks;
+
+    static BenchOptions
+    parse(int argc, const char *const *argv, int64_t default_units = 64)
+    {
+        util::ArgParser args(argc, argv);
+        BenchOptions opt;
+        opt.sample.maxUnits =
+            args.getBool("full") ? 0
+                                 : args.getInt("units", default_units);
+        opt.seed = static_cast<uint64_t>(args.getInt("seed", 0x5eed));
+        std::string list = args.getString("networks", "");
+        if (list.empty()) {
+            opt.networks = dnn::makeAllNetworks();
+        } else {
+            size_t pos = 0;
+            while (pos != std::string::npos) {
+                size_t comma = list.find(',', pos);
+                std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (!name.empty())
+                    opt.networks.push_back(
+                        dnn::makeNetworkByName(name));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        }
+        return opt;
+    }
+};
+
+/** Print the bench banner with its paper anchor. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("== %s ==\n(reproduces %s; see EXPERIMENTS.md)\n\n",
+                title.c_str(), paper_ref.c_str());
+}
+
+} // namespace bench
+} // namespace pra
+
+#endif // PRA_BENCH_COMMON_H

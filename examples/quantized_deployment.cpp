@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Quantized deployment walk-through: take real-valued activations,
+ * derive per-layer TensorFlow-style affine quantization parameters,
+ * inspect the code stream's essential-bit content, and compare
+ * Pragmatic's 8-bit performance against the 8-bit baseline — the
+ * paper's Section VI-F scenario as an API tour.
+ *
+ *   ./quantized_deployment [--network=googlenet] [--units=48]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "fixedpoint/fixed_point.h"
+#include "fixedpoint/quantization.h"
+#include "models/dadn/dadn.h"
+#include "models/pragmatic/simulator.h"
+#include "util/args.h"
+#include "util/random.h"
+#include "util/table.h"
+
+using namespace pra;
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(argc, argv);
+    dnn::Network net =
+        dnn::makeNetworkByName(args.getString("network", "googlenet"));
+
+    // 1. Quantization mechanics on a ReLU-like real-valued stream.
+    util::Xoshiro256 rng(7);
+    std::vector<double> activations;
+    for (int i = 0; i < 4096; i++) {
+        double a = rng.nextGaussian();
+        activations.push_back(a > 0 ? a : 0.0); // ReLU.
+    }
+    auto params = fixedpoint::chooseQuantParams(activations);
+    auto codes = fixedpoint::quantizeAll(activations, params);
+    double worst = 0.0;
+    for (size_t i = 0; i < codes.size(); i++) {
+        double err = std::abs(
+            fixedpoint::dequantize(codes[i], params) - activations[i]);
+        worst = std::max(worst, err);
+    }
+    std::printf("Affine quantization of a ReLU stream:\n"
+                "  range [%.3f, %.3f], scale %.5f, worst "
+                "reconstruction error %.5f (bound %.5f)\n\n",
+                params.minValue, params.maxValue, params.scale(),
+                worst, fixedpoint::maxRoundingError(params));
+
+    // 2. Essential-bit content of the calibrated 8-bit code streams.
+    dnn::ActivationSynthesizer synth(net);
+    std::vector<uint16_t> sample;
+    auto t = synth.synthesizeQuant8(1);
+    std::printf("%s layer-1 code stream: %.1f%% zero codes, "
+                "%.1f%% essential bits over non-zero codes\n\n",
+                net.name.c_str(),
+                100.0 * fixedpoint::zeroFraction(t.flat()),
+                100.0 * fixedpoint::essentialBitFractionNonZero(
+                            t.flat(), 8));
+
+    // 3. Performance with the quantized representation.
+    models::SimOptions opt;
+    opt.sample.maxUnits =
+        args.getBool("full") ? 0 : args.getInt("units", 48);
+    models::DadnModel dadn;
+    models::PragmaticSimulator prag;
+    double base = dadn.run(net).totalCycles();
+
+    util::TextTable table({"design", "speedup vs 8-bit DaDN"});
+    for (auto [label, sync, ssrs] :
+         {std::tuple{"PRA-2b pallet", models::SyncScheme::Pallet, 1},
+          std::tuple{"PRA-2b-1R", models::SyncScheme::PerColumn, 1},
+          std::tuple{"PRA-2b-ideal", models::SyncScheme::PerColumn,
+                     0}}) {
+        models::PragmaticConfig config;
+        config.firstStageBits = 2;
+        config.sync = sync;
+        config.ssrCount = ssrs;
+        config.representation = models::Representation::Quant8;
+        double s = base / prag.run(net, config, opt).totalCycles();
+        table.addRow({label, util::formatDouble(s)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Pragmatic's benefit persists at 8 bits because LoE "
+                "(zero bits inside the\ncodes) remains even after EoP "
+                "is gone (Section VI-F).\n");
+    return 0;
+}

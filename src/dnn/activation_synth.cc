@@ -1,0 +1,341 @@
+#include "dnn/activation_synth.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "fixedpoint/fixed_point.h"
+#include "fixedpoint/precision.h"
+#include "fixedpoint/quantization.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace dnn {
+
+namespace {
+
+/** FNV-1a 64-bit hash for deterministic per-layer seeds. */
+uint64_t
+hashString(const std::string &text)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char ch : text) {
+        h ^= static_cast<uint8_t>(ch);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Expected popcount of the dense mixture component for a p-bit core:
+ * MSB fixed at bit p-1, lower p-1 bits uniform.
+ */
+double
+densePopcount(int precision_bits)
+{
+    return 1.0 + (precision_bits - 1) * 0.5;
+}
+
+} // namespace
+
+DiscreteExponential::DiscreteExponential(double lambda, uint32_t max_value)
+    : lambda_(lambda), maxValue_(max_value)
+{
+    util::checkInvariant(max_value >= 1,
+                         "DiscreteExponential: max_value must be >= 1");
+    util::checkInvariant(lambda >= 0.0,
+                         "DiscreteExponential: lambda must be >= 0");
+    cdf_.resize(max_value);
+    double total = 0.0;
+    double pop_sum = 0.0;
+    double val_sum = 0.0;
+    for (uint32_t v = 1; v <= max_value; v++) {
+        // Anchor the exponent at v == 1 so the weights stay finite
+        // for any lambda (pure renormalization: same distribution).
+        double w = std::exp(-lambda * static_cast<double>(v - 1) /
+                            max_value);
+        total += w;
+        pop_sum += w * std::popcount(v);
+        val_sum += w * v;
+        cdf_[v - 1] = total;
+    }
+    for (double &c : cdf_)
+        c /= total;
+    expectedPopcount_ = pop_sum / total;
+    expectedValue_ = val_sum / total;
+}
+
+uint32_t
+DiscreteExponential::sample(util::Xoshiro256 &rng) const
+{
+    double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    size_t idx = static_cast<size_t>(it - cdf_.begin());
+    if (idx >= cdf_.size())
+        idx = cdf_.size() - 1;
+    return static_cast<uint32_t>(idx + 1);
+}
+
+double
+calibrateLambda(uint32_t max_value, double target_popcount)
+{
+    // Reachable range: lambda -> inf concentrates on value 1
+    // (popcount 1); lambda == 0 is uniform.
+    double uniform_pop = DiscreteExponential(0.0, max_value)
+                             .expectedPopcount();
+    if (target_popcount >= uniform_pop) {
+        if (target_popcount > uniform_pop + 0.05) {
+            util::warn("calibrateLambda: target popcount " +
+                       std::to_string(target_popcount) +
+                       " unreachable (max " +
+                       std::to_string(uniform_pop) + "); clamping");
+        }
+        return 0.0;
+    }
+    if (target_popcount <= 1.0)
+        return 1e6; // Concentrate on value 1.
+
+    // Expected popcount is monotone in lambda to within quantization
+    // wiggles; bracket on a log grid, then bisect.
+    double lo = 0.0;           // popcount == uniform_pop (high)
+    double hi = 1e6;           // popcount ~= 1 (low)
+    for (int iter = 0; iter < 60; iter++) {
+        double mid = (lo <= 0.0) ? std::min(1.0, hi / 2)
+                                 : std::sqrt(lo * hi);
+        double pop = DiscreteExponential(mid, max_value)
+                         .expectedPopcount();
+        if (pop > target_popcount)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi / std::max(lo, 1e-12) < 1.0001)
+            break;
+    }
+    return std::sqrt(std::max(lo, 1e-12) * hi);
+}
+
+SynthParams
+calibrateFixed16(const ConvLayerSpec &layer, const BitStatsTargets &targets)
+{
+    SynthParams params;
+    params.zeroFraction = targets.zeroFraction16();
+    params.precisionBits = layer.profiledPrecision;
+    params.anchorLsb = std::min(kNoiseSuffixBits,
+                                16 - layer.profiledPrecision);
+
+    double raw_target = targets.nz16 * fixedpoint::kNeuronBits;
+    // Split the raw essential-bit budget: a softwareBenefit fraction
+    // lives in the suffix-noise bits the trimming removes (Table V),
+    // the rest in the core window. Each of the kNoiseSuffixBits noise
+    // positions of every non-zero neuron is set independently with
+    // per-bit noise probabilities, so trimming shortens the busy lanes —
+    // matching how reduced-precision profiling removes low-order bits
+    // across the board.
+    double noise_budget =
+        params.anchorLsb > 0
+            ? std::min(raw_target * targets.softwareBenefit,
+                       static_cast<double>(params.anchorLsb))
+            : 0.0;
+    double core_target = raw_target - noise_budget;
+
+    uint32_t core_max = (1u << layer.profiledPrecision) - 1;
+    params.lambda = calibrateLambda(core_max, kLightComponentPopcount);
+    double light_pop = DiscreteExponential(params.lambda, core_max)
+                           .expectedPopcount();
+    double dense_pop = densePopcount(layer.profiledPrecision);
+    if (dense_pop > light_pop) {
+        params.denseFraction = std::clamp(
+            (core_target - light_pop) / (dense_pop - light_pop), 0.0,
+            1.0);
+    }
+    // If the dense component alone cannot reach the target, push the
+    // light component's rate down as a fallback.
+    if (params.denseFraction >= 1.0 && core_target > dense_pop)
+        params.lambda = calibrateLambda(core_max, core_target);
+
+    // Noise goes to the dense lanes first (they dominate schedule
+    // length, see SynthParams); overflow spills to the light lanes.
+    if (params.anchorLsb > 0 && noise_budget > 0.0) {
+        double dense_capacity =
+            params.denseFraction * params.anchorLsb;
+        if (dense_capacity >= noise_budget) {
+            params.noiseDense =
+                noise_budget / (params.denseFraction > 0.0
+                                    ? params.denseFraction *
+                                          params.anchorLsb
+                                    : 1.0);
+        } else {
+            params.noiseDense = params.denseFraction > 0.0 ? 1.0 : 0.0;
+            double spill = noise_budget - dense_capacity;
+            double light_share = 1.0 - params.denseFraction;
+            if (light_share > 0.0)
+                params.noiseLight = std::clamp(
+                    spill / (light_share * params.anchorLsb), 0.0,
+                    1.0);
+        }
+    }
+    return params;
+}
+
+SynthParams
+calibrateQuant8(const BitStatsTargets &targets)
+{
+    SynthParams params;
+    params.zeroFraction = targets.zeroFraction8();
+    params.precisionBits = fixedpoint::kQuantBits;
+    params.anchorLsb = 0;
+    params.noiseDense = 0.0;
+    params.noiseLight = 0.0;
+    double target = targets.nz8 * fixedpoint::kQuantBits;
+    params.lambda = calibrateLambda(255, kLightComponentPopcount);
+    double light_pop =
+        DiscreteExponential(params.lambda, 255).expectedPopcount();
+    double dense_pop = densePopcount(fixedpoint::kQuantBits);
+    if (dense_pop > light_pop) {
+        params.denseFraction = std::clamp(
+            (target - light_pop) / (dense_pop - light_pop), 0.0, 1.0);
+    }
+    if (params.denseFraction >= 1.0 && target > dense_pop)
+        params.lambda = calibrateLambda(255, target);
+    return params;
+}
+
+ActivationSynthesizer::ActivationSynthesizer(const Network &network,
+                                             uint64_t seed)
+    : network_(network), seed_(seed)
+{
+    util::checkInvariant(network_.valid(),
+                         "ActivationSynthesizer: invalid network");
+    fixed16Params_.reserve(network_.layers.size());
+    for (const auto &layer : network_.layers)
+        fixed16Params_.push_back(calibrateFixed16(layer,
+                                                  network_.targets));
+    quant8Params_ = calibrateQuant8(network_.targets);
+
+    // The first layer's input is the image, not a ReLU output: it is
+    // dense (nearly no zeros) and its pixel values spread uniformly
+    // across the layer's precision window. This is why Cnvlutin
+    // cannot skip layer 1 (Section II-B) and it shapes conv1 timing.
+    if (!fixed16Params_.empty()) {
+        SynthParams &first = fixed16Params_.front();
+        first.zeroFraction = kImageZeroFraction;
+        first.lambda = 0.0; // Uniform pixel magnitudes.
+        first.denseFraction = 0.0;
+        first.noiseDense = 0.0;
+        first.noiseLight = 0.0;
+    }
+}
+
+NeuronTensor
+ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
+{
+    const auto &layer = network_.layers.at(layer_idx);
+    SynthParams params =
+        quantized ? quant8Params_ : fixed16Params_.at(layer_idx);
+    if (quantized && layer_idx == 0) {
+        // Image input: dense, uniform codes (see the fixed-point
+        // first-layer note in the constructor).
+        params.zeroFraction = kImageZeroFraction;
+        params.lambda = 0.0;
+        params.denseFraction = 0.0;
+        params.noiseDense = 0.0;
+    params.noiseLight = 0.0;
+    }
+
+    uint64_t layer_seed = seed_ ^ hashString(network_.name) ^
+                          hashString(layer.name) ^
+                          (quantized ? 0x9u : 0x1u) ^
+                          (static_cast<uint64_t>(layer_idx) << 32);
+    util::Xoshiro256 rng(layer_seed);
+
+    uint32_t core_max = (1u << params.precisionBits) - 1;
+    DiscreteExponential core(params.lambda, core_max);
+    uint32_t noise_max =
+        params.anchorLsb > 0 ? (1u << params.anchorLsb) - 1 : 0;
+
+    const int p = params.precisionBits;
+    NeuronTensor tensor(layer.inputX, layer.inputY, layer.inputChannels);
+    for (auto &value : tensor.flat()) {
+        if (rng.nextBool(params.zeroFraction)) {
+            value = 0;
+            continue;
+        }
+        uint32_t core_value;
+        bool dense = rng.nextBool(params.denseFraction);
+        if (dense) {
+            // Dense (heavy-tail) component: MSB at the window top,
+            // uniform lower bits.
+            uint32_t low = p > 1 ? static_cast<uint32_t>(
+                                       rng.nextBounded(1u << (p - 1)))
+                                 : 0;
+            core_value = (1u << (p - 1)) | low;
+        } else {
+            core_value = core.sample(rng);
+        }
+        uint32_t v = core_value << params.anchorLsb;
+        if (noise_max > 0) {
+            double noise_prob = dense ? params.noiseDense
+                                      : params.noiseLight;
+            for (int b = 0; b < params.anchorLsb; b++)
+                if (rng.nextBool(noise_prob))
+                    v |= 1u << b;
+        }
+        value = static_cast<uint16_t>(v);
+    }
+    return tensor;
+}
+
+NeuronTensor
+ActivationSynthesizer::synthesizeFixed16(int layer_idx) const
+{
+    return synthesizeRaw(layer_idx, false);
+}
+
+NeuronTensor
+ActivationSynthesizer::synthesizeFixed16Trimmed(int layer_idx) const
+{
+    NeuronTensor tensor = synthesizeRaw(layer_idx, false);
+    const auto &layer = network_.layers.at(layer_idx);
+    uint16_t mask = layer
+                        .precisionWindow(
+                            fixed16Params_.at(layer_idx).anchorLsb)
+                        .mask();
+    for (auto &value : tensor.flat())
+        value = static_cast<uint16_t>(value & mask);
+    return tensor;
+}
+
+NeuronTensor
+ActivationSynthesizer::synthesizeQuant8(int layer_idx) const
+{
+    return synthesizeRaw(layer_idx, true);
+}
+
+const SynthParams &
+ActivationSynthesizer::fixed16Params(int layer_idx) const
+{
+    return fixed16Params_.at(layer_idx);
+}
+
+std::vector<FilterTensor>
+synthesizeFilters(const ConvLayerSpec &layer, uint64_t seed,
+                  int weight_range)
+{
+    util::checkInvariant(weight_range > 0 && weight_range <= 32767,
+                         "synthesizeFilters: bad weight range");
+    util::Xoshiro256 rng(seed ^ hashString(layer.name));
+    std::vector<FilterTensor> filters;
+    filters.reserve(layer.numFilters);
+    for (int f = 0; f < layer.numFilters; f++) {
+        FilterTensor filter(layer.filterX, layer.filterY,
+                            layer.inputChannels);
+        for (auto &w : filter.flat())
+            w = static_cast<int16_t>(
+                rng.nextInRange(-weight_range, weight_range));
+        filters.push_back(std::move(filter));
+    }
+    return filters;
+}
+
+} // namespace dnn
+} // namespace pra

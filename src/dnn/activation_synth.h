@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Synthetic neuron-stream generation, calibrated to the paper.
+ *
+ * The paper measures its networks on real ImageNet activations; those
+ * traces are not available offline, but every quantity the paper
+ * reports is a function of the layer geometry (exact, from the model
+ * zoo) and of the *bit statistics* of the neuron stream. This module
+ * synthesizes neuron values whose bit statistics match the paper's own
+ * published measurements:
+ *
+ *  - the zero-neuron fraction and the essential-bit content of
+ *    non-zero neurons match Table I per network and representation;
+ *  - the essential-bit content removed by per-layer precision
+ *    trimming matches the software-guidance benefit of Table V.
+ *
+ * Mechanics for the 16-bit fixed-point stream: a neuron is zero with
+ * the ReLU zero probability; otherwise its *core* value (a discretized
+ * exponential — the shape of quantized rectified activations) occupies
+ * the layer's profiled precision window, and with some probability a
+ * few low-order *suffix noise* bits are set below the window. Software
+ * trimming (Section V-F) masks exactly those noise bits. The 8-bit
+ * quantized stream draws codes from a separately calibrated
+ * discretized exponential.
+ */
+
+#ifndef PRA_DNN_ACTIVATION_SYNTH_H
+#define PRA_DNN_ACTIVATION_SYNTH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "util/random.h"
+
+namespace pra {
+namespace dnn {
+
+/**
+ * Maximum number of suffix-noise bit positions below the precision
+ * window (clamped per layer so the window fits in 16 bits). The
+ * window of a layer with precision p keeps bits
+ * [anchor, anchor + p - 1] with anchor = min(kNoiseSuffixBits, 16-p).
+ */
+inline constexpr int kNoiseSuffixBits = 4;
+
+/**
+ * A discrete distribution over [1, maxValue] with P(v) proportional to
+ * exp(-lambda * v / maxValue); lambda == 0 degenerates to uniform.
+ * Scale-normalizing the exponent keeps lambda comparable across
+ * layers with different precisions.
+ */
+class DiscreteExponential
+{
+  public:
+    DiscreteExponential(double lambda, uint32_t max_value);
+
+    /** Draw one value in [1, maxValue]. */
+    uint32_t sample(util::Xoshiro256 &rng) const;
+
+    /** Exact expected popcount under the distribution. */
+    double expectedPopcount() const { return expectedPopcount_; }
+
+    /** Exact expected value under the distribution. */
+    double expectedValue() const { return expectedValue_; }
+
+    uint32_t maxValue() const { return maxValue_; }
+    double lambda() const { return lambda_; }
+
+  private:
+    double lambda_;
+    uint32_t maxValue_;
+    std::vector<double> cdf_;
+    double expectedPopcount_ = 0.0;
+    double expectedValue_ = 0.0;
+};
+
+/**
+ * Find the lambda for which DiscreteExponential(lambda, max_value) has
+ * expected popcount @p target_popcount. Targets outside the reachable
+ * range [1, E(uniform)] are clamped (with a warning).
+ */
+double calibrateLambda(uint32_t max_value, double target_popcount);
+
+/**
+ * Calibrated per-layer synthesis parameters.
+ *
+ * Non-zero core values are a two-component mixture mirroring the
+ * heavy-tailed shape of real rectified activations: a *light*
+ * discretized-exponential component (small values, 1-2 essential
+ * bits) and a *dense* component whose MSB sits at the top of the
+ * precision window with uniformly random lower bits (~1 + (p-1)/2
+ * essential bits). The mixture weight is calibrated so the marginal
+ * essential-bit content matches Table I; the tail is what gives
+ * bricks realistic worst-lane (synchronization-relevant) statistics.
+ */
+struct SynthParams
+{
+    double zeroFraction = 0.5;   ///< P(neuron == 0).
+    double lambda = 1.0;         ///< Light-component rate.
+    double denseFraction = 0.0;  ///< P(dense component | non-zero).
+    int precisionBits = 8;       ///< p: width of the core window.
+    int anchorLsb = 0;           ///< Window lsb (suffix bits below).
+    /**
+     * Per-bit probability of a suffix-noise bit on dense-component
+     * neurons. Large activations carry the bulk of the
+     * sub-precision noise the profiling discards, which is what
+     * makes trimming shorten the critical (max) lanes.
+     */
+    double noiseDense = 0.0;
+    /** Per-bit suffix-noise probability on light-component neurons. */
+    double noiseLight = 0.0;
+};
+
+/**
+ * Target essential-bit count of the light mixture component; a global
+ * shape constant (the dense fraction absorbs per-network calibration).
+ */
+inline constexpr double kLightComponentPopcount = 1.3;
+
+/**
+ * Zero fraction of the first layer's input (the image): images are
+ * dense — only a sliver of pixels is exactly zero.
+ */
+inline constexpr double kImageZeroFraction = 0.02;
+
+/**
+ * Calibrate the 16-bit fixed-point stream of one layer against the
+ * network's Table I / Table V targets.
+ */
+SynthParams calibrateFixed16(const ConvLayerSpec &layer,
+                             const BitStatsTargets &targets);
+
+/** Calibrate the 8-bit quantized code stream (network-wide). */
+SynthParams calibrateQuant8(const BitStatsTargets &targets);
+
+/**
+ * Deterministic activation generator for a network. Layer tensors are
+ * reproducible: the stream for (network, layer, representation) only
+ * depends on the seed.
+ */
+class ActivationSynthesizer
+{
+  public:
+    explicit ActivationSynthesizer(const Network &network,
+                                   uint64_t seed = 0x5eed);
+
+    const Network &network() const { return network_; }
+
+    /**
+     * Synthesize the raw 16-bit fixed-point input stream of layer
+     * @p layer_idx (untrimmed: suffix noise present).
+     */
+    NeuronTensor synthesizeFixed16(int layer_idx) const;
+
+    /**
+     * Same stream after software trimming: each neuron ANDed with the
+     * layer's precision mask. Pairs element-for-element with
+     * synthesizeFixed16() so trimmed/untrimmed comparisons (Table V)
+     * see the same underlying neurons.
+     */
+    NeuronTensor synthesizeFixed16Trimmed(int layer_idx) const;
+
+    /** Synthesize the 8-bit quantized code stream (codes in 0..255). */
+    NeuronTensor synthesizeQuant8(int layer_idx) const;
+
+    const SynthParams &fixed16Params(int layer_idx) const;
+    const SynthParams &quant8Params() const { return quant8Params_; }
+
+  private:
+    const Network network_;
+    uint64_t seed_;
+    std::vector<SynthParams> fixed16Params_;
+    SynthParams quant8Params_;
+
+    NeuronTensor synthesizeRaw(int layer_idx, bool quantized) const;
+};
+
+/**
+ * Deterministic random filters for functional testing: @p count
+ * filters of the layer's geometry with weights uniform in
+ * [-weight_range, weight_range].
+ */
+std::vector<FilterTensor> synthesizeFilters(const ConvLayerSpec &layer,
+                                            uint64_t seed = 0xf117,
+                                            int weight_range = 255);
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_ACTIVATION_SYNTH_H

@@ -1,0 +1,80 @@
+#include "dnn/conv_layer.h"
+
+#include "dnn/tensor.h"
+
+namespace pra {
+namespace dnn {
+
+int
+ConvLayerSpec::outX() const
+{
+    return (inputX + 2 * pad - filterX) / stride + 1;
+}
+
+int
+ConvLayerSpec::outY() const
+{
+    return (inputY + 2 * pad - filterY) / stride + 1;
+}
+
+int64_t
+ConvLayerSpec::windows() const
+{
+    return static_cast<int64_t>(outX()) * outY();
+}
+
+int64_t
+ConvLayerSpec::synapsesPerFilter() const
+{
+    return static_cast<int64_t>(filterX) * filterY * inputChannels;
+}
+
+int64_t
+ConvLayerSpec::products() const
+{
+    return windows() * numFilters * synapsesPerFilter();
+}
+
+int64_t
+ConvLayerSpec::bricksPerWindow() const
+{
+    int64_t channel_bricks = (inputChannels + kBrickSize - 1) / kBrickSize;
+    return static_cast<int64_t>(filterX) * filterY * channel_bricks;
+}
+
+int64_t
+ConvLayerSpec::inputNeurons() const
+{
+    return static_cast<int64_t>(inputX) * inputY * inputChannels;
+}
+
+fixedpoint::PrecisionWindow
+ConvLayerSpec::precisionWindow(int anchor_lsb) const
+{
+    fixedpoint::PrecisionWindow window;
+    window.lsb = anchor_lsb;
+    window.msb = std::min(15, anchor_lsb + profiledPrecision - 1);
+    return window;
+}
+
+bool
+ConvLayerSpec::valid() const
+{
+    if (inputX <= 0 || inputY <= 0 || inputChannels <= 0)
+        return false;
+    if (filterX <= 0 || filterY <= 0 || numFilters <= 0)
+        return false;
+    if (stride <= 0 || pad < 0)
+        return false;
+    if (filterX > inputX + 2 * pad || filterY > inputY + 2 * pad)
+        return false;
+    if ((inputX + 2 * pad - filterX) % stride != 0 &&
+        outX() <= 0)
+        return false;
+    if (profiledPrecision < 1 || profiledPrecision > 16)
+        return false;
+    return outX() > 0 && outY() > 0;
+}
+
+} // namespace dnn
+} // namespace pra

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Convolutional layer geometry (paper Section IV-A).
+ *
+ * A layer applies N filters of Fx x Fy x I synapses over an
+ * Nx x Ny x I input with stride S (and optional zero padding, which
+ * the real networks use even though the paper's formula elides it),
+ * producing an Ox x Oy x N output. All cycle and term counts derive
+ * from this geometry plus the neuron bit patterns.
+ */
+
+#ifndef PRA_DNN_CONV_LAYER_H
+#define PRA_DNN_CONV_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+#include "fixedpoint/precision.h"
+
+namespace pra {
+namespace dnn {
+
+/** Static description of one convolutional layer. */
+struct ConvLayerSpec
+{
+    std::string name;
+
+    int inputX = 0;        ///< Nx: input width.
+    int inputY = 0;        ///< Ny: input height.
+    int inputChannels = 0; ///< I: input depth.
+
+    int filterX = 0;       ///< Fx: filter width.
+    int filterY = 0;       ///< Fy: filter height.
+    int numFilters = 0;    ///< N: filter count == output depth.
+
+    int stride = 1;        ///< S: window stride.
+    int pad = 0;           ///< Zero padding on each border.
+
+    /**
+     * Profiled neuron precision in bits for this layer's *input*
+     * neuron stream (paper Table II); drives Stripes' cycle count and
+     * PRA's software-guided trimming.
+     */
+    int profiledPrecision = 16;
+
+    /** Output width: (Nx + 2*pad - Fx) / S + 1. */
+    int outX() const;
+    /** Output height. */
+    int outY() const;
+    /** Number of windows == output neurons per filter. */
+    int64_t windows() const;
+    /** Synapses per filter: Fx * Fy * I. */
+    int64_t synapsesPerFilter() const;
+    /** Multiply-accumulate count: windows * N * Fx * Fy * I. */
+    int64_t products() const;
+    /** Bricks per window: Fx * Fy * ceil(I / 16). */
+    int64_t bricksPerWindow() const;
+    /** Input neuron count: Nx * Ny * I. */
+    int64_t inputNeurons() const;
+
+    /**
+     * The trimming window implied by the profiled precision: the
+     * retained bits are anchored @p anchor_lsb positions above bit 0
+     * (the synthesis keeps suffix noise below the anchor; see
+     * dnn/activation_synth.h).
+     */
+    fixedpoint::PrecisionWindow precisionWindow(int anchor_lsb) const;
+
+    /** Sanity-check the geometry; returns false on malformed specs. */
+    bool valid() const;
+};
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_CONV_LAYER_H

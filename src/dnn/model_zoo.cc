@@ -1,0 +1,255 @@
+#include "dnn/model_zoo.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace dnn {
+
+namespace {
+
+/** Shorthand builder for one conv layer spec. */
+ConvLayerSpec
+conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
+     int filters, int stride, int pad, int precision)
+{
+    ConvLayerSpec spec;
+    spec.name = std::move(name);
+    spec.inputX = in_x;
+    spec.inputY = in_y;
+    spec.inputChannels = channels;
+    spec.filterX = f_x;
+    spec.filterY = f_y;
+    spec.numFilters = filters;
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.profiledPrecision = precision;
+    util::checkInvariant(spec.valid(),
+                         "model_zoo: malformed layer " + spec.name);
+    return spec;
+}
+
+/**
+ * Append the six convolutions of one GoogLeNet inception module.
+ * All convs of a module share the module's Table II precision group.
+ */
+void
+addInception(std::vector<ConvLayerSpec> &layers, const std::string &name,
+             int size, int channels, int n1x1, int n3x3red, int n3x3,
+             int n5x5red, int n5x5, int pool_proj, int precision)
+{
+    layers.push_back(conv(name + "/1x1", size, size, channels,
+                          1, 1, n1x1, 1, 0, precision));
+    layers.push_back(conv(name + "/3x3_reduce", size, size, channels,
+                          1, 1, n3x3red, 1, 0, precision));
+    layers.push_back(conv(name + "/3x3", size, size, n3x3red,
+                          3, 3, n3x3, 1, 1, precision));
+    layers.push_back(conv(name + "/5x5_reduce", size, size, channels,
+                          1, 1, n5x5red, 1, 0, precision));
+    layers.push_back(conv(name + "/5x5", size, size, n5x5red,
+                          5, 5, n5x5, 1, 2, precision));
+    layers.push_back(conv(name + "/pool_proj", size, size, channels,
+                          1, 1, pool_proj, 1, 0, precision));
+}
+
+} // namespace
+
+Network
+makeAlexNet()
+{
+    Network net;
+    net.name = "AlexNet";
+    // Table I / Table V calibration targets.
+    net.targets = {0.078, 0.181, 0.314, 0.443, 0.23};
+    // Table II precision profile: 9-8-5-5-7.
+    net.layers = {
+        conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0, 9),
+        conv("conv2", 27, 27, 96, 5, 5, 256, 1, 2, 8),
+        conv("conv3", 13, 13, 256, 3, 3, 384, 1, 1, 5),
+        conv("conv4", 13, 13, 384, 3, 3, 384, 1, 1, 5),
+        conv("conv5", 13, 13, 384, 3, 3, 256, 1, 1, 7),
+    };
+    return net;
+}
+
+Network
+makeNiN()
+{
+    Network net;
+    net.name = "NiN";
+    net.targets = {0.104, 0.221, 0.271, 0.374, 0.10};
+    // Table II: 8-8-8-9-7-8-8-9-9-8-8-8.
+    net.layers = {
+        conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0, 8),
+        conv("cccp1", 55, 55, 96, 1, 1, 96, 1, 0, 8),
+        conv("cccp2", 55, 55, 96, 1, 1, 96, 1, 0, 8),
+        conv("conv2", 27, 27, 96, 5, 5, 256, 1, 2, 9),
+        conv("cccp3", 27, 27, 256, 1, 1, 256, 1, 0, 7),
+        conv("cccp4", 27, 27, 256, 1, 1, 256, 1, 0, 8),
+        conv("conv3", 13, 13, 256, 3, 3, 384, 1, 1, 8),
+        conv("cccp5", 13, 13, 384, 1, 1, 384, 1, 0, 9),
+        conv("cccp6", 13, 13, 384, 1, 1, 384, 1, 0, 9),
+        conv("conv4", 6, 6, 384, 3, 3, 1024, 1, 1, 8),
+        conv("cccp7", 6, 6, 1024, 1, 1, 1024, 1, 0, 8),
+        conv("cccp8", 6, 6, 1024, 1, 1, 1000, 1, 0, 8),
+    };
+    return net;
+}
+
+Network
+makeGoogLeNet()
+{
+    Network net;
+    net.name = "GoogLeNet";
+    net.targets = {0.064, 0.190, 0.268, 0.426, 0.18};
+    // Table II groups: 10-8-10-9-8-10-9-8-9-10-7 for
+    // conv1, conv2 block, inception 3a,3b,4a,4b,4c,4d,4e,5a,5b.
+    auto &layers = net.layers;
+    layers.push_back(conv("conv1/7x7_s2", 224, 224, 3,
+                          7, 7, 64, 2, 3, 10));
+    layers.push_back(conv("conv2/3x3_reduce", 56, 56, 64,
+                          1, 1, 64, 1, 0, 8));
+    layers.push_back(conv("conv2/3x3", 56, 56, 64,
+                          3, 3, 192, 1, 1, 8));
+    addInception(layers, "inception_3a", 28, 192,
+                 64, 96, 128, 16, 32, 32, 10);
+    addInception(layers, "inception_3b", 28, 256,
+                 128, 128, 192, 32, 96, 64, 9);
+    addInception(layers, "inception_4a", 14, 480,
+                 192, 96, 208, 16, 48, 64, 8);
+    addInception(layers, "inception_4b", 14, 512,
+                 160, 112, 224, 24, 64, 64, 10);
+    addInception(layers, "inception_4c", 14, 512,
+                 128, 128, 256, 24, 64, 64, 9);
+    addInception(layers, "inception_4d", 14, 512,
+                 112, 144, 288, 32, 64, 64, 8);
+    addInception(layers, "inception_4e", 14, 528,
+                 256, 160, 320, 32, 128, 128, 9);
+    addInception(layers, "inception_5a", 7, 832,
+                 256, 160, 320, 32, 128, 128, 10);
+    addInception(layers, "inception_5b", 7, 832,
+                 384, 192, 384, 48, 128, 128, 7);
+    return net;
+}
+
+Network
+makeVggM()
+{
+    Network net;
+    net.name = "VGG_M";
+    net.targets = {0.051, 0.165, 0.384, 0.474, 0.22};
+    // Table II: 7-7-7-8-7.
+    net.layers = {
+        conv("conv1", 224, 224, 3, 7, 7, 96, 2, 0, 7),
+        conv("conv2", 54, 54, 96, 5, 5, 256, 2, 1, 7),
+        conv("conv3", 13, 13, 256, 3, 3, 512, 1, 1, 7),
+        conv("conv4", 13, 13, 512, 3, 3, 512, 1, 1, 8),
+        conv("conv5", 13, 13, 512, 3, 3, 512, 1, 1, 7),
+    };
+    return net;
+}
+
+Network
+makeVggS()
+{
+    Network net;
+    net.name = "VGG_S";
+    net.targets = {0.057, 0.167, 0.343, 0.460, 0.21};
+    // Table II: 7-8-9-7-9.
+    net.layers = {
+        conv("conv1", 224, 224, 3, 7, 7, 96, 2, 0, 7),
+        conv("conv2", 36, 36, 96, 5, 5, 256, 1, 1, 8),
+        conv("conv3", 17, 17, 256, 3, 3, 512, 1, 1, 9),
+        conv("conv4", 17, 17, 512, 3, 3, 512, 1, 1, 7),
+        conv("conv5", 17, 17, 512, 3, 3, 512, 1, 1, 9),
+    };
+    return net;
+}
+
+Network
+makeVgg19()
+{
+    Network net;
+    net.name = "VGG_19";
+    net.targets = {0.127, 0.242, 0.165, 0.291, 0.19};
+    // Table II: 12-12-12-11-12-10-11-11-13-12-13-13-13-13-13-13.
+    const int prec[16] = {12, 12, 12, 11, 12, 10, 11, 11,
+                          13, 12, 13, 13, 13, 13, 13, 13};
+    struct Stage { int size; int in; int out; int count; };
+    const Stage stages[5] = {
+        {224, 3, 64, 2},
+        {112, 64, 128, 2},
+        {56, 128, 256, 4},
+        {28, 256, 512, 4},
+        {14, 512, 512, 4},
+    };
+    int idx = 0;
+    for (int s = 0; s < 5; s++) {
+        int channels = stages[s].in;
+        for (int c = 0; c < stages[s].count; c++) {
+            net.layers.push_back(conv(
+                "conv" + std::to_string(s + 1) + "_" +
+                    std::to_string(c + 1),
+                stages[s].size, stages[s].size, channels,
+                3, 3, stages[s].out, 1, 1, prec[idx++]));
+            channels = stages[s].out;
+        }
+    }
+    util::checkInvariant(idx == 16, "VGG19 precision list mismatch");
+    return net;
+}
+
+std::vector<Network>
+makeAllNetworks()
+{
+    return {makeAlexNet(), makeNiN(), makeGoogLeNet(),
+            makeVggM(), makeVggS(), makeVgg19()};
+}
+
+std::vector<std::string>
+networkNames()
+{
+    return {"alexnet", "nin", "googlenet", "vggm", "vggs", "vgg19"};
+}
+
+Network
+makeNetworkByName(const std::string &name)
+{
+    std::string key;
+    for (char ch : name)
+        if (ch != '_' && ch != '-' && ch != ' ')
+            key += static_cast<char>(std::tolower(ch));
+    if (key == "alexnet")
+        return makeAlexNet();
+    if (key == "nin")
+        return makeNiN();
+    if (key == "googlenet" || key == "google")
+        return makeGoogLeNet();
+    if (key == "vggm")
+        return makeVggM();
+    if (key == "vggs")
+        return makeVggS();
+    if (key == "vgg19")
+        return makeVgg19();
+    if (key == "tiny")
+        return makeTinyNetwork();
+    util::fatal("unknown network '" + name + "'");
+}
+
+Network
+makeTinyNetwork()
+{
+    Network net;
+    net.name = "Tiny";
+    net.targets = {0.08, 0.18, 0.31, 0.44, 0.19};
+    net.layers = {
+        conv("conv1", 12, 12, 8, 3, 3, 24, 1, 1, 8),
+        conv("conv2", 12, 12, 24, 3, 3, 32, 1, 0, 7),
+    };
+    return net;
+}
+
+} // namespace dnn
+} // namespace pra

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The six networks of the paper's evaluation (Section VI-A):
+ * AlexNet, NiN, GoogLeNet, VGG-M, VGG-S and VGG-19.
+ *
+ * Layer geometries follow the published network definitions; each
+ * layer carries its per-layer neuron precision from the paper's
+ * Table II, and each network carries the Table I / Table V bit
+ * statistics used to calibrate the synthetic activation stream.
+ * GoogLeNet's convolutions are grouped into the 11 precision groups of
+ * Table II (stem conv, conv2 block, nine inception modules).
+ */
+
+#ifndef PRA_DNN_MODEL_ZOO_H
+#define PRA_DNN_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace pra {
+namespace dnn {
+
+Network makeAlexNet();
+Network makeNiN();
+Network makeGoogLeNet();
+Network makeVggM();
+Network makeVggS();
+Network makeVgg19();
+
+/** All six evaluation networks in the paper's reporting order. */
+std::vector<Network> makeAllNetworks();
+
+/** Look a network up by (case-insensitive) name; fatal() if unknown. */
+Network makeNetworkByName(const std::string &name);
+
+/** Names accepted by makeNetworkByName(). */
+std::vector<std::string> networkNames();
+
+/**
+ * A deliberately tiny two-layer network for tests and the quickstart
+ * example: small enough for exhaustive (unsampled) simulation and
+ * functional cross-checking.
+ */
+Network makeTinyNetwork();
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_MODEL_ZOO_H

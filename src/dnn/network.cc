@@ -1,0 +1,27 @@
+#include "dnn/network.h"
+
+namespace pra {
+namespace dnn {
+
+int64_t
+Network::totalProducts() const
+{
+    int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.products();
+    return total;
+}
+
+bool
+Network::valid() const
+{
+    if (name.empty() || layers.empty())
+        return false;
+    for (const auto &layer : layers)
+        if (!layer.valid())
+            return false;
+    return true;
+}
+
+} // namespace dnn
+} // namespace pra

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A network: the ordered convolutional layers the accelerators run,
+ * plus the published per-network neuron-stream statistics used to
+ * calibrate the synthetic activation generator (see DESIGN.md §3).
+ */
+
+#ifndef PRA_DNN_NETWORK_H
+#define PRA_DNN_NETWORK_H
+
+#include <string>
+#include <vector>
+
+#include "dnn/conv_layer.h"
+
+namespace pra {
+namespace dnn {
+
+/**
+ * Per-network neuron bit statistics from the paper, used as
+ * calibration targets for synthetic activations.
+ */
+struct BitStatsTargets
+{
+    /** Table I, 16-bit fixed point: set-bit fraction over all neurons. */
+    double all16 = 0.10;
+    /** Table I, 16-bit fixed point: set-bit fraction over non-zero. */
+    double nz16 = 0.20;
+    /** Table I, 8-bit quantized: over all neurons. */
+    double all8 = 0.30;
+    /** Table I, 8-bit quantized: over non-zero neurons. */
+    double nz8 = 0.42;
+    /**
+     * Table V: fraction of PRA's speedup due to software-provided
+     * precisions; calibrates how much essential-bit content the
+     * per-layer trimming removes.
+     */
+    double softwareBenefit = 0.19;
+
+    /** Implied zero-neuron fraction of the 16-bit stream. */
+    double zeroFraction16() const { return 1.0 - all16 / nz16; }
+    /** Implied zero-neuron fraction of the 8-bit stream. */
+    double zeroFraction8() const { return 1.0 - all8 / nz8; }
+};
+
+/** A named network: conv layers in execution order. */
+struct Network
+{
+    std::string name;
+    std::vector<ConvLayerSpec> layers;
+    BitStatsTargets targets;
+
+    /** Total multiply-accumulates over all conv layers. */
+    int64_t totalProducts() const;
+
+    /** True when every layer spec is well formed. */
+    bool valid() const;
+};
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_NETWORK_H

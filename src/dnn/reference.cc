@@ -1,0 +1,56 @@
+#include "dnn/reference.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace dnn {
+
+int64_t
+referenceWindowDot(const ConvLayerSpec &layer, const NeuronTensor &input,
+                   const FilterTensor &filter, int window_x, int window_y)
+{
+    int64_t acc = 0;
+    int base_x = window_x * layer.stride - layer.pad;
+    int base_y = window_y * layer.stride - layer.pad;
+    for (int fy = 0; fy < layer.filterY; fy++) {
+        for (int fx = 0; fx < layer.filterX; fx++) {
+            for (int i = 0; i < layer.inputChannels; i++) {
+                uint16_t n = input.atPadded(base_x + fx, base_y + fy, i);
+                int16_t s = filter.at(fx, fy, i);
+                acc += static_cast<int64_t>(s) * n;
+            }
+        }
+    }
+    return acc;
+}
+
+OutputTensor
+referenceConvolution(const ConvLayerSpec &layer, const NeuronTensor &input,
+                     const std::vector<FilterTensor> &filters)
+{
+    util::checkInvariant(layer.valid(), "referenceConvolution: bad layer");
+    util::checkInvariant(input.sizeX() == layer.inputX &&
+                             input.sizeY() == layer.inputY &&
+                             input.sizeI() == layer.inputChannels,
+                         "referenceConvolution: input shape mismatch");
+    util::checkInvariant(static_cast<int>(filters.size()) ==
+                             layer.numFilters,
+                         "referenceConvolution: filter count mismatch");
+
+    OutputTensor output(layer.outX(), layer.outY(), layer.numFilters);
+    for (int f = 0; f < layer.numFilters; f++) {
+        const FilterTensor &filter = filters[f];
+        util::checkInvariant(filter.sizeX() == layer.filterX &&
+                                 filter.sizeY() == layer.filterY &&
+                                 filter.sizeI() == layer.inputChannels,
+                             "referenceConvolution: filter shape mismatch");
+        for (int wy = 0; wy < layer.outY(); wy++)
+            for (int wx = 0; wx < layer.outX(); wx++)
+                output.at(wx, wy, f) =
+                    referenceWindowDot(layer, input, filter, wx, wy);
+    }
+    return output;
+}
+
+} // namespace dnn
+} // namespace pra

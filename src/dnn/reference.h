@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference (golden) convolution used to validate the functional
+ * models of every accelerator: DaDN's bit-parallel NFU, Stripes'
+ * serial-parallel units and Pragmatic's PIPs must all produce exactly
+ * these output sums.
+ */
+
+#ifndef PRA_DNN_REFERENCE_H
+#define PRA_DNN_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/conv_layer.h"
+#include "dnn/tensor.h"
+
+namespace pra {
+namespace dnn {
+
+/** Output partial sums of a conv layer: one int64 per (x, y, filter). */
+using OutputTensor = Tensor3D<int64_t>;
+
+/**
+ * Compute the layer's output with exact 64-bit accumulation:
+ * o(k,l,f) = sum over (x,y,i) of s_f(x,y,i) * n(x*?S offsets), with
+ * zero padding (paper Section IV-A). No activation function is
+ * applied: the accelerators compare pre-activation partial sums.
+ *
+ * @param layer   geometry (input size must match @p input).
+ * @param input   the input neuron array.
+ * @param filters one FilterTensor per output filter.
+ */
+OutputTensor referenceConvolution(const ConvLayerSpec &layer,
+                                  const NeuronTensor &input,
+                                  const std::vector<FilterTensor> &filters);
+
+/**
+ * Dot product of one window position against one filter; the quantum
+ * of work the inner-product units perform.
+ */
+int64_t referenceWindowDot(const ConvLayerSpec &layer,
+                           const NeuronTensor &input,
+                           const FilterTensor &filter,
+                           int window_x, int window_y);
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_REFERENCE_H

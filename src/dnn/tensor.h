@@ -1,0 +1,119 @@
+/**
+ * @file
+ * 3D neuron/synapse arrays (paper Section IV-A).
+ *
+ * A convolutional layer consumes an Nx x Ny x I neuron array and N
+ * filters of Fx x Fy x I synapses. Storage is channel-major (the i
+ * dimension is contiguous) so that a *brick* — 16 consecutive elements
+ * along i — is contiguous in memory, matching the paper's data layout
+ * for NM and SB.
+ */
+
+#ifndef PRA_DNN_TENSOR_H
+#define PRA_DNN_TENSOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace dnn {
+
+/** Elements per brick / bricks per pallet (paper Section IV-A1). */
+inline constexpr int kBrickSize = 16;
+
+/**
+ * A dense 3D array with channel-major layout: index (x, y, i) maps to
+ * (y * sizeX + x) * sizeI + i.
+ */
+template <typename T>
+class Tensor3D
+{
+  public:
+    Tensor3D() = default;
+
+    /** Create a zero-initialized tensor of the given extent. */
+    Tensor3D(int size_x, int size_y, int size_i)
+        : sizeX_(size_x), sizeY_(size_y), sizeI_(size_i),
+          data_(static_cast<size_t>(size_x) * size_y * size_i, T{})
+    {
+        util::checkInvariant(size_x > 0 && size_y > 0 && size_i > 0,
+                             "Tensor3D: extents must be positive");
+    }
+
+    int sizeX() const { return sizeX_; }
+    int sizeY() const { return sizeY_; }
+    int sizeI() const { return sizeI_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Element access; bounds-checked via invariant in debug paths. */
+    T &
+    at(int x, int y, int i)
+    {
+        return data_[flatIndex(x, y, i)];
+    }
+
+    const T &
+    at(int x, int y, int i) const
+    {
+        return data_[flatIndex(x, y, i)];
+    }
+
+    /**
+     * Element access with zero padding: coordinates outside the array
+     * read as T{} (convolution padding).
+     */
+    T
+    atPadded(int x, int y, int i) const
+    {
+        if (x < 0 || x >= sizeX_ || y < 0 || y >= sizeY_)
+            return T{};
+        return at(x, y, i);
+    }
+
+    /** Whole storage as a flat span (channel-major). */
+    std::span<const T> flat() const { return data_; }
+    std::span<T> flat() { return data_; }
+
+    /**
+     * The brick starting at (x, y, i): up to kBrickSize consecutive
+     * channel elements. Shorter at the channel edge.
+     */
+    std::span<const T>
+    brick(int x, int y, int i) const
+    {
+        size_t base = flatIndex(x, y, i);
+        size_t len = std::min<size_t>(kBrickSize,
+                                      static_cast<size_t>(sizeI_ - i));
+        return std::span<const T>(data_.data() + base, len);
+    }
+
+  private:
+    int sizeX_ = 0;
+    int sizeY_ = 0;
+    int sizeI_ = 0;
+    std::vector<T> data_;
+
+    size_t
+    flatIndex(int x, int y, int i) const
+    {
+        util::checkInvariant(x >= 0 && x < sizeX_ && y >= 0 &&
+                             y < sizeY_ && i >= 0 && i < sizeI_,
+                             "Tensor3D index out of range");
+        return (static_cast<size_t>(y) * sizeX_ + x) * sizeI_ + i;
+    }
+};
+
+/** Neuron tensor: 16-bit unsigned magnitudes (post-ReLU). */
+using NeuronTensor = Tensor3D<uint16_t>;
+
+/** One filter's synapses: 16-bit signed weights. */
+using FilterTensor = Tensor3D<int16_t>;
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_TENSOR_H

@@ -1,0 +1,98 @@
+#include "fixedpoint/fixed_point.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace fixedpoint {
+
+int
+essentialBits(uint16_t value)
+{
+    return std::popcount(value);
+}
+
+int
+msbPosition(uint16_t value)
+{
+    if (value == 0)
+        return -1;
+    return 15 - std::countl_zero(value);
+}
+
+int
+lsbPosition(uint16_t value)
+{
+    if (value == 0)
+        return -1;
+    return std::countr_zero(value);
+}
+
+int
+significantBits(uint16_t value)
+{
+    return msbPosition(value) + 1;
+}
+
+double
+essentialBitFraction(std::span<const uint16_t> values, int width)
+{
+    util::checkInvariant(width > 0 && width <= 16,
+                         "essentialBitFraction: bad width");
+    if (values.empty())
+        return 0.0;
+    uint64_t set_bits = 0;
+    for (uint16_t v : values)
+        set_bits += static_cast<uint64_t>(essentialBits(v));
+    return static_cast<double>(set_bits) /
+           (static_cast<double>(values.size()) * width);
+}
+
+double
+essentialBitFractionNonZero(std::span<const uint16_t> values, int width)
+{
+    util::checkInvariant(width > 0 && width <= 16,
+                         "essentialBitFractionNonZero: bad width");
+    uint64_t set_bits = 0;
+    uint64_t non_zero = 0;
+    for (uint16_t v : values) {
+        if (v == 0)
+            continue;
+        non_zero++;
+        set_bits += static_cast<uint64_t>(essentialBits(v));
+    }
+    if (non_zero == 0)
+        return 0.0;
+    return static_cast<double>(set_bits) /
+           (static_cast<double>(non_zero) * width);
+}
+
+double
+zeroFraction(std::span<const uint16_t> values)
+{
+    if (values.empty())
+        return 0.0;
+    uint64_t zeros = 0;
+    for (uint16_t v : values)
+        if (v == 0)
+            zeros++;
+    return static_cast<double>(zeros) /
+           static_cast<double>(values.size());
+}
+
+int64_t
+shiftAddMultiply(int16_t synapse, uint16_t neuron)
+{
+    int64_t acc = 0;
+    uint16_t rest = neuron;
+    while (rest != 0) {
+        int pos = std::countr_zero(rest);
+        acc += static_cast<int64_t>(synapse) << pos;
+        rest = static_cast<uint16_t>(rest & (rest - 1));
+    }
+    return acc;
+}
+
+} // namespace fixedpoint
+} // namespace pra

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * 16-bit fixed-point value utilities.
+ *
+ * DaDianNao (the baseline) and Pragmatic both store neurons as 16-bit
+ * fixed-point numbers. After the ReLU nonlinearity neuron values are
+ * non-negative, so the simulator treats a neuron as a 16-bit unsigned
+ * magnitude bit pattern; synapses are signed 16-bit values. Timing
+ * depends only on the neuron bit patterns, never on the synapses.
+ *
+ * The *essential bits* of a neuron (paper Section II) are its set bits:
+ * each one generates a non-zero term in a shift-and-add multiplier.
+ */
+
+#ifndef PRA_FIXEDPOINT_FIXED_POINT_H
+#define PRA_FIXEDPOINT_FIXED_POINT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pra {
+namespace fixedpoint {
+
+/** A 16-bit unsigned neuron bit pattern. */
+using Neuron16 = uint16_t;
+
+/** A 16-bit signed synapse (weight). */
+using Synapse16 = int16_t;
+
+/** Number of storage bits in the baseline representation. */
+inline constexpr int kNeuronBits = 16;
+
+/** Count of essential (set) bits in a neuron pattern. */
+int essentialBits(uint16_t value);
+
+/** Position of the most significant set bit; -1 for value == 0. */
+int msbPosition(uint16_t value);
+
+/** Position of the least significant set bit; -1 for value == 0. */
+int lsbPosition(uint16_t value);
+
+/**
+ * Minimum number of bits needed to represent @p value, i.e.
+ * msbPosition + 1; 0 for value == 0.
+ */
+int significantBits(uint16_t value);
+
+/**
+ * Average fraction of set bits per value over @p values, measured
+ * against a @p width-bit representation (paper Table I, "All").
+ */
+double essentialBitFraction(std::span<const uint16_t> values, int width);
+
+/**
+ * Same as essentialBitFraction() but over the non-zero values only
+ * (paper Table I, "NZ"). Returns 0 when there are no non-zero values.
+ */
+double essentialBitFractionNonZero(std::span<const uint16_t> values,
+                                   int width);
+
+/** Fraction of zero values in @p values (0 when empty). */
+double zeroFraction(std::span<const uint16_t> values);
+
+/**
+ * Multiply a signed synapse by an unsigned neuron using the
+ * shift-and-add decomposition n*s = sum over set bits i of (s << i).
+ * This is the arithmetic a PIP performs spread over cycles; it must
+ * (and does) equal the ordinary product. Used as a self-checking
+ * primitive by the functional models.
+ */
+int64_t shiftAddMultiply(int16_t synapse, uint16_t neuron);
+
+} // namespace fixedpoint
+} // namespace pra
+
+#endif // PRA_FIXEDPOINT_FIXED_POINT_H

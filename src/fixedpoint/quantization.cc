@@ -1,0 +1,70 @@
+#include "fixedpoint/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace fixedpoint {
+
+double
+QuantParams::scale() const
+{
+    return (maxValue - minValue) / 255.0;
+}
+
+QuantParams
+chooseQuantParams(std::span<const double> values)
+{
+    QuantParams params;
+    if (values.empty())
+        return params;
+    double lo = values[0];
+    double hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (hi <= lo)
+        hi = lo + 1.0; // Degenerate layer: keep the scale positive.
+    params.minValue = lo;
+    params.maxValue = hi;
+    return params;
+}
+
+uint8_t
+quantize(double value, const QuantParams &params)
+{
+    double s = params.scale();
+    util::checkInvariant(s > 0.0, "quantize: non-positive scale");
+    double code = (value - params.minValue) / s;
+    double rounded = std::floor(code + 0.5);
+    rounded = std::clamp(rounded, 0.0, 255.0);
+    return static_cast<uint8_t>(rounded);
+}
+
+double
+dequantize(uint8_t code, const QuantParams &params)
+{
+    return params.minValue + static_cast<double>(code) * params.scale();
+}
+
+std::vector<uint8_t>
+quantizeAll(std::span<const double> values, const QuantParams &params)
+{
+    std::vector<uint8_t> codes;
+    codes.reserve(values.size());
+    for (double v : values)
+        codes.push_back(quantize(v, params));
+    return codes;
+}
+
+double
+maxRoundingError(const QuantParams &params)
+{
+    return params.scale() / 2.0;
+}
+
+} // namespace fixedpoint
+} // namespace pra

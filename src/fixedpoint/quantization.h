@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TensorFlow-style 8-bit affine quantization (paper Section VI-F).
+ *
+ * The quantization maps a real interval [min, max] linearly onto the
+ * 256 available 8-bit codes. The paper sets the limits to the per-layer
+ * minimum and maximum neuron values; with ReLU outputs min == 0, so a
+ * zero neuron quantizes to code 0 and PRA's zero-skipping semantics
+ * carry over unchanged.
+ */
+
+#ifndef PRA_FIXEDPOINT_QUANTIZATION_H
+#define PRA_FIXEDPOINT_QUANTIZATION_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pra {
+namespace fixedpoint {
+
+/** Number of bits in the quantized representation. */
+inline constexpr int kQuantBits = 8;
+
+/** Affine quantization parameters for one layer. */
+struct QuantParams
+{
+    double minValue = 0.0;  ///< Real value mapping to code 0.
+    double maxValue = 1.0;  ///< Real value mapping to code 255.
+
+    /** Real-value step between adjacent codes. */
+    double scale() const;
+
+    bool operator==(const QuantParams &other) const = default;
+};
+
+/**
+ * Derive per-layer parameters from observed values, as the paper does
+ * ("the limit values are set to the maximum and the minimum neuron
+ * values for each layer"). Degenerate all-equal inputs get a unit
+ * range so that scale() stays positive.
+ */
+QuantParams chooseQuantParams(std::span<const double> values);
+
+/**
+ * Quantize one real value with round-half-away-from-zero (the
+ * "recommended rounding mode"), clamping to [0, 255].
+ */
+uint8_t quantize(double value, const QuantParams &params);
+
+/** Reconstruct the real value represented by @p code. */
+double dequantize(uint8_t code, const QuantParams &params);
+
+/** Quantize a whole span. */
+std::vector<uint8_t> quantizeAll(std::span<const double> values,
+                                 const QuantParams &params);
+
+/**
+ * Largest absolute reconstruction error possible for in-range inputs:
+ * half a step.
+ */
+double maxRoundingError(const QuantParams &params);
+
+} // namespace fixedpoint
+} // namespace pra
+
+#endif // PRA_FIXEDPOINT_QUANTIZATION_H

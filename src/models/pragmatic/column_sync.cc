@@ -1,0 +1,180 @@
+#include "models/pragmatic/column_sync.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <vector>
+
+#include "models/pragmatic/schedule.h"
+#include "sim/nm_model.h"
+#include "sim/tiling.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+namespace {
+
+/** Rolling record of per-set copy-completion times for the SSR pool. */
+class SsrPool
+{
+  public:
+    explicit SsrPool(int capacity) : capacity_(capacity) {}
+
+    /**
+     * Earliest time the SB may read global set @p g: the pool must
+     * have a slot free, i.e. set g - capacity must have been copied
+     * by every column. Infinite pools (capacity 0) never block.
+     */
+    int64_t
+    readAllowedAt(int64_t g) const
+    {
+        if (capacity_ <= 0)
+            return 0;
+        int64_t victim = g - capacity_;
+        if (victim < 0)
+            return 0;
+        size_t idx = static_cast<size_t>(victim % capacity_);
+        return allCopied_[idx];
+    }
+
+    /** Record that set @p g was copied by all columns at @p time. */
+    void
+    recordAllCopied(int64_t g, int64_t time)
+    {
+        if (capacity_ <= 0)
+            return;
+        size_t idx = static_cast<size_t>(g % capacity_);
+        if (allCopied_.size() <= idx)
+            allCopied_.resize(capacity_, 0);
+        allCopied_[idx] = time;
+    }
+
+  private:
+    int capacity_;
+    std::vector<int64_t> allCopied_;
+};
+
+} // namespace
+
+sim::LayerResult
+simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+                        const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const ColumnSyncConfig &config,
+                        const sim::SampleSpec &sample)
+{
+    sim::LayerTiling tiling(layer, accel);
+    sim::SamplePlan plan = sim::planSample(tiling.numPallets(), sample);
+    util::checkInvariant(!plan.indices.empty(),
+                         "column sync: layer has no pallets");
+
+    const int columns = accel.windowsPerPallet;
+    const int64_t num_sets = tiling.numSynapseSets();
+
+    // Per-column clocks: when the column finished its previous set.
+    std::vector<int64_t> col_time(columns, 0);
+    // Per-column schedule cost of the set being placed.
+    std::vector<int> set_cost(columns, 0);
+
+    SsrPool ssrs(config.ideal() ? 0 : config.ssrCount);
+    int64_t last_read_done = 0;
+
+    // Dispatcher pallet double-buffering state.
+    int64_t fetch_done_prev = 0;     // NM fetch completion, pallet k-1.
+    int64_t pallet_finish_m2 = 0;    // All columns drained pallet k-2.
+    int64_t pallet_finish_m1 = 0;    // All columns drained pallet k-1.
+
+    double pop_sum = 0.0;
+    int64_t stall_reference = 0; // Sum of raw schedule costs (no sync).
+
+    for (size_t pi = 0; pi < plan.indices.size(); pi++) {
+        int64_t pallet = plan.indices[pi];
+
+        int64_t neurons_ready = 0;
+        if (config.modelNmStalls) {
+            // Fetch latency for this pallet: its worst per-set row
+            // spread (fetches of consecutive sets are pipelined).
+            int64_t fetch = 1;
+            for (int64_t s = 0; s < num_sets;
+                 s += std::max<int64_t>(1, num_sets / 4)) {
+                fetch = std::max<int64_t>(
+                    fetch, sim::nmFetchCycles(tiling, pallet, s));
+            }
+            int64_t fetch_start =
+                std::max(fetch_done_prev, pallet_finish_m2);
+            neurons_ready = fetch_start + fetch;
+            fetch_done_prev = neurons_ready;
+            pallet_finish_m2 = pallet_finish_m1;
+        }
+
+        int64_t pallet_finish = 0;
+        for (int64_t s = 0; s < num_sets; s++) {
+            int64_t g = static_cast<int64_t>(pi) * num_sets + s;
+
+            // Gather this set's schedule cost for every column.
+            for (int c = 0; c < columns; c++) {
+                int64_t w = tiling.windowIndex(pallet, c);
+                if (w < 0) {
+                    set_cost[c] = 1; // Idle column tracks the stream.
+                    continue;
+                }
+                auto brick = tiling.gatherBrick(
+                    input, tiling.windowCoord(w), tiling.setCoord(s));
+                int t = brickScheduleCycles(brick,
+                                            config.firstStageBits);
+                set_cost[c] = std::max(1, t);
+                for (uint16_t n : brick)
+                    pop_sum += std::popcount(n);
+                stall_reference += set_cost[c];
+            }
+
+            // SB read: single port, and an SSR slot must be free.
+            int64_t read_done = std::max(last_read_done + 1,
+                                         ssrs.readAllowedAt(g) + 1);
+            last_read_done = read_done;
+
+            // Columns copy the set when they reach it, then process.
+            int64_t all_copied = 0;
+            for (int c = 0; c < columns; c++) {
+                int64_t start = std::max({col_time[c], read_done,
+                                          neurons_ready});
+                all_copied = std::max(all_copied, start);
+                col_time[c] = start + set_cost[c];
+            }
+            ssrs.recordAllCopied(g, all_copied);
+            if (s + 1 == num_sets)
+                pallet_finish = *std::max_element(col_time.begin(),
+                                                  col_time.end());
+        }
+        pallet_finish_m1 = pallet_finish;
+    }
+
+    int64_t stream_finish = *std::max_element(col_time.begin(),
+                                              col_time.end());
+
+    sim::LayerResult result;
+    result.layerName = layer.name;
+    result.engineName = config.ideal() ? "PRA-perCol-ideal"
+                                       : "PRA-perCol";
+    result.sampleScale = plan.scale;
+    double passes = static_cast<double>(tiling.passes());
+    result.cycles = passes * plan.scale *
+                    static_cast<double>(stream_finish);
+    // Stall accounting: time beyond the busiest column's raw work.
+    double busiest = static_cast<double>(stall_reference) /
+                     std::max(1, columns);
+    result.nmStallCycles = std::max(
+        0.0, passes * plan.scale *
+                 (static_cast<double>(stream_finish) - busiest));
+    result.effectualTerms = plan.scale * pop_sum * layer.numFilters;
+    // Section V-E guarantees SB is read the same number of times as
+    // under pallet synchronization (SSRs absorb the repeats).
+    result.sbReadSteps = passes *
+                         static_cast<double>(tiling.numPallets()) *
+                         static_cast<double>(num_sets);
+    return result;
+}
+
+} // namespace models
+} // namespace pra

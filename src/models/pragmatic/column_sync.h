@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-column neuron lane synchronization with synapse set registers
+ * (paper Section V-E, Figure 8).
+ *
+ * Each PIP column advances through the synapse-set stream
+ * independently, bounded by three structural constraints:
+ *
+ *  1. one SB read per cycle (single port, one shared bus);
+ *  2. a pool of x synapse set registers (SSRs): a set read from SB
+ *     stays in an SSR until *all* columns have copied it into their
+ *     PIP synapse registers, so the lead column can run at most x
+ *     sets ahead of the slowest column (x == 0 models the ideal,
+ *     infinite-register design, "perCol-ideal");
+ *  3. the dispatcher double-buffers pallets: a column may only enter
+ *     pallet p once its neuron bricks arrived from NM, and the fetch
+ *     of pallet p cannot complete before every column drained pallet
+ *     p - 2 (Section V-E: "a two pallet buffer in the dispatcher is
+ *     all that is needed").
+ *
+ * The implementation is an event-ordered sweep over global set
+ * indices: all times needed for set g are known once sets < g are
+ * placed, so no event queue is required.
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H
+#define PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H
+
+#include "dnn/conv_layer.h"
+#include "dnn/tensor.h"
+#include "sim/accel_config.h"
+#include "sim/layer_result.h"
+#include "sim/sampling.h"
+
+namespace pra {
+namespace models {
+
+/** Parameters of the per-column synchronization engine. */
+struct ColumnSyncConfig
+{
+    int firstStageBits = 2;  ///< L: first-stage shifter width.
+    int ssrCount = 1;        ///< Synapse set registers; 0 = infinite.
+    bool modelNmStalls = true; ///< Model the dispatcher pallet fetch.
+
+    bool ideal() const { return ssrCount <= 0; }
+};
+
+/** Simulate one layer under per-column synchronization. */
+sim::LayerResult
+simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+                        const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const ColumnSyncConfig &config,
+                        const sim::SampleSpec &sample);
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H

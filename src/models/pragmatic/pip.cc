@@ -1,0 +1,75 @@
+#include "models/pragmatic/pip.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+PragmaticInnerProduct::PragmaticInnerProduct(int first_stage_bits)
+    : firstStageBits_(first_stage_bits)
+{
+    util::checkInvariant(first_stage_bits >= 0 &&
+                             first_stage_bits <= kMaxFirstStageBits,
+                         "PIP: bad first-stage width");
+}
+
+int
+PragmaticInnerProduct::firstStageOutputBits() const
+{
+    return 16 + (1 << firstStageBits_) - 1;
+}
+
+PipBrickResult
+PragmaticInnerProduct::processBrick(
+    std::span<const int16_t> synapses,
+    std::span<const uint16_t> neurons) const
+{
+    util::checkInvariant(synapses.size() == neurons.size(),
+                         "PIP: lane count mismatch");
+    util::checkInvariant(neurons.size() <= 16, "PIP: too many lanes");
+
+    ScheduleTrace trace = brickScheduleTrace(neurons, firstStageBits_);
+
+    // Magnitude bound for a first-stage shifter output.
+    const int64_t stage1_limit = int64_t{1}
+                                 << (firstStageOutputBits() - 1);
+
+    PipBrickResult result;
+    for (const ScheduleCycle &cycle : trace.cycles) {
+        // Adder tree over the 16 first-stage outputs (stalled lanes
+        // contribute the null term their AND gate injects).
+        int64_t lane_terms[16] = {};
+        for (size_t lane = 0; lane < neurons.size(); lane++) {
+            if (!(cycle.firedLanes >> lane & 1))
+                continue;
+            int shift = cycle.firstStageShift[lane];
+            util::checkInvariant(shift < (1 << firstStageBits_),
+                                 "PIP: first-stage shift out of reach");
+            int64_t shifted = static_cast<int64_t>(synapses[lane])
+                              << shift;
+            util::checkInvariant(std::llabs(shifted) <= stage1_limit,
+                                 "PIP: first-stage width violated");
+            lane_terms[lane] = shifted;
+        }
+        size_t width = 16;
+        while (width > 1) {
+            for (size_t i = 0; i < width / 2; i++)
+                lane_terms[i] = lane_terms[2 * i] + lane_terms[2 * i + 1];
+            width /= 2;
+        }
+        // Second-stage shift of the reduced sum, then accumulate.
+        result.partialSum += lane_terms[0] << cycle.secondStageShift;
+        result.cycles++;
+    }
+
+    util::checkInvariant(result.cycles ==
+                             brickScheduleCycles(neurons,
+                                                 firstStageBits_),
+                         "PIP: cycle count diverged from schedule");
+    return result;
+}
+
+} // namespace models
+} // namespace pra

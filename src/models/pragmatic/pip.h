@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pragmatic Inner-Product unit — functional model
+ * (paper Section V-B1, Figures 6 and 7a).
+ *
+ * A PIP combines 16 synapses (one brick from its filter row, held in
+ * the synapse register SR) with the oneffsets of the 16 neurons of
+ * its column's current brick. Each cycle:
+ *
+ *   1. the column control provides the second-stage shift C and, per
+ *      lane, either a first-stage shift (k - C < 2^L) or a stall;
+ *   2. each firing lane shifts its synapse by the first-stage amount;
+ *      stalled lanes' AND gates inject a null (zero) term;
+ *   3. the adder tree reduces the 16 first-stage outputs;
+ *   4. the tree output is shifted by C (second stage) and accumulated.
+ *
+ * The model asserts the hardware width constraints: first-stage
+ * outputs fit 16 + 2^L - 1 bits, and the accumulated partial sum must
+ * equal the exact dot product when the brick drains — the property
+ * the tests sweep.
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_PIP_H
+#define PRA_MODELS_PRAGMATIC_PIP_H
+
+#include <cstdint>
+#include <span>
+
+#include "models/pragmatic/schedule.h"
+
+namespace pra {
+namespace models {
+
+/** Result of functionally draining one brick through a PIP. */
+struct PipBrickResult
+{
+    int64_t partialSum = 0; ///< Accumulated output contribution.
+    int cycles = 0;         ///< Cycles consumed (== schedule cycles).
+};
+
+/** Functional PIP datapath. */
+class PragmaticInnerProduct
+{
+  public:
+    /**
+     * @param first_stage_bits the design parameter L (0..4).
+     */
+    explicit PragmaticInnerProduct(int first_stage_bits);
+
+    /**
+     * Drain one brick: synapses[lane] pairs with neurons[lane].
+     * Panics if a width constraint is violated — that would be a
+     * hardware design bug, not a data condition.
+     */
+    PipBrickResult processBrick(std::span<const int16_t> synapses,
+                                std::span<const uint16_t> neurons) const;
+
+    int firstStageBits() const { return firstStageBits_; }
+
+    /**
+     * Width in bits of a first-stage (per-synapse) shifter output:
+     * 16 + 2^L - 1 (Section V-D). The single-stage design (L == 4)
+     * needs the full 31 bits.
+     */
+    int firstStageOutputBits() const;
+
+  private:
+    int firstStageBits_;
+};
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_PIP_H

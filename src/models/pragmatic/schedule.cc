@@ -1,0 +1,111 @@
+#include "models/pragmatic/schedule.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+namespace {
+
+void
+checkArgs(std::span<const uint16_t> neurons, int first_stage_bits)
+{
+    util::checkInvariant(neurons.size() <= 16,
+                         "brick schedule: more than 16 lanes");
+    util::checkInvariant(first_stage_bits >= 0 &&
+                             first_stage_bits <= kMaxFirstStageBits,
+                         "brick schedule: bad first-stage width");
+}
+
+} // namespace
+
+int
+brickScheduleCycles(std::span<const uint16_t> neurons,
+                    int first_stage_bits)
+{
+    checkArgs(neurons, first_stage_bits);
+    // Pending set-bits per lane; a lane is done when its word is 0.
+    uint16_t pending[16] = {};
+    uint32_t remaining = 0;
+    for (size_t lane = 0; lane < neurons.size(); lane++) {
+        pending[lane] = neurons[lane];
+        remaining |= neurons[lane];
+    }
+    if (remaining == 0)
+        return 0;
+
+    const int reach = 1 << first_stage_bits;
+    int cycles = 0;
+    while (true) {
+        // The column control compares pending oneffsets and picks the
+        // minimum; OR-ing pending words finds the global minimum set
+        // bit in O(1).
+        uint16_t any = 0;
+        for (size_t lane = 0; lane < neurons.size(); lane++)
+            any |= pending[lane];
+        if (any == 0)
+            break;
+        int min_offset = std::countr_zero(any);
+        cycles++;
+        // Every lane whose next oneffset is within the first-stage
+        // reach consumes it this cycle.
+        for (size_t lane = 0; lane < neurons.size(); lane++) {
+            uint16_t w = pending[lane];
+            if (w == 0)
+                continue;
+            int k = std::countr_zero(w);
+            if (k - min_offset < reach)
+                pending[lane] = static_cast<uint16_t>(w & (w - 1));
+        }
+    }
+    util::checkInvariant(cycles <= 16,
+                         "brick schedule exceeded 16 cycles");
+    return cycles;
+}
+
+ScheduleTrace
+brickScheduleTrace(std::span<const uint16_t> neurons,
+                   int first_stage_bits)
+{
+    checkArgs(neurons, first_stage_bits);
+    ScheduleTrace trace;
+    uint16_t pending[16] = {};
+    for (size_t lane = 0; lane < neurons.size(); lane++)
+        pending[lane] = neurons[lane];
+
+    const int reach = 1 << first_stage_bits;
+    while (true) {
+        uint16_t any = 0;
+        for (size_t lane = 0; lane < neurons.size(); lane++)
+            any |= pending[lane];
+        if (any == 0)
+            break;
+        int min_offset = std::countr_zero(any);
+
+        ScheduleCycle cycle;
+        cycle.secondStageShift = static_cast<uint8_t>(min_offset);
+        for (size_t lane = 0; lane < neurons.size(); lane++) {
+            uint16_t w = pending[lane];
+            if (w == 0)
+                continue;
+            int k = std::countr_zero(w);
+            int diff = k - min_offset;
+            if (diff < reach) {
+                pending[lane] = static_cast<uint16_t>(w & (w - 1));
+                cycle.firedLanes |= static_cast<uint16_t>(1u << lane);
+                cycle.firstStageShift[lane] = static_cast<uint8_t>(diff);
+            }
+        }
+        util::checkInvariant(cycle.firedLanes != 0,
+                             "schedule cycle fired no lanes");
+        trace.cycles.push_back(cycle);
+        util::checkInvariant(trace.cycles.size() <= 16,
+                             "schedule trace exceeded 16 cycles");
+    }
+    return trace;
+}
+
+} // namespace models
+} // namespace pra

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The per-brick oneffset schedule with 2-stage shifting
+ * (paper Sections V-A, V-D, Figure 7b).
+ *
+ * A PIP column processes the 16 neurons of a brick one oneffset per
+ * neuron per cycle. With 2-stage shifting the per-synapse (first
+ * stage) shifters are only L bits wide; each cycle the shared column
+ * control picks the minimum pending oneffset C, drives the second-
+ * stage shifter with C, and every lane whose pending oneffset k
+ * satisfies k - C < 2^L fires its first-stage shifter with k - C.
+ * Lanes with k - C >= 2^L stall (their AND gate injects a null term).
+ * L == 4 can express any difference (0..15), which is the single-
+ * stage PRA of Section V-A/B; L == 0 fires only lanes whose offset
+ * equals the minimum.
+ *
+ * The number of cycles this policy takes to drain a brick is the
+ * fundamental timing quantity of the Pragmatic performance model.
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_SCHEDULE_H
+#define PRA_MODELS_PRAGMATIC_SCHEDULE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pra {
+namespace models {
+
+/** Largest supported first-stage shifter width (single-stage PRA). */
+inline constexpr int kMaxFirstStageBits = 4;
+
+/**
+ * Cycles for a PIP column to drain a brick of neuron patterns with
+ * first-stage shifters of @p first_stage_bits bits. An all-zero brick
+ * takes 0 cycles (callers clamp to the 1-cycle set minimum).
+ *
+ * Guarantees (tested as properties):
+ *  - result <= 16 for any input (never slower than DaDN's 16 cycles
+ *    per brick-set across a pallet, paper Section V-A3);
+ *  - first_stage_bits == 4 gives max(popcount) over the brick;
+ *  - first_stage_bits == 0 gives the number of distinct set-bit
+ *    positions across the brick;
+ *  - monotonically non-increasing in first_stage_bits.
+ */
+int brickScheduleCycles(std::span<const uint16_t> neurons,
+                        int first_stage_bits);
+
+/** One cycle of a schedule trace (for validation and visualization). */
+struct ScheduleCycle
+{
+    uint8_t secondStageShift = 0; ///< C: the common stage-2 offset.
+    uint16_t firedLanes = 0;      ///< Bitmask of lanes that consumed.
+    /** First-stage shift amount per lane; only fired lanes are valid. */
+    uint8_t firstStageShift[16] = {};
+};
+
+/** Full cycle-by-cycle schedule of one brick. */
+struct ScheduleTrace
+{
+    std::vector<ScheduleCycle> cycles;
+
+    int numCycles() const { return static_cast<int>(cycles.size()); }
+};
+
+/**
+ * Detailed trace of the schedule brickScheduleCycles() counts; the
+ * functional PIP replays this trace and tests assert the two agree.
+ */
+ScheduleTrace brickScheduleTrace(std::span<const uint16_t> neurons,
+                                 int first_stage_bits);
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_SCHEDULE_H

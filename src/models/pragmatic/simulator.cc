@@ -1,0 +1,107 @@
+#include "models/pragmatic/simulator.h"
+
+#include <algorithm>
+
+#include "fixedpoint/fixed_point.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+std::string
+PragmaticConfig::label() const
+{
+    std::string name = "PRA-" + std::to_string(firstStageBits) + "b";
+    if (sync == SyncScheme::PerColumn) {
+        if (ssrCount <= 0)
+            name += "-idealR";
+        else
+            name += "-" + std::to_string(ssrCount) + "R";
+    }
+    if (representation == Representation::Quant8)
+        name += "-q8";
+    if (!softwareTrim && representation == Representation::Fixed16)
+        name += "-notrim";
+    return name;
+}
+
+PragmaticSimulator::PragmaticSimulator(const sim::AccelConfig &accel)
+    : accel_(accel)
+{
+    util::checkInvariant(accel_.valid(),
+                         "PragmaticSimulator: invalid config");
+}
+
+sim::LayerResult
+PragmaticSimulator::runLayer(const dnn::ConvLayerSpec &layer,
+                             const dnn::NeuronTensor &input,
+                             const PragmaticConfig &config,
+                             const sim::SampleSpec &sample) const
+{
+    sim::LayerResult result;
+    if (config.sync == SyncScheme::Pallet) {
+        PragmaticTileConfig tile;
+        tile.firstStageBits = config.firstStageBits;
+        tile.modelNmStalls = config.modelNmStalls;
+        result = simulateLayerPalletSync(layer, input, accel_, tile,
+                                         sample);
+    } else {
+        ColumnSyncConfig column;
+        column.firstStageBits = config.firstStageBits;
+        column.ssrCount = config.ssrCount;
+        column.modelNmStalls = config.modelNmStalls;
+        result = simulateLayerColumnSync(layer, input, accel_, column,
+                                         sample);
+    }
+    result.engineName = config.label();
+    return result;
+}
+
+sim::NetworkResult
+PragmaticSimulator::run(const dnn::Network &network,
+                        const PragmaticConfig &config,
+                        const SimOptions &options) const
+{
+    dnn::ActivationSynthesizer synth(network, options.seed);
+    sim::NetworkResult result;
+    result.networkName = network.name;
+    result.engineName = config.label();
+    for (size_t i = 0; i < network.layers.size(); i++) {
+        dnn::NeuronTensor input;
+        switch (config.representation) {
+          case Representation::Fixed16:
+            input = config.softwareTrim
+                        ? synth.synthesizeFixed16Trimmed(
+                              static_cast<int>(i))
+                        : synth.synthesizeFixed16(static_cast<int>(i));
+            break;
+          case Representation::Quant8:
+            input = synth.synthesizeQuant8(static_cast<int>(i));
+            break;
+        }
+        result.layers.push_back(runLayer(network.layers[i], input,
+                                         config, options.sample));
+    }
+    return result;
+}
+
+std::vector<int>
+quantizedPrecisions(const dnn::ActivationSynthesizer &synth)
+{
+    std::vector<int> precisions;
+    const auto &layers = synth.network().layers;
+    precisions.reserve(layers.size());
+    for (size_t i = 0; i < layers.size(); i++) {
+        dnn::NeuronTensor codes =
+            synth.synthesizeQuant8(static_cast<int>(i));
+        uint16_t max_code = 0;
+        for (uint16_t c : codes.flat())
+            max_code = std::max(max_code, c);
+        precisions.push_back(
+            std::max(1, fixedpoint::significantBits(max_code)));
+    }
+    return precisions;
+}
+
+} // namespace models
+} // namespace pra

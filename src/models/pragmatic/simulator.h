@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Top-level Pragmatic simulation driver.
+ *
+ * Binds together the workload substrate (synthetic activations per
+ * DESIGN.md §3), the representation (16-bit fixed point or 8-bit
+ * quantized), the software precision trimming of Section V-F, and the
+ * synchronization engines, producing per-layer and per-network cycle
+ * results comparable against the DaDN and Stripes baselines.
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_SIMULATOR_H
+#define PRA_MODELS_PRAGMATIC_SIMULATOR_H
+
+#include <string>
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "dnn/network.h"
+#include "models/pragmatic/column_sync.h"
+#include "models/pragmatic/tile.h"
+#include "sim/accel_config.h"
+#include "sim/layer_result.h"
+#include "sim/sampling.h"
+
+namespace pra {
+namespace models {
+
+/** Neuron storage representation (paper Sections VI-B vs VI-F). */
+enum class Representation { Fixed16, Quant8 };
+
+/** Neuron lane synchronization scheme (Sections V-A4 vs V-E). */
+enum class SyncScheme { Pallet, PerColumn };
+
+/** A full Pragmatic design point. */
+struct PragmaticConfig
+{
+    int firstStageBits = 2;      ///< L (0..4); 4 == single-stage.
+    SyncScheme sync = SyncScheme::Pallet;
+    int ssrCount = 1;            ///< Per-column SSRs; 0 = ideal.
+    bool softwareTrim = true;    ///< Section V-F precision masking.
+    Representation representation = Representation::Fixed16;
+    bool modelNmStalls = true;
+
+    /** Short label, e.g. "PRA-2b" or "PRA-2b-1R". */
+    std::string label() const;
+};
+
+/** Simulation options common to all engines. */
+struct SimOptions
+{
+    /** Pallet sampling cap per layer (0 = exhaustive). */
+    sim::SampleSpec sample{512};
+    /** Workload seed for the activation synthesizer. */
+    uint64_t seed = 0x5eed;
+};
+
+/** Top-level driver. */
+class PragmaticSimulator
+{
+  public:
+    explicit PragmaticSimulator(const sim::AccelConfig &accel = {});
+
+    /**
+     * Simulate one layer given explicit input neuron patterns.
+     * Dispatches to the pallet-sync or per-column engine.
+     */
+    sim::LayerResult runLayer(const dnn::ConvLayerSpec &layer,
+                              const dnn::NeuronTensor &input,
+                              const PragmaticConfig &config,
+                              const sim::SampleSpec &sample) const;
+
+    /**
+     * Simulate a whole network on synthetic activations; the
+     * representation and trimming choices select the neuron stream.
+     */
+    sim::NetworkResult run(const dnn::Network &network,
+                           const PragmaticConfig &config,
+                           const SimOptions &options = {}) const;
+
+    const sim::AccelConfig &accel() const { return accel_; }
+
+  private:
+    sim::AccelConfig accel_;
+};
+
+/**
+ * Per-layer serial precisions for Stripes on the 8-bit quantized
+ * stream: the bits needed by each layer's largest activation code
+ * (the quantized analogue of profiled precision).
+ */
+std::vector<int>
+quantizedPrecisions(const dnn::ActivationSynthesizer &synth);
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_SIMULATOR_H

@@ -1,0 +1,79 @@
+#include "models/pragmatic/tile.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "models/pragmatic/schedule.h"
+#include "sim/nm_model.h"
+#include "sim/tiling.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+sim::LayerResult
+simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+                        const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const PragmaticTileConfig &tile,
+                        const sim::SampleSpec &sample)
+{
+    sim::LayerTiling tiling(layer, accel);
+    sim::SamplePlan plan = sim::planSample(tiling.numPallets(), sample);
+    util::checkInvariant(!plan.indices.empty(),
+                         "pallet sync: layer has no pallets");
+
+    const int64_t num_sets = tiling.numSynapseSets();
+    int64_t process_cycles = 0;
+    int64_t stall_cycles = 0;
+    double pop_sum = 0.0;
+    sim::NmOverlapTracker nm;
+
+    for (int64_t pallet : plan.indices) {
+        // Fetch of step (p, s+1) overlaps processing of (p, s); the
+        // previous step's processing time hides the current fetch.
+        int64_t prev_process = 0;
+        for (int64_t s = 0; s < num_sets; s++) {
+            int max_cycles = 0;
+            for (int c = 0; c < accel.windowsPerPallet; c++) {
+                int64_t w = tiling.windowIndex(pallet, c);
+                if (w < 0)
+                    continue;
+                auto brick = tiling.gatherBrick(
+                    input, tiling.windowCoord(w), tiling.setCoord(s));
+                int t = brickScheduleCycles(brick, tile.firstStageBits);
+                max_cycles = std::max(max_cycles, t);
+                for (uint16_t n : brick)
+                    pop_sum += std::popcount(n);
+            }
+            // Even an all-zero pallet step holds the pipeline for the
+            // SB read cycle.
+            int64_t set_cycles = std::max(1, max_cycles);
+            if (tile.modelNmStalls) {
+                int64_t fetch = sim::nmFetchCycles(tiling, pallet, s);
+                stall_cycles += nm.step(prev_process, fetch);
+            }
+            process_cycles += set_cycles;
+            prev_process = set_cycles;
+        }
+    }
+
+    sim::LayerResult result;
+    result.layerName = layer.name;
+    result.engineName = "PRA-pallet";
+    result.sampleScale = plan.scale;
+    double passes = static_cast<double>(tiling.passes());
+    result.cycles = passes * plan.scale *
+                    static_cast<double>(process_cycles + stall_cycles);
+    result.nmStallCycles = passes * plan.scale *
+                           static_cast<double>(stall_cycles);
+    result.effectualTerms = plan.scale * pop_sum * layer.numFilters;
+    // One SB read per pallet step: the same count DaDN performs
+    // (Section V-E's "accessed the same number of times" baseline).
+    result.sbReadSteps = passes * static_cast<double>(tiling.numPallets()) *
+                         static_cast<double>(num_sets);
+    return result;
+}
+
+} // namespace models
+} // namespace pra

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pragmatic tile with pallet-level neuron lane synchronization
+ * (paper Sections V-A3, V-A4, V-B).
+ *
+ * Under pallet synchronization all 16 PIP columns advance to the next
+ * synapse set together: a set costs the maximum schedule length over
+ * the pallet's 16 bricks (clamped to at least the one cycle the SB
+ * read takes). NM fetch of the next step overlaps with processing of
+ * the current one; the residue shows up as stall cycles
+ * (Section V-A4).
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_TILE_H
+#define PRA_MODELS_PRAGMATIC_TILE_H
+
+#include "dnn/conv_layer.h"
+#include "dnn/tensor.h"
+#include "sim/accel_config.h"
+#include "sim/layer_result.h"
+#include "sim/sampling.h"
+
+namespace pra {
+namespace models {
+
+/** Parameters of a Pragmatic tile's datapath. */
+struct PragmaticTileConfig
+{
+    int firstStageBits = 2;   ///< L: first-stage shifter width.
+    bool modelNmStalls = true; ///< Model dispatcher/NM fetch overlap.
+};
+
+/**
+ * Simulate one layer under pallet synchronization.
+ *
+ * @param layer  layer geometry.
+ * @param input  the layer's input neuron patterns (16-bit fixed point
+ *               or 8-bit quantized codes; timing sees only bits).
+ * @param accel  machine configuration.
+ * @param tile   datapath configuration.
+ * @param sample pallet sampling policy.
+ */
+sim::LayerResult
+simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+                        const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const PragmaticTileConfig &tile,
+                        const sim::SampleSpec &sample);
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_TILE_H

@@ -1,0 +1,90 @@
+#include "models/stripes/stripes.h"
+
+#include "sim/tiling.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+StripesModel::StripesModel(const sim::AccelConfig &config)
+    : config_(config)
+{
+    util::checkInvariant(config_.valid(), "StripesModel: invalid config");
+}
+
+double
+StripesModel::layerCycles(const dnn::ConvLayerSpec &layer,
+                          int precision) const
+{
+    util::checkInvariant(precision >= 1 && precision <= 16,
+                         "StripesModel: precision out of range");
+    sim::LayerTiling tiling(layer, config_);
+    // Each synapse set costs `precision` serial cycles for the whole
+    // pallet of 16 windows.
+    return static_cast<double>(tiling.passes()) *
+           static_cast<double>(tiling.numPallets()) *
+           static_cast<double>(tiling.numSynapseSets()) *
+           static_cast<double>(precision);
+}
+
+sim::NetworkResult
+StripesModel::run(const dnn::Network &network) const
+{
+    std::vector<int> precisions;
+    precisions.reserve(network.layers.size());
+    for (const auto &layer : network.layers)
+        precisions.push_back(layer.profiledPrecision);
+    return run(network, precisions);
+}
+
+sim::NetworkResult
+StripesModel::run(const dnn::Network &network,
+                  std::span<const int> precisions) const
+{
+    util::checkInvariant(precisions.size() == network.layers.size(),
+                         "StripesModel: precision list mismatch");
+    sim::NetworkResult result;
+    result.networkName = network.name;
+    result.engineName = "Stripes";
+    for (size_t i = 0; i < network.layers.size(); i++) {
+        const auto &layer = network.layers[i];
+        sim::LayerResult lr;
+        lr.layerName = layer.name;
+        lr.engineName = result.engineName;
+        lr.cycles = layerCycles(layer, precisions[i]);
+        lr.effectualTerms = static_cast<double>(layer.products()) *
+                            precisions[i];
+        lr.sbReadSteps = static_cast<double>(layer.windows()) *
+                         sim::LayerTiling(layer, config_)
+                             .numSynapseSets() /
+                         config_.windowsPerPallet;
+        result.layers.push_back(lr);
+    }
+    return result;
+}
+
+int64_t
+StripesModel::serialMultiply(int16_t synapse, uint16_t neuron,
+                             int precision, int window_lsb)
+{
+    util::checkInvariant(precision >= 1 && precision <= 16,
+                         "serialMultiply: precision out of range");
+    util::checkInvariant(window_lsb >= 0 && window_lsb < 16,
+                         "serialMultiply: bad window lsb");
+    int64_t acc = 0;
+    // One neuron bit per cycle, LSB of the window first; the AND
+    // gates either pass the synapse into the adder or inject zero,
+    // and the accumulator applies the growing shift.
+    for (int cycle = 0; cycle < precision; cycle++) {
+        int bit_pos = window_lsb + cycle;
+        if (bit_pos > 15)
+            break;
+        bool bit = (neuron >> bit_pos) & 1;
+        int64_t term = bit ? static_cast<int64_t>(synapse) : 0;
+        acc += term << bit_pos;
+    }
+    return acc;
+}
+
+} // namespace models
+} // namespace pra

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared accelerator configuration (paper Section IV-B).
+ *
+ * All modeled designs (DaDN, Stripes, Pragmatic) share the DaDianNao
+ * organization: 16 tiles, 16 filters per tile, 16 neuron lanes, and a
+ * central Neuron Memory (NM) broadcasting neuron bricks to the tiles.
+ * The defaults reproduce the configuration of the paper's evaluation;
+ * the struct exists so tests and the design-space example can shrink
+ * or reshape the machine.
+ */
+
+#ifndef PRA_SIM_ACCEL_CONFIG_H
+#define PRA_SIM_ACCEL_CONFIG_H
+
+#include <cstdint>
+
+namespace pra {
+namespace sim {
+
+/** Machine-level configuration shared by every modeled design. */
+struct AccelConfig
+{
+    int tiles = 16;            ///< Tiles per chip.
+    int filtersPerTile = 16;   ///< Filter lanes per tile.
+    int neuronLanes = 16;      ///< Neurons per brick (brick size).
+    int windowsPerPallet = 16; ///< PIP columns / bricks per pallet.
+
+    /**
+     * Neurons per NM row. DaDN's NM supplies 256 16-bit neurons per
+     * row access (4096 bits); a pallet with unit stride then spans at
+     * most two adjacent rows (Section V-A4).
+     */
+    int nmRowNeurons = 256;
+
+    /** Filters processed concurrently by the whole chip. */
+    int filtersPerPass() const { return tiles * filtersPerTile; }
+
+    /** Passes over the input needed for a layer with @p filters. */
+    int
+    passes(int filters) const
+    {
+        return (filters + filtersPerPass() - 1) / filtersPerPass();
+    }
+
+    bool
+    valid() const
+    {
+        return tiles > 0 && filtersPerTile > 0 && neuronLanes > 0 &&
+               windowsPerPallet > 0 && nmRowNeurons >= neuronLanes;
+    }
+};
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_ACCEL_CONFIG_H

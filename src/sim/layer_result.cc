@@ -1,0 +1,51 @@
+#include "sim/layer_result.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace sim {
+
+double
+NetworkResult::totalCycles() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.cycles;
+    return total;
+}
+
+double
+NetworkResult::totalStalls() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.nmStallCycles;
+    return total;
+}
+
+double
+NetworkResult::speedupOver(const NetworkResult &baseline) const
+{
+    double mine = totalCycles();
+    double theirs = baseline.totalCycles();
+    util::checkInvariant(mine > 0.0 && theirs > 0.0,
+                         "speedupOver: zero cycle counts");
+    return theirs / mine;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    util::checkInvariant(!values.empty(), "geometricMean: empty input");
+    double log_sum = 0.0;
+    for (double v : values) {
+        util::checkInvariant(v > 0.0, "geometricMean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-layer and per-network simulation results.
+ *
+ * Cycle counts are stored as doubles because sampled simulation scales
+ * integer step counts by a rational factor; totals over full networks
+ * are far below the 2^53 precision limit.
+ */
+
+#ifndef PRA_SIM_LAYER_RESULT_H
+#define PRA_SIM_LAYER_RESULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pra {
+namespace sim {
+
+/** Measured outcome of simulating one layer on one engine. */
+struct LayerResult
+{
+    std::string layerName;
+    std::string engineName;
+
+    double cycles = 0.0;       ///< Total execution cycles (scaled).
+    double effectualTerms = 0.0; ///< Non-zero terms processed (scaled).
+    double nmStallCycles = 0.0;  ///< Cycles lost waiting on NM.
+    double sbReadSteps = 0.0;    ///< Synapse-buffer read operations.
+    double sampleScale = 1.0;    ///< Applied sampling scale factor.
+};
+
+/** Results for all layers of a network on one engine. */
+struct NetworkResult
+{
+    std::string networkName;
+    std::string engineName;
+    std::vector<LayerResult> layers;
+
+    double totalCycles() const;
+    double totalStalls() const;
+
+    /**
+     * Execution-time speedup of this result relative to @p baseline
+     * (baseline cycles / these cycles), the paper's performance
+     * metric.
+     */
+    double speedupOver(const NetworkResult &baseline) const;
+};
+
+/** Geometric mean of a list of per-network speedups ("geo" columns). */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_LAYER_RESULT_H

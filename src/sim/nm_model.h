@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Neuron Memory access-cost model (paper Section V-A4).
+ *
+ * The central NM is single-ported; the dispatcher assembles the 16
+ * neuron bricks a pallet step needs. With unit stride the bricks fall
+ * in one or two adjacent NM rows (1-2 cycles); larger strides spread
+ * them over more rows. Fetch overlaps with processing: a step that
+ * takes PC cycles to process hides up to PC cycles of the *next*
+ * step's NMC fetch cycles.
+ */
+
+#ifndef PRA_SIM_NM_MODEL_H
+#define PRA_SIM_NM_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/accel_config.h"
+#include "sim/tiling.h"
+
+namespace pra {
+namespace sim {
+
+/**
+ * Cycles to fetch one pallet step's bricks from NM: the number of
+ * distinct NM rows covering the 16 bricks (padding bricks are free).
+ *
+ * @param tiling layer tiling (provides brick addresses).
+ * @param pallet pallet index.
+ * @param set    synapse-set index.
+ */
+int nmFetchCycles(const LayerTiling &tiling, int64_t pallet, int64_t set);
+
+/**
+ * Running fetch/process overlap (max(NMC, PC) of Section V-A4):
+ * tracks the NM stall cycles a stream of steps accumulates.
+ */
+class NmOverlapTracker
+{
+  public:
+    NmOverlapTracker() = default;
+
+    /**
+     * Account one step: the step's processing takes @p process_cycles
+     * while the *next* step's fetch needs @p next_fetch_cycles.
+     * Returns the stall added (0 when the fetch is fully hidden).
+     */
+    int64_t step(int64_t process_cycles, int64_t next_fetch_cycles);
+
+    int64_t totalStalls() const { return stalls_; }
+
+  private:
+    int64_t stalls_ = 0;
+};
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_NM_MODEL_H

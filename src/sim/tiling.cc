@@ -1,0 +1,107 @@
+#include "sim/tiling.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace sim {
+
+LayerTiling::LayerTiling(const dnn::ConvLayerSpec &layer,
+                         const AccelConfig &config)
+    : layer_(layer), config_(config)
+{
+    util::checkInvariant(layer_.valid(), "LayerTiling: invalid layer");
+    util::checkInvariant(config_.valid(), "LayerTiling: invalid config");
+    int64_t windows = layer_.windows();
+    numPallets_ = (windows + config_.windowsPerPallet - 1) /
+                  config_.windowsPerPallet;
+    channelBricks_ = (layer_.inputChannels + config_.neuronLanes - 1) /
+                     config_.neuronLanes;
+    numSets_ = static_cast<int64_t>(layer_.filterY) * layer_.filterX *
+               channelBricks_;
+    passes_ = config_.passes(layer_.numFilters);
+}
+
+WindowCoord
+LayerTiling::windowCoord(int64_t w) const
+{
+    util::checkInvariant(w >= 0 && w < layer_.windows(),
+                         "windowCoord: index out of range");
+    WindowCoord coord;
+    coord.x = static_cast<int>(w % layer_.outX());
+    coord.y = static_cast<int>(w / layer_.outX());
+    return coord;
+}
+
+int
+LayerTiling::windowsInPallet(int64_t p) const
+{
+    util::checkInvariant(p >= 0 && p < numPallets_,
+                         "windowsInPallet: pallet out of range");
+    int64_t first = p * config_.windowsPerPallet;
+    int64_t remaining = layer_.windows() - first;
+    return static_cast<int>(
+        std::min<int64_t>(remaining, config_.windowsPerPallet));
+}
+
+int64_t
+LayerTiling::windowIndex(int64_t p, int column) const
+{
+    util::checkInvariant(column >= 0 && column < config_.windowsPerPallet,
+                         "windowIndex: column out of range");
+    int64_t w = p * config_.windowsPerPallet + column;
+    return w < layer_.windows() ? w : -1;
+}
+
+SynapseSetCoord
+LayerTiling::setCoord(int64_t s) const
+{
+    util::checkInvariant(s >= 0 && s < numSets_,
+                         "setCoord: set out of range");
+    SynapseSetCoord coord;
+    coord.brickI = static_cast<int>(s % channelBricks_) *
+                   config_.neuronLanes;
+    int64_t rest = s / channelBricks_;
+    coord.fx = static_cast<int>(rest % layer_.filterX);
+    coord.fy = static_cast<int>(rest / layer_.filterX);
+    return coord;
+}
+
+std::array<uint16_t, dnn::kBrickSize>
+LayerTiling::gatherBrick(const dnn::NeuronTensor &input,
+                         const WindowCoord &w,
+                         const SynapseSetCoord &s) const
+{
+    std::array<uint16_t, dnn::kBrickSize> brick{};
+    int x = w.x * layer_.stride - layer_.pad + s.fx;
+    int y = w.y * layer_.stride - layer_.pad + s.fy;
+    if (x < 0 || x >= layer_.inputX || y < 0 || y >= layer_.inputY)
+        return brick; // Entirely padding: all zeros.
+    int lanes = std::min(config_.neuronLanes,
+                         layer_.inputChannels - s.brickI);
+    for (int lane = 0; lane < lanes; lane++)
+        brick[lane] = input.at(x, y, s.brickI + lane);
+    return brick;
+}
+
+int64_t
+LayerTiling::brickNmAddress(const WindowCoord &w,
+                            const SynapseSetCoord &s) const
+{
+    int x = w.x * layer_.stride - layer_.pad + s.fx;
+    int y = w.y * layer_.stride - layer_.pad + s.fy;
+    if (x < 0 || x >= layer_.inputX || y < 0 || y >= layer_.inputY)
+        return -1;
+    // NM stores neurons brick-interleaved: consecutive x positions of
+    // the same channel brick are adjacent, so a unit-stride pallet's
+    // 16 bricks fall into one or two rows (Section V-A4).
+    int64_t brick_index =
+        (static_cast<int64_t>(s.brickI / config_.neuronLanes) *
+             layer_.inputY +
+         y) *
+            layer_.inputX +
+        x;
+    return brick_index * config_.neuronLanes;
+}
+
+} // namespace sim
+} // namespace pra

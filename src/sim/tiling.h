@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Window/pallet/synapse-set tiling of a convolutional layer
+ * (paper Sections IV-A1 and V-A3).
+ *
+ * Execution is organized as:
+ *   for each pass (group of 256 filters)
+ *     for each pallet (group of 16 adjacent windows)
+ *       for each synapse set (filter position (fy, fx) x channel brick)
+ *         process one neuron brick per window against 16 synapse
+ *         bricks (one per filter lane)
+ *
+ * The classes here enumerate that structure and gather the neuron
+ * bricks each step consumes, including zero padding at the borders.
+ */
+
+#ifndef PRA_SIM_TILING_H
+#define PRA_SIM_TILING_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dnn/conv_layer.h"
+#include "dnn/tensor.h"
+#include "sim/accel_config.h"
+
+namespace pra {
+namespace sim {
+
+/** One synapse-set coordinate: a filter position and channel brick. */
+struct SynapseSetCoord
+{
+    int fy = 0;      ///< Filter row.
+    int fx = 0;      ///< Filter column.
+    int brickI = 0;  ///< First channel of the brick (multiple of 16).
+
+    bool operator==(const SynapseSetCoord &other) const = default;
+};
+
+/** A window position in the output space. */
+struct WindowCoord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const WindowCoord &other) const = default;
+};
+
+/**
+ * Enumerates pallets and synapse sets for one layer under a given
+ * machine configuration.
+ */
+class LayerTiling
+{
+  public:
+    LayerTiling(const dnn::ConvLayerSpec &layer,
+                const AccelConfig &config);
+
+    const dnn::ConvLayerSpec &layer() const { return layer_; }
+    const AccelConfig &config() const { return config_; }
+
+    /** Total pallets: ceil(windows / windowsPerPallet). */
+    int64_t numPallets() const { return numPallets_; }
+
+    /** Synapse sets per window: Fx * Fy * ceil(I / brick). */
+    int64_t numSynapseSets() const { return numSets_; }
+
+    /** Passes over the windows (filter groups of 256). */
+    int passes() const { return passes_; }
+
+    /**
+     * Window coordinate of window index @p w (row-major over the
+     * output plane). w must be within [0, windows).
+     */
+    WindowCoord windowCoord(int64_t w) const;
+
+    /**
+     * Number of real windows in pallet @p p (the last pallet of a
+     * layer may be partial).
+     */
+    int windowsInPallet(int64_t p) const;
+
+    /** Window index of column @p c of pallet @p p; -1 when inactive. */
+    int64_t windowIndex(int64_t p, int column) const;
+
+    /** Synapse-set coordinate of set index @p s (fy, fx, brick order). */
+    SynapseSetCoord setCoord(int64_t s) const;
+
+    /**
+     * Gather the 16 neurons of the brick consumed by window @p w at
+     * synapse set @p s: the input brick at
+     * (w.x * S - pad + s.fx, w.y * S - pad + s.fy, s.brickI).
+     * Out-of-bounds positions (padding) and channels beyond I read 0.
+     */
+    std::array<uint16_t, dnn::kBrickSize>
+    gatherBrick(const dnn::NeuronTensor &input, const WindowCoord &w,
+                const SynapseSetCoord &s) const;
+
+    /**
+     * First flat NM address (in neurons) of the brick, or -1 when the
+     * whole brick lies in padding (no NM access needed).
+     */
+    int64_t brickNmAddress(const WindowCoord &w,
+                           const SynapseSetCoord &s) const;
+
+  private:
+    dnn::ConvLayerSpec layer_;
+    AccelConfig config_;
+    int64_t numPallets_ = 0;
+    int64_t numSets_ = 0;
+    int passes_ = 1;
+    int channelBricks_ = 0;
+};
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_TILING_H

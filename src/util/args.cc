@@ -1,0 +1,91 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        if (body.empty())
+            fatal("empty flag name: '" + arg + "'");
+        // Values attach with '='; a bare "--name" is a boolean. The
+        // "--name value" form is deliberately unsupported: it is
+        // ambiguous against positional arguments.
+        auto eq = body.find('=');
+        if (eq != std::string::npos)
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        else
+            flags_[body] = "";
+    }
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+ArgParser::getString(const std::string &name,
+                     const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+int64_t
+ArgParser::getInt(const std::string &name, int64_t fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    char *end = nullptr;
+    int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects an integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects a number, got '" +
+              it->second + "'");
+    return v;
+}
+
+bool
+ArgParser::getBool(const std::string &name, bool fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v.empty() || v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+} // namespace util
+} // namespace pra

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A tiny command-line flag parser shared by benches and examples.
+ *
+ * Flags look like "--name=value" or "--name value"; bare "--name" sets
+ * a boolean. Anything else is a positional argument.
+ */
+
+#ifndef PRA_UTIL_ARGS_H
+#define PRA_UTIL_ARGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pra {
+namespace util {
+
+/** Parsed command-line arguments. */
+class ArgParser
+{
+  public:
+    /** Parse argv; fatal() on malformed flags. */
+    ArgParser(int argc, const char *const *argv);
+
+    bool has(const std::string &name) const;
+
+    /** String flag value, or @p fallback when absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback = "") const;
+
+    /** Integer flag value, or @p fallback when absent. */
+    int64_t getInt(const std::string &name, int64_t fallback) const;
+
+    /** Double flag value, or @p fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean flag: present without value, or "true"/"false"/"1"/"0". */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    const std::string &programName() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_ARGS_H

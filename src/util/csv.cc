@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+CsvWriter::CsvWriter(std::ostream &out)
+    : out_(out)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeLine(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); i++) {
+        out_ << escape(cells[i]);
+        if (i + 1 < cells.size())
+            out_ << ',';
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeHeader(const std::vector<std::string> &cells)
+{
+    checkInvariant(!headerWritten_ && rows_ == 0,
+                   "CSV header must be written first and only once");
+    width_ = cells.size();
+    headerWritten_ = true;
+    writeLine(cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    if (headerWritten_) {
+        checkInvariant(cells.size() == width_, "CSV row width mismatch");
+    }
+    rows_++;
+    writeLine(cells);
+}
+
+} // namespace util
+} // namespace pra

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal CSV writer used by examples to export sweep results.
+ */
+
+#ifndef PRA_UTIL_CSV_H
+#define PRA_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pra {
+namespace util {
+
+/**
+ * Streams rows of cells as RFC-4180-ish CSV (quotes cells containing
+ * commas, quotes or newlines). The writer does not own the stream.
+ */
+class CsvWriter
+{
+  public:
+    /** @param out destination stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream &out);
+
+    /** Write a header row; may only be called before any data row. */
+    void writeHeader(const std::vector<std::string> &cells);
+
+    /** Write one data row. Width must match the header if one was set. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    size_t rowsWritten() const { return rows_; }
+
+    /** Escape one cell per the CSV quoting rules. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &out_;
+    size_t width_ = 0;
+    size_t rows_ = 0;
+    bool headerWritten_ = false;
+
+    void writeLine(const std::vector<std::string> &cells);
+};
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_CSV_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, invalid arguments) and exits cleanly; panic() is for
+ * internal invariant violations and aborts. inform() and warn() report
+ * status without stopping the simulation.
+ */
+
+#ifndef PRA_UTIL_LOGGING_H
+#define PRA_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pra {
+namespace util {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Get the current global verbosity. */
+LogLevel logLevel();
+
+/** Set the global verbosity (affects inform/warn/debug output). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Emit a message to stderr at the given level, prefixed with its
+ * severity tag. No-op if the global verbosity is lower than @p level.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Informative status message (not a problem). */
+void inform(const std::string &msg);
+
+/** Something is questionable but the run can continue. */
+void warn(const std::string &msg);
+
+/** Verbose debugging output. */
+void debug(const std::string &msg);
+
+/**
+ * Report an unrecoverable *user* error (bad configuration, bad
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check an internal invariant; panic with @p msg when @p cond is false.
+ * Unlike assert() this is active in release builds: the simulator's
+ * numbers are meaningless if its invariants do not hold.
+ */
+inline void
+checkInvariant(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_LOGGING_H

@@ -1,0 +1,130 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+namespace {
+
+/** splitmix64: used only for seeding. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed)
+    : gaussSpare_(0.0), hasSpare_(false)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // A state of all zeros is the one forbidden state; splitmix64
+    // cannot produce four zero outputs in a row, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Xoshiro256::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Xoshiro256::nextDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Xoshiro256::nextBounded(uint64_t bound)
+{
+    checkInvariant(bound > 0, "nextBounded: bound must be positive");
+    // Lemire's nearly-divisionless method with rejection.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = (0 - bound) % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Xoshiro256::nextInRange(int64_t lo, int64_t hi)
+{
+    checkInvariant(lo <= hi, "nextInRange: lo must be <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+bool
+Xoshiro256::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Xoshiro256::nextGaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return gaussSpare_;
+    }
+    // Box-Muller: deterministic given the stream, portable.
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    // Avoid log(0).
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    gaussSpare_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Xoshiro256::nextExponential(double lambda)
+{
+    checkInvariant(lambda > 0.0, "nextExponential: lambda must be > 0");
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -std::log(u) / lambda;
+}
+
+} // namespace util
+} // namespace pra

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be reproducible across platforms and standard
+ * library implementations, so we ship our own xoshiro256** generator
+ * and our own distributions instead of relying on <random> engines
+ * whose distribution implementations are not portable.
+ */
+
+#ifndef PRA_UTIL_RANDOM_H
+#define PRA_UTIL_RANDOM_H
+
+#include <cstdint>
+
+namespace pra {
+namespace util {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna — a small, fast, high-quality
+ * 64-bit PRNG with a 256-bit state. Seeded deterministically via
+ * splitmix64 so that any 64-bit seed produces a well-mixed state.
+ */
+class Xoshiro256
+{
+  public:
+    /** Construct with a full 64-bit seed (expanded via splitmix64). */
+    explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound) using Lemire's method. bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t nextInRange(int64_t lo, int64_t hi);
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool nextBool(double p);
+
+    /** Standard normal draw (Box-Muller, deterministic). */
+    double nextGaussian();
+
+    /**
+     * Exponential draw with rate @p lambda (mean 1/lambda).
+     * Requires lambda > 0.
+     */
+    double nextExponential(double lambda);
+
+  private:
+    uint64_t s_[4];
+    /** Cached second Box-Muller variate, NaN when absent. */
+    double gaussSpare_;
+    bool hasSpare_;
+};
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_RANDOM_H

@@ -1,0 +1,153 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_++;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double m = mean();
+    double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+void
+RunningStat::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(uint32_t max_value)
+    : buckets_(static_cast<size_t>(max_value) + 1, 0)
+{
+}
+
+void
+Histogram::add(uint64_t sample, uint64_t weight)
+{
+    if (sample < buckets_.size())
+        buckets_[sample] += weight;
+    else
+        overflow_ += weight;
+    count_ += weight;
+    sum_ += static_cast<double>(sample) * weight;
+}
+
+uint64_t
+Histogram::bucket(uint32_t index) const
+{
+    checkInvariant(index < buckets_.size(), "Histogram bucket out of range");
+    return buckets_[index];
+}
+
+uint64_t
+Histogram::percentile(double fraction) const
+{
+    checkInvariant(fraction >= 0.0 && fraction <= 1.0,
+                   "percentile fraction must be in [0,1]");
+    if (count_ == 0)
+        return 0;
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(fraction * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return i;
+    }
+    return buckets_.size(); // All remaining weight is overflow.
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+RunningStat &
+StatRegistry::runningStat(const std::string &name)
+{
+    return runningStats_[name];
+}
+
+std::vector<std::string>
+StatRegistry::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::string>
+StatRegistry::runningStatNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(runningStats_.size());
+    for (const auto &kv : runningStats_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::string
+StatRegistry::report() const
+{
+    std::ostringstream out;
+    for (const auto &kv : counters_)
+        out << kv.first << " = " << kv.second.value() << "\n";
+    for (const auto &kv : runningStats_) {
+        out << kv.first << " = " << kv.second.mean()
+            << " (n=" << kv.second.count() << ", min=" << kv.second.min()
+            << ", max=" << kv.second.max() << ")\n";
+    }
+    return out.str();
+}
+
+void
+StatRegistry::reset()
+{
+    counters_.clear();
+    runningStats_.clear();
+}
+
+} // namespace util
+} // namespace pra

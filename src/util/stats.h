@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Lightweight statistics collection for the simulators.
+ *
+ * Counters, running averages and fixed-bucket histograms. All stats are
+ * plain value types; a StatRegistry groups named stats for reporting.
+ */
+
+#ifndef PRA_UTIL_STATS_H
+#define PRA_UTIL_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pra {
+namespace util {
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void increment(uint64_t by = 1) { value_ += by; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Running mean/min/max/sum over double-valued samples. */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Record one sample. */
+    void add(double x);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population variance (0 for fewer than two samples). */
+    double variance() const;
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over non-negative integer samples with unit-width buckets
+ * [0, maxValue]; samples above maxValue land in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value largest sample with a dedicated bucket. */
+    explicit Histogram(uint32_t max_value = 64);
+
+    void add(uint64_t sample, uint64_t weight = 1);
+
+    uint64_t count() const { return count_; }
+    uint64_t bucket(uint32_t index) const;
+    uint32_t numBuckets() const
+    {
+        return static_cast<uint32_t>(buckets_.size());
+    }
+    uint64_t overflow() const { return overflow_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /**
+     * Smallest sample value v such that at least @p fraction of the
+     * recorded weight is <= v. Overflowed samples count as maxValue+1.
+     */
+    uint64_t percentile(double fraction) const;
+
+    void reset();
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of counters and running stats for end-of-run
+ * reporting. Stats are owned by the registry and looked up by name.
+ */
+class StatRegistry
+{
+  public:
+    /** Get (creating on first use) the counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Get (creating on first use) the running stat with @p name. */
+    RunningStat &runningStat(const std::string &name);
+
+    /** Names of all registered counters, sorted. */
+    std::vector<std::string> counterNames() const;
+
+    /** Names of all registered running stats, sorted. */
+    std::vector<std::string> runningStatNames() const;
+
+    /** Render all stats as "name = value" lines. */
+    std::string report() const;
+
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, RunningStat> runningStats_;
+};
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_STATS_H

@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    checkInvariant(!headers_.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    checkInvariant(cells.size() == headers_.size(),
+                   "TextTable row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); c++) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        return line;
+    };
+
+    std::ostringstream out;
+    out << renderRow(headers_) << "\n";
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); c++)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        out << renderRow(row) << "\n";
+    return out.str();
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace util
+} // namespace pra

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned plain-text table rendering for bench/report output.
+ *
+ * Every bench binary prints the rows of the paper table or figure it
+ * reproduces; TextTable keeps that output readable and diffable.
+ */
+
+#ifndef PRA_UTIL_TABLE_H
+#define PRA_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pra {
+namespace util {
+
+/** A simple right-padded text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Render with aligned columns, two spaces between columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fractional digits. */
+std::string formatDouble(double value, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.281 -> "28.1%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_TABLE_H

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the calibrated synthetic activation generator — the
+ * substitute for the paper's real ImageNet traces (DESIGN.md §3).
+ * The key checks: determinism, and that the synthesized streams hit
+ * the paper's Table I bit statistics they were calibrated against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "fixedpoint/fixed_point.h"
+#include "util/random.h"
+
+namespace pra {
+namespace dnn {
+namespace {
+
+TEST(DiscreteExponential, UniformWhenLambdaZero)
+{
+    DiscreteExponential d(0.0, 15);
+    EXPECT_NEAR(d.expectedValue(), 8.0, 1e-9);
+    // Mean popcount of 1..15 = 32/15.
+    EXPECT_NEAR(d.expectedPopcount(), 32.0 / 15.0, 1e-9);
+}
+
+TEST(DiscreteExponential, LargeLambdaConcentratesOnOne)
+{
+    DiscreteExponential d(1e6, 255);
+    EXPECT_NEAR(d.expectedValue(), 1.0, 1e-3);
+    EXPECT_NEAR(d.expectedPopcount(), 1.0, 1e-3);
+}
+
+TEST(DiscreteExponential, SampleMatchesExpectation)
+{
+    DiscreteExponential d(8.0, 511);
+    util::Xoshiro256 rng(99);
+    double sum_pop = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++) {
+        uint32_t v = d.sample(rng);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 511u);
+        sum_pop += fixedpoint::essentialBits(static_cast<uint16_t>(v));
+    }
+    EXPECT_NEAR(sum_pop / n, d.expectedPopcount(), 0.05);
+}
+
+TEST(CalibrateLambda, HitsTarget)
+{
+    for (double target : {1.5, 2.0, 2.5, 3.0}) {
+        double lambda = calibrateLambda(511, target);
+        DiscreteExponential d(lambda, 511);
+        EXPECT_NEAR(d.expectedPopcount(), target, 0.05) << target;
+    }
+}
+
+TEST(CalibrateLambda, ClampsUnreachableTargets)
+{
+    // Above uniform mean -> lambda 0.
+    EXPECT_EQ(calibrateLambda(255, 7.9), 0.0);
+    // Below 1 -> concentrate on value 1.
+    EXPECT_GE(calibrateLambda(255, 0.5), 1e5);
+}
+
+TEST(ActivationSynth, Deterministic)
+{
+    auto net = makeTinyNetwork();
+    ActivationSynthesizer a(net, 123);
+    ActivationSynthesizer b(net, 123);
+    auto ta = a.synthesizeFixed16(1);
+    auto tb = b.synthesizeFixed16(1);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); i++)
+        EXPECT_EQ(ta.flat()[i], tb.flat()[i]);
+}
+
+TEST(ActivationSynth, SeedChangesStream)
+{
+    auto net = makeTinyNetwork();
+    ActivationSynthesizer a(net, 1);
+    ActivationSynthesizer b(net, 2);
+    auto ta = a.synthesizeFixed16(1);
+    auto tb = b.synthesizeFixed16(1);
+    size_t diff = 0;
+    for (size_t i = 0; i < ta.size(); i++)
+        if (ta.flat()[i] != tb.flat()[i])
+            diff++;
+    EXPECT_GT(diff, ta.size() / 4);
+}
+
+TEST(ActivationSynth, TrimmedPairsWithRaw)
+{
+    // Table V comparisons need the trimmed stream to be exactly the
+    // raw stream under the layer mask.
+    auto net = makeAlexNet();
+    ActivationSynthesizer synth(net);
+    for (int layer = 1; layer < 3; layer++) {
+        auto raw = synth.synthesizeFixed16(layer);
+        auto trimmed = synth.synthesizeFixed16Trimmed(layer);
+        int anchor = synth.fixed16Params(layer).anchorLsb;
+        uint16_t mask = net.layers[layer].precisionWindow(anchor).mask();
+        for (size_t i = 0; i < raw.size(); i++)
+            EXPECT_EQ(trimmed.flat()[i],
+                      static_cast<uint16_t>(raw.flat()[i] & mask));
+    }
+}
+
+TEST(ActivationSynth, HitsTableIStatistics16Bit)
+{
+    // The ReLU layers' streams must reproduce the calibration
+    // targets: zero fraction and NZ essential-bit content.
+    for (const auto &net :
+         {makeAlexNet(), makeVggM(), makeVgg19()}) {
+        ActivationSynthesizer synth(net);
+        double nz_sum = 0.0;
+        double zero_sum = 0.0;
+        int layers = 0;
+        // Skip layer 0: its input is the image, not ReLU output.
+        for (size_t i = 1; i < std::min<size_t>(4, net.layers.size());
+             i++) {
+            auto t = synth.synthesizeFixed16(static_cast<int>(i));
+            nz_sum += fixedpoint::essentialBitFractionNonZero(t.flat(),
+                                                              16);
+            zero_sum += fixedpoint::zeroFraction(t.flat());
+            layers++;
+        }
+        EXPECT_NEAR(nz_sum / layers, net.targets.nz16, 0.02)
+            << net.name;
+        EXPECT_NEAR(zero_sum / layers, net.targets.zeroFraction16(),
+                    0.02)
+            << net.name;
+    }
+}
+
+TEST(ActivationSynth, HitsTableIStatistics8Bit)
+{
+    for (const auto &net : {makeAlexNet(), makeVggS()}) {
+        ActivationSynthesizer synth(net);
+        auto t = synth.synthesizeQuant8(1);
+        for (uint16_t v : t.flat())
+            EXPECT_LE(v, 255);
+        EXPECT_NEAR(fixedpoint::essentialBitFractionNonZero(t.flat(), 8),
+                    net.targets.nz8, 0.02)
+            << net.name;
+        EXPECT_NEAR(fixedpoint::zeroFraction(t.flat()),
+                    net.targets.zeroFraction8(), 0.02)
+            << net.name;
+    }
+}
+
+TEST(ActivationSynth, FirstLayerIsImageLike)
+{
+    auto net = makeAlexNet();
+    ActivationSynthesizer synth(net);
+    auto image = synth.synthesizeFixed16(0);
+    // Dense: nearly no zeros (CVN cannot skip layer 1, Section II).
+    EXPECT_LT(fixedpoint::zeroFraction(image.flat()),
+              2.5 * kImageZeroFraction);
+    // Values fill the layer's precision window.
+    double nz = fixedpoint::essentialBitFractionNonZero(image.flat(),
+                                                        16);
+    EXPECT_GT(nz, 0.2); // Much denser than the ReLU streams.
+}
+
+TEST(ActivationSynth, TrimRemovesRoughlyTableVBudget)
+{
+    // The essential-bit content removed by trimming should be near
+    // the network's software-guidance budget.
+    auto net = makeVggM();
+    ActivationSynthesizer synth(net);
+    double raw_bits = 0.0;
+    double trim_bits = 0.0;
+    for (int i = 1; i < 4; i++) {
+        auto raw = synth.synthesizeFixed16(i);
+        auto trim = synth.synthesizeFixed16Trimmed(i);
+        for (uint16_t v : raw.flat())
+            raw_bits += fixedpoint::essentialBits(v);
+        for (uint16_t v : trim.flat())
+            trim_bits += fixedpoint::essentialBits(v);
+    }
+    double removed = 1.0 - trim_bits / raw_bits;
+    EXPECT_NEAR(removed, net.targets.softwareBenefit, 0.06);
+}
+
+TEST(ActivationSynth, ValuesFitSixteenBitWindow)
+{
+    auto net = makeVgg19(); // p == 13: tightest window fit.
+    ActivationSynthesizer synth(net);
+    for (int i : {0, 8, 15}) {
+        const auto &params = synth.fixed16Params(i);
+        EXPECT_LE(params.anchorLsb + params.precisionBits, 16);
+        auto t = synth.synthesizeFixed16(i);
+        (void)t; // Construction would panic on overflow.
+    }
+}
+
+TEST(SynthesizeFilters, DeterministicAndBounded)
+{
+    auto layer = makeTinyNetwork().layers[0];
+    auto f1 = synthesizeFilters(layer, 42, 100);
+    auto f2 = synthesizeFilters(layer, 42, 100);
+    ASSERT_EQ(f1.size(), static_cast<size_t>(layer.numFilters));
+    for (size_t f = 0; f < f1.size(); f++) {
+        for (size_t i = 0; i < f1[f].size(); i++) {
+            int16_t w = f1[f].flat()[i];
+            EXPECT_EQ(w, f2[f].flat()[i]);
+            EXPECT_GE(w, -100);
+            EXPECT_LE(w, 100);
+        }
+    }
+}
+
+} // namespace
+} // namespace dnn
+} // namespace pra

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for convolutional layer geometry (paper Section IV-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/conv_layer.h"
+#include "dnn/tensor.h"
+
+namespace pra {
+namespace dnn {
+namespace {
+
+ConvLayerSpec
+makeLayer(int in, int channels, int f, int filters, int stride, int pad)
+{
+    ConvLayerSpec spec;
+    spec.name = "test";
+    spec.inputX = in;
+    spec.inputY = in;
+    spec.inputChannels = channels;
+    spec.filterX = f;
+    spec.filterY = f;
+    spec.numFilters = filters;
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.profiledPrecision = 8;
+    return spec;
+}
+
+TEST(ConvLayer, PaperOutputFormula)
+{
+    // Ox = (Ix - Fx)/S + 1 with no padding (Section IV-A).
+    ConvLayerSpec spec = makeLayer(227, 3, 11, 96, 4, 0);
+    EXPECT_EQ(spec.outX(), 55);
+    EXPECT_EQ(spec.outY(), 55);
+    EXPECT_EQ(spec.windows(), 55 * 55);
+}
+
+TEST(ConvLayer, PaddedOutput)
+{
+    ConvLayerSpec spec = makeLayer(13, 256, 3, 384, 1, 1);
+    EXPECT_EQ(spec.outX(), 13);
+    EXPECT_EQ(spec.outY(), 13);
+}
+
+TEST(ConvLayer, ProductCount)
+{
+    ConvLayerSpec spec = makeLayer(13, 256, 3, 384, 1, 1);
+    EXPECT_EQ(spec.synapsesPerFilter(), 3 * 3 * 256);
+    EXPECT_EQ(spec.products(),
+              static_cast<int64_t>(13) * 13 * 384 * 3 * 3 * 256);
+}
+
+TEST(ConvLayer, BricksPerWindowRoundsChannelsUp)
+{
+    ConvLayerSpec spec = makeLayer(27, 96, 5, 256, 1, 2);
+    EXPECT_EQ(spec.bricksPerWindow(), 5 * 5 * (96 / kBrickSize));
+    ConvLayerSpec odd = makeLayer(27, 3, 5, 256, 1, 2);
+    EXPECT_EQ(odd.bricksPerWindow(), 5 * 5 * 1);
+    ConvLayerSpec mid = makeLayer(27, 20, 5, 256, 1, 2);
+    EXPECT_EQ(mid.bricksPerWindow(), 5 * 5 * 2);
+}
+
+TEST(ConvLayer, InputNeuronCount)
+{
+    ConvLayerSpec spec = makeLayer(6, 1024, 3, 1024, 1, 1);
+    EXPECT_EQ(spec.inputNeurons(), 6 * 6 * 1024);
+}
+
+TEST(ConvLayer, PrecisionWindowAnchoring)
+{
+    ConvLayerSpec spec = makeLayer(13, 256, 3, 384, 1, 1);
+    spec.profiledPrecision = 9;
+    auto w = spec.precisionWindow(2);
+    EXPECT_EQ(w.lsb, 2);
+    EXPECT_EQ(w.msb, 10);
+    EXPECT_EQ(w.bits(), 9);
+}
+
+TEST(ConvLayer, PrecisionWindowClampsAtTop)
+{
+    ConvLayerSpec spec = makeLayer(13, 256, 3, 384, 1, 1);
+    spec.profiledPrecision = 16;
+    auto w = spec.precisionWindow(4);
+    EXPECT_EQ(w.msb, 15);
+    EXPECT_TRUE(w.valid());
+}
+
+TEST(ConvLayer, ValidityChecks)
+{
+    EXPECT_TRUE(makeLayer(13, 256, 3, 384, 1, 1).valid());
+    EXPECT_FALSE(makeLayer(0, 256, 3, 384, 1, 1).valid());
+    EXPECT_FALSE(makeLayer(13, 0, 3, 384, 1, 1).valid());
+    EXPECT_FALSE(makeLayer(13, 256, 0, 384, 1, 1).valid());
+    EXPECT_FALSE(makeLayer(13, 256, 3, 0, 1, 1).valid());
+    EXPECT_FALSE(makeLayer(13, 256, 3, 384, 0, 1).valid());
+    EXPECT_FALSE(makeLayer(13, 256, 3, 384, 1, -1).valid());
+    // Filter larger than padded input.
+    EXPECT_FALSE(makeLayer(3, 8, 7, 16, 1, 1).valid());
+    // Bad precision.
+    ConvLayerSpec bad = makeLayer(13, 256, 3, 384, 1, 1);
+    bad.profiledPrecision = 0;
+    EXPECT_FALSE(bad.valid());
+    bad.profiledPrecision = 17;
+    EXPECT_FALSE(bad.valid());
+}
+
+/** Geometry identity sweep: windows * stride relation. */
+class StrideSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StrideSweep, OutputFitsInput)
+{
+    int stride = GetParam();
+    ConvLayerSpec spec = makeLayer(32, 16, 3, 8, stride, 0);
+    ASSERT_TRUE(spec.valid());
+    // Last window must not read past the input.
+    int last_start = (spec.outX() - 1) * stride;
+    EXPECT_LE(last_start + spec.filterX, spec.inputX);
+    // One more window would overflow.
+    EXPECT_GT(last_start + stride + spec.filterX, spec.inputX);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace dnn
+} // namespace pra

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests pinning the model zoo against the paper's Tables I and II.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+
+namespace pra {
+namespace dnn {
+namespace {
+
+TEST(ModelZoo, SixNetworksInPaperOrder)
+{
+    auto nets = makeAllNetworks();
+    ASSERT_EQ(nets.size(), 6u);
+    EXPECT_EQ(nets[0].name, "AlexNet");
+    EXPECT_EQ(nets[1].name, "NiN");
+    EXPECT_EQ(nets[2].name, "GoogLeNet");
+    EXPECT_EQ(nets[3].name, "VGG_M");
+    EXPECT_EQ(nets[4].name, "VGG_S");
+    EXPECT_EQ(nets[5].name, "VGG_19");
+}
+
+TEST(ModelZoo, AllNetworksValid)
+{
+    for (const auto &net : makeAllNetworks()) {
+        EXPECT_TRUE(net.valid()) << net.name;
+        EXPECT_GT(net.totalProducts(), 0) << net.name;
+    }
+}
+
+TEST(ModelZoo, LayerCountsMatchTableII)
+{
+    EXPECT_EQ(makeAlexNet().layers.size(), 5u);
+    EXPECT_EQ(makeNiN().layers.size(), 12u);
+    EXPECT_EQ(makeVggM().layers.size(), 5u);
+    EXPECT_EQ(makeVggS().layers.size(), 5u);
+    EXPECT_EQ(makeVgg19().layers.size(), 16u);
+    // GoogLeNet: stem conv + 2 conv2 layers + 9 inceptions x 6 convs.
+    EXPECT_EQ(makeGoogLeNet().layers.size(), 3u + 9u * 6u);
+}
+
+TEST(ModelZoo, AlexNetPrecisionProfile)
+{
+    auto net = makeAlexNet();
+    const int expected[5] = {9, 8, 5, 5, 7};
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(net.layers[i].profiledPrecision, expected[i]);
+}
+
+TEST(ModelZoo, NiNPrecisionProfile)
+{
+    auto net = makeNiN();
+    const int expected[12] = {8, 8, 8, 9, 7, 8, 8, 9, 9, 8, 8, 8};
+    for (int i = 0; i < 12; i++)
+        EXPECT_EQ(net.layers[i].profiledPrecision, expected[i]);
+}
+
+TEST(ModelZoo, Vgg19PrecisionProfile)
+{
+    auto net = makeVgg19();
+    const int expected[16] = {12, 12, 12, 11, 12, 10, 11, 11,
+                              13, 12, 13, 13, 13, 13, 13, 13};
+    for (int i = 0; i < 16; i++)
+        EXPECT_EQ(net.layers[i].profiledPrecision, expected[i]);
+}
+
+TEST(ModelZoo, AlexNetGeometry)
+{
+    auto net = makeAlexNet();
+    EXPECT_EQ(net.layers[0].outX(), 55);
+    EXPECT_EQ(net.layers[1].outX(), 27);
+    EXPECT_EQ(net.layers[2].outX(), 13);
+    // Known AlexNet conv MAC counts (within the conventional figures).
+    EXPECT_NEAR(static_cast<double>(net.layers[0].products()),
+                105e6, 2e6);
+    EXPECT_NEAR(static_cast<double>(net.layers[1].products()),
+                448e6, 3e6);
+}
+
+TEST(ModelZoo, TableITargetsStored)
+{
+    auto alex = makeAlexNet();
+    EXPECT_DOUBLE_EQ(alex.targets.all16, 0.078);
+    EXPECT_DOUBLE_EQ(alex.targets.nz16, 0.181);
+    EXPECT_DOUBLE_EQ(alex.targets.all8, 0.314);
+    EXPECT_DOUBLE_EQ(alex.targets.nz8, 0.443);
+    EXPECT_DOUBLE_EQ(alex.targets.softwareBenefit, 0.23);
+    auto vgg19 = makeVgg19();
+    EXPECT_DOUBLE_EQ(vgg19.targets.all16, 0.127);
+    EXPECT_DOUBLE_EQ(vgg19.targets.nz16, 0.242);
+}
+
+TEST(ModelZoo, ImpliedZeroFractionsAreSane)
+{
+    for (const auto &net : makeAllNetworks()) {
+        double z16 = net.targets.zeroFraction16();
+        double z8 = net.targets.zeroFraction8();
+        EXPECT_GT(z16, 0.0) << net.name;
+        EXPECT_LT(z16, 1.0) << net.name;
+        EXPECT_GT(z8, 0.0) << net.name;
+        EXPECT_LT(z8, 1.0) << net.name;
+    }
+}
+
+TEST(ModelZoo, GoogLeNetInceptionShapesChain)
+{
+    auto net = makeGoogLeNet();
+    // Each inception 3x3 conv consumes the 3x3_reduce output count.
+    for (size_t i = 0; i + 1 < net.layers.size(); i++) {
+        const auto &layer = net.layers[i];
+        if (layer.name.find("3x3_reduce") != std::string::npos) {
+            const auto &next = net.layers[i + 1];
+            EXPECT_EQ(next.inputChannels, layer.numFilters)
+                << layer.name;
+        }
+    }
+}
+
+TEST(ModelZoo, LookupByNameAndAliases)
+{
+    EXPECT_EQ(makeNetworkByName("alexnet").name, "AlexNet");
+    EXPECT_EQ(makeNetworkByName("AlexNet").name, "AlexNet");
+    EXPECT_EQ(makeNetworkByName("VGG_19").name, "VGG_19");
+    EXPECT_EQ(makeNetworkByName("google").name, "GoogLeNet");
+    EXPECT_EQ(makeNetworkByName("tiny").name, "Tiny");
+    EXPECT_EQ(networkNames().size(), 6u);
+}
+
+TEST(ModelZoo, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(makeNetworkByName("resnet"), "unknown network");
+}
+
+TEST(ModelZoo, TinyNetworkIsSmallAndValid)
+{
+    auto net = makeTinyNetwork();
+    EXPECT_TRUE(net.valid());
+    EXPECT_LT(net.totalProducts(), 10'000'000);
+}
+
+} // namespace
+} // namespace dnn
+} // namespace pra

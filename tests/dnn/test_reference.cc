@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the golden reference convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "dnn/reference.h"
+
+namespace pra {
+namespace dnn {
+namespace {
+
+ConvLayerSpec
+smallLayer()
+{
+    ConvLayerSpec spec;
+    spec.name = "small";
+    spec.inputX = 4;
+    spec.inputY = 4;
+    spec.inputChannels = 2;
+    spec.filterX = 2;
+    spec.filterY = 2;
+    spec.numFilters = 2;
+    spec.stride = 1;
+    spec.pad = 0;
+    spec.profiledPrecision = 8;
+    return spec;
+}
+
+TEST(Reference, HandComputedOnesFilter)
+{
+    ConvLayerSpec spec = smallLayer();
+    NeuronTensor input(4, 4, 2);
+    int v = 1;
+    for (int y = 0; y < 4; y++)
+        for (int x = 0; x < 4; x++)
+            for (int i = 0; i < 2; i++)
+                input.at(x, y, i) = static_cast<uint16_t>(v++);
+    FilterTensor ones(2, 2, 2);
+    for (auto &w : ones.flat())
+        w = 1;
+    std::vector<FilterTensor> filters = {ones, ones};
+    auto out = referenceConvolution(spec, input, filters);
+    // Window (0,0): neurons 1..4 (x0y0), 5..8? Layout: value order is
+    // (y, x, i); window covers (0,0),(1,0),(0,1),(1,1) both channels:
+    // 1+2 + 3+4 + 9+10 + 11+12 = 52.
+    EXPECT_EQ(out.at(0, 0, 0), 52);
+    EXPECT_EQ(out.at(0, 0, 1), 52); // Same filter content.
+}
+
+TEST(Reference, StrideSkipsWindows)
+{
+    ConvLayerSpec spec = smallLayer();
+    spec.stride = 2;
+    NeuronTensor input(4, 4, 2);
+    input.at(0, 0, 0) = 7;
+    input.at(2, 0, 0) = 3;
+    FilterTensor probe(2, 2, 2);
+    probe.at(0, 0, 0) = 1;
+    std::vector<FilterTensor> filters = {probe, probe};
+    auto out = referenceConvolution(spec, input, filters);
+    EXPECT_EQ(out.sizeX(), 2);
+    EXPECT_EQ(out.at(0, 0, 0), 7);
+    EXPECT_EQ(out.at(1, 0, 0), 3); // Window at x==2.
+}
+
+TEST(Reference, PaddingReadsZero)
+{
+    ConvLayerSpec spec = smallLayer();
+    spec.pad = 1;
+    NeuronTensor input(4, 4, 2);
+    input.at(0, 0, 0) = 5;
+    FilterTensor probe(2, 2, 2);
+    for (auto &w : probe.flat())
+        w = 1;
+    std::vector<FilterTensor> filters = {probe, probe};
+    auto out = referenceConvolution(spec, input, filters);
+    EXPECT_EQ(out.sizeX(), 5);
+    // Top-left padded window sees only input (0,0).
+    EXPECT_EQ(out.at(0, 0, 0), 5);
+}
+
+TEST(Reference, NegativeWeights)
+{
+    ConvLayerSpec spec = smallLayer();
+    NeuronTensor input(4, 4, 2);
+    input.at(0, 0, 0) = 10;
+    input.at(1, 0, 0) = 4;
+    FilterTensor f(2, 2, 2);
+    f.at(0, 0, 0) = -3;
+    f.at(1, 0, 0) = 2;
+    std::vector<FilterTensor> filters = {f, f};
+    auto out = referenceConvolution(spec, input, filters);
+    EXPECT_EQ(out.at(0, 0, 0), -30 + 8);
+}
+
+TEST(Reference, WindowDotMatchesFullConvolution)
+{
+    auto net = makeTinyNetwork();
+    ActivationSynthesizer synth(net);
+    const auto &spec = net.layers[0];
+    auto input = synth.synthesizeFixed16(0);
+    auto filters = synthesizeFilters(spec);
+    auto out = referenceConvolution(spec, input, filters);
+    for (int f = 0; f < spec.numFilters; f += 7) {
+        for (int wy = 0; wy < spec.outY(); wy += 3) {
+            for (int wx = 0; wx < spec.outX(); wx += 3) {
+                EXPECT_EQ(out.at(wx, wy, f),
+                          referenceWindowDot(spec, input, filters[f],
+                                             wx, wy));
+            }
+        }
+    }
+}
+
+TEST(Reference, ShapeMismatchPanics)
+{
+    ConvLayerSpec spec = smallLayer();
+    NeuronTensor wrong(3, 4, 2);
+    std::vector<FilterTensor> filters(2, FilterTensor(2, 2, 2));
+    EXPECT_DEATH(referenceConvolution(spec, wrong, filters),
+                 "shape mismatch");
+    NeuronTensor input(4, 4, 2);
+    std::vector<FilterTensor> too_few(1, FilterTensor(2, 2, 2));
+    EXPECT_DEATH(referenceConvolution(spec, input, too_few),
+                 "filter count");
+}
+
+} // namespace
+} // namespace dnn
+} // namespace pra

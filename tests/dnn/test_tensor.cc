@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the channel-major 3D tensor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/tensor.h"
+
+namespace pra {
+namespace dnn {
+namespace {
+
+TEST(Tensor3D, ZeroInitialized)
+{
+    NeuronTensor t(3, 4, 5);
+    EXPECT_EQ(t.size(), 60u);
+    for (uint16_t v : t.flat())
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Tensor3D, ReadWriteRoundTrip)
+{
+    NeuronTensor t(4, 3, 8);
+    t.at(1, 2, 3) = 77;
+    t.at(0, 0, 0) = 1;
+    t.at(3, 2, 7) = 0xffff;
+    EXPECT_EQ(t.at(1, 2, 3), 77);
+    EXPECT_EQ(t.at(0, 0, 0), 1);
+    EXPECT_EQ(t.at(3, 2, 7), 0xffff);
+}
+
+TEST(Tensor3D, ChannelMajorLayout)
+{
+    // Bricks along i must be contiguous in memory.
+    NeuronTensor t(2, 2, 4);
+    for (int i = 0; i < 4; i++)
+        t.at(1, 0, i) = static_cast<uint16_t>(10 + i);
+    auto flat = t.flat();
+    // (x=1, y=0) starts at (0*2+1)*4 == 4.
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(flat[4 + i], 10 + i);
+}
+
+TEST(Tensor3D, PaddedReadsReturnZero)
+{
+    NeuronTensor t(2, 2, 2);
+    t.at(0, 0, 0) = 5;
+    EXPECT_EQ(t.atPadded(-1, 0, 0), 0);
+    EXPECT_EQ(t.atPadded(0, -1, 0), 0);
+    EXPECT_EQ(t.atPadded(2, 0, 0), 0);
+    EXPECT_EQ(t.atPadded(0, 2, 1), 0);
+    EXPECT_EQ(t.atPadded(0, 0, 0), 5);
+}
+
+TEST(Tensor3D, BrickSpansChannelRun)
+{
+    NeuronTensor t(1, 1, 40);
+    for (int i = 0; i < 40; i++)
+        t.at(0, 0, i) = static_cast<uint16_t>(i);
+    auto brick = t.brick(0, 0, 16);
+    ASSERT_EQ(brick.size(), 16u);
+    for (int i = 0; i < 16; i++)
+        EXPECT_EQ(brick[i], 16 + i);
+}
+
+TEST(Tensor3D, BrickShortAtChannelEdge)
+{
+    NeuronTensor t(1, 1, 20);
+    auto brick = t.brick(0, 0, 16);
+    EXPECT_EQ(brick.size(), 4u);
+}
+
+TEST(Tensor3D, OutOfRangePanics)
+{
+    NeuronTensor t(2, 2, 2);
+    EXPECT_DEATH(t.at(2, 0, 0), "out of range");
+    EXPECT_DEATH(t.at(0, 0, 2), "out of range");
+}
+
+TEST(Tensor3D, FilterTensorIsSigned)
+{
+    FilterTensor f(1, 1, 2);
+    f.at(0, 0, 0) = -42;
+    EXPECT_EQ(f.at(0, 0, 0), -42);
+}
+
+} // namespace
+} // namespace dnn
+} // namespace pra

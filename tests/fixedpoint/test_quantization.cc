@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the 8-bit affine quantization (paper Section VI-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fixedpoint/quantization.h"
+#include "util/random.h"
+
+namespace pra {
+namespace fixedpoint {
+namespace {
+
+TEST(QuantParams, ScaleOfUnitRange)
+{
+    QuantParams p{0.0, 255.0};
+    EXPECT_DOUBLE_EQ(p.scale(), 1.0);
+}
+
+TEST(ChooseQuantParams, UsesMinAndMax)
+{
+    std::vector<double> values = {0.0, 0.5, 3.0, 1.25};
+    QuantParams p = chooseQuantParams(values);
+    EXPECT_DOUBLE_EQ(p.minValue, 0.0);
+    EXPECT_DOUBLE_EQ(p.maxValue, 3.0);
+}
+
+TEST(ChooseQuantParams, DegenerateInputGetsPositiveScale)
+{
+    std::vector<double> values = {2.0, 2.0};
+    QuantParams p = chooseQuantParams(values);
+    EXPECT_GT(p.scale(), 0.0);
+    std::vector<double> empty;
+    EXPECT_GT(chooseQuantParams(empty).scale(), 0.0);
+}
+
+TEST(Quantize, EndpointsMapToExtremeCodes)
+{
+    QuantParams p{0.0, 10.0};
+    EXPECT_EQ(quantize(0.0, p), 0);
+    EXPECT_EQ(quantize(10.0, p), 255);
+}
+
+TEST(Quantize, ClampsOutOfRange)
+{
+    QuantParams p{0.0, 1.0};
+    EXPECT_EQ(quantize(-5.0, p), 0);
+    EXPECT_EQ(quantize(7.0, p), 255);
+}
+
+TEST(Quantize, ReluZeroMapsToCodeZero)
+{
+    // The paper's zero-skipping semantics require ReLU zeros to be
+    // code 0 when the layer minimum is 0.
+    QuantParams p{0.0, 6.0};
+    EXPECT_EQ(quantize(0.0, p), 0);
+}
+
+TEST(Quantize, RoundingHalfAway)
+{
+    QuantParams p{0.0, 255.0}; // scale == 1
+    EXPECT_EQ(quantize(0.4, p), 0);
+    EXPECT_EQ(quantize(0.5, p), 1);
+    EXPECT_EQ(quantize(1.49, p), 1);
+}
+
+TEST(Dequantize, RoundTripErrorBounded)
+{
+    util::Xoshiro256 rng(0x4a4a);
+    std::vector<double> values;
+    for (int i = 0; i < 2000; i++)
+        values.push_back(rng.nextDouble() * 12.0 - 2.0);
+    QuantParams p = chooseQuantParams(values);
+    double bound = maxRoundingError(p) * (1.0 + 1e-9);
+    for (double v : values) {
+        double rt = dequantize(quantize(v, p), p);
+        EXPECT_LE(std::abs(rt - v), bound);
+    }
+}
+
+TEST(Dequantize, CodesAreMonotonic)
+{
+    QuantParams p{-1.0, 1.0};
+    double prev = dequantize(0, p);
+    for (int code = 1; code <= 255; code++) {
+        double cur = dequantize(static_cast<uint8_t>(code), p);
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(QuantizeAll, MatchesElementwise)
+{
+    std::vector<double> values = {0.0, 0.3, 0.7, 1.0};
+    QuantParams p{0.0, 1.0};
+    auto codes = quantizeAll(values, p);
+    ASSERT_EQ(codes.size(), values.size());
+    for (size_t i = 0; i < values.size(); i++)
+        EXPECT_EQ(codes[i], quantize(values[i], p));
+}
+
+/** Property sweep across asymmetric ranges (the paper highlights that
+ *  the range "doesn't have to be symmetrical"). */
+class QuantRanges
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(QuantRanges, RoundTripWithinHalfStep)
+{
+    auto [lo, hi] = GetParam();
+    QuantParams p{lo, hi};
+    util::Xoshiro256 rng(17);
+    for (int i = 0; i < 500; i++) {
+        double v = lo + rng.nextDouble() * (hi - lo);
+        double rt = dequantize(quantize(v, p), p);
+        EXPECT_LE(std::abs(rt - v), maxRoundingError(p) * (1 + 1e-9));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, QuantRanges,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{0.0, 37.5},
+                      std::pair{-3.0, 9.0}, std::pair{-0.01, 0.02}));
+
+} // namespace
+} // namespace fixedpoint
+} // namespace pra

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cross-model integration tests: every functional datapath (golden
+ * reference, DaDN NFU, Stripes serial units, Pragmatic PIPs) must
+ * produce identical convolution outputs on the same workload, and
+ * the cycle engines must respect their mutual ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "dnn/reference.h"
+#include "models/dadn/dadn.h"
+#include "models/pragmatic/pip.h"
+#include "models/pragmatic/simulator.h"
+#include "models/stripes/stripes.h"
+#include "sim/tiling.h"
+
+namespace pra {
+namespace models {
+namespace {
+
+/**
+ * Compute one output window with Pragmatic PIPs: iterate the synapse
+ * sets exactly as a PIP column does and accumulate the per-brick
+ * partial sums.
+ */
+int64_t
+pragmaticWindow(const dnn::ConvLayerSpec &layer,
+                const dnn::NeuronTensor &input,
+                const dnn::FilterTensor &filter, int wx, int wy, int l)
+{
+    sim::AccelConfig accel;
+    sim::LayerTiling tiling(layer, accel);
+    PragmaticInnerProduct pip(l);
+    int64_t acc = 0;
+    for (int64_t s = 0; s < tiling.numSynapseSets(); s++) {
+        sim::SynapseSetCoord coord = tiling.setCoord(s);
+        auto neurons = tiling.gatherBrick(input, {wx, wy}, coord);
+        std::array<int16_t, dnn::kBrickSize> synapses{};
+        int lanes = std::min(accel.neuronLanes,
+                             layer.inputChannels - coord.brickI);
+        for (int lane = 0; lane < lanes; lane++)
+            synapses[lane] =
+                filter.at(coord.fx, coord.fy, coord.brickI + lane);
+        acc += pip.processBrick(synapses, neurons).partialSum;
+    }
+    return acc;
+}
+
+/** Compute one window with Stripes serial-parallel units. */
+int64_t
+stripesWindow(const dnn::ConvLayerSpec &layer,
+              const dnn::NeuronTensor &input,
+              const dnn::FilterTensor &filter, int wx, int wy)
+{
+    sim::AccelConfig accel;
+    sim::LayerTiling tiling(layer, accel);
+    int64_t acc = 0;
+    for (int64_t s = 0; s < tiling.numSynapseSets(); s++) {
+        sim::SynapseSetCoord coord = tiling.setCoord(s);
+        auto neurons = tiling.gatherBrick(input, {wx, wy}, coord);
+        int lanes = std::min(accel.neuronLanes,
+                             layer.inputChannels - coord.brickI);
+        for (int lane = 0; lane < lanes; lane++) {
+            int16_t w =
+                filter.at(coord.fx, coord.fy, coord.brickI + lane);
+            acc += StripesModel::serialMultiply(w, neurons[lane], 16);
+        }
+    }
+    return acc;
+}
+
+class FunctionalEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FunctionalEquivalence, AllDatapathsAgreeOnTinyNetwork)
+{
+    int l = GetParam();
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    DadnModel dadn;
+    for (size_t li = 0; li < net.layers.size(); li++) {
+        const auto &layer = net.layers[li];
+        auto input = synth.synthesizeFixed16(static_cast<int>(li));
+        auto filters = dnn::synthesizeFilters(layer);
+        auto golden = dnn::referenceConvolution(layer, input, filters);
+        for (int f = 0; f < layer.numFilters;
+             f += layer.numFilters / 3) {
+            for (int wy = 0; wy < layer.outY(); wy += 4) {
+                for (int wx = 0; wx < layer.outX(); wx += 4) {
+                    int64_t want = golden.at(wx, wy, f);
+                    EXPECT_EQ(pragmaticWindow(layer, input, filters[f],
+                                              wx, wy, l),
+                              want)
+                        << layer.name << " PIP L=" << l;
+                    if (l == 2) { // Value-independent paths run once.
+                        EXPECT_EQ(dadn.computeWindow(layer, input,
+                                                     filters[f], wx,
+                                                     wy),
+                                  want);
+                        EXPECT_EQ(stripesWindow(layer, input,
+                                                filters[f], wx, wy),
+                                  want);
+                    }
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FirstStage, FunctionalEquivalence,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(EndToEnd, TrimmedStreamStillComputesTrimmedConvolution)
+{
+    // Software trimming changes the values (that is its point); the
+    // PIPs must compute the exact convolution of the trimmed stream.
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    const auto &layer = net.layers[1];
+    auto trimmed = synth.synthesizeFixed16Trimmed(1);
+    auto filters = dnn::synthesizeFilters(layer);
+    auto golden = dnn::referenceConvolution(layer, trimmed, filters);
+    EXPECT_EQ(pragmaticWindow(layer, trimmed, filters[2], 3, 3, 2),
+              golden.at(3, 3, 2));
+}
+
+TEST(EndToEnd, QuantizedCodesFlowThroughPips)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    const auto &layer = net.layers[0];
+    auto codes = synth.synthesizeQuant8(0);
+    auto filters = dnn::synthesizeFilters(layer);
+    auto golden = dnn::referenceConvolution(layer, codes, filters);
+    for (int l : {0, 2, 4})
+        EXPECT_EQ(pragmaticWindow(layer, codes, filters[1], 2, 2, l),
+                  golden.at(2, 2, 1));
+}
+
+TEST(EndToEnd, CycleCountOrderingAcrossEngines)
+{
+    // DaDN >= Stripes >= PRA-pallet >= PRA-perCol >= ideal, on the
+    // same synthetic workload.
+    auto net = dnn::makeTinyNetwork();
+    DadnModel dadn;
+    StripesModel stripes;
+    PragmaticSimulator prag;
+    SimOptions opt;
+    opt.sample = sim::SampleSpec{0}; // Tiny network: exhaustive.
+
+    double base = dadn.run(net).totalCycles();
+    double str = stripes.run(net).totalCycles();
+
+    PragmaticConfig pallet;
+    pallet.modelNmStalls = false;
+    double pra = prag.run(net, pallet, opt).totalCycles();
+
+    PragmaticConfig column = pallet;
+    column.sync = SyncScheme::PerColumn;
+    column.ssrCount = 1;
+    double col = prag.run(net, column, opt).totalCycles();
+
+    PragmaticConfig ideal = column;
+    ideal.ssrCount = 0;
+    double ide = prag.run(net, ideal, opt).totalCycles();
+
+    EXPECT_GT(base, str);
+    EXPECT_GT(str, pra);
+    EXPECT_GE(pra * 1.02, col);
+    EXPECT_GE(col * 1.001, ide);
+}
+
+} // namespace
+} // namespace models
+} // namespace pra

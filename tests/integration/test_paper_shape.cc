@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Shape tests against the paper's headline numbers: who wins, by
+ * roughly what factor, and where the crossovers fall. Tolerances are
+ * deliberately wide — the substrate is synthetic (DESIGN.md §3) and
+ * absolute agreement is not the claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "energy/area_power.h"
+#include "models/dadn/dadn.h"
+#include "models/pragmatic/simulator.h"
+#include "models/stripes/stripes.h"
+#include "sim/layer_result.h"
+
+namespace pra {
+namespace models {
+namespace {
+
+/** Shared fixture: simulate the representative networks once. */
+class PaperShape : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        nets_ = new std::vector<dnn::Network>(
+            {dnn::makeAlexNet(), dnn::makeVggM(), dnn::makeVgg19()});
+        DadnModel dadn;
+        StripesModel stripes;
+        PragmaticSimulator prag;
+        SimOptions opt;
+        opt.sample = sim::SampleSpec{48};
+
+        for (const auto &net : *nets_) {
+            baseline_.push_back(dadn.run(net).totalCycles());
+            str_.push_back(stripes.run(net).totalCycles());
+            PragmaticConfig pallet2b;
+            pra2b_.push_back(
+                prag.run(net, pallet2b, opt).totalCycles());
+            PragmaticConfig raw = pallet2b;
+            raw.softwareTrim = false;
+            praRaw_.push_back(prag.run(net, raw, opt).totalCycles());
+            PragmaticConfig col = pallet2b;
+            col.sync = SyncScheme::PerColumn;
+            col.ssrCount = 1;
+            praCol_.push_back(prag.run(net, col, opt).totalCycles());
+            PragmaticConfig ideal = col;
+            ideal.ssrCount = 0;
+            praIdeal_.push_back(
+                prag.run(net, ideal, opt).totalCycles());
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete nets_;
+        nets_ = nullptr;
+    }
+
+    static std::vector<double>
+    speedups(const std::vector<double> &cycles)
+    {
+        std::vector<double> s;
+        for (size_t i = 0; i < cycles.size(); i++)
+            s.push_back(baseline_[i] / cycles[i]);
+        return s;
+    }
+
+    static std::vector<dnn::Network> *nets_;
+    static std::vector<double> baseline_;
+    static std::vector<double> str_;
+    static std::vector<double> pra2b_;
+    static std::vector<double> praRaw_;
+    static std::vector<double> praCol_;
+    static std::vector<double> praIdeal_;
+};
+
+std::vector<dnn::Network> *PaperShape::nets_ = nullptr;
+std::vector<double> PaperShape::baseline_;
+std::vector<double> PaperShape::str_;
+std::vector<double> PaperShape::pra2b_;
+std::vector<double> PaperShape::praRaw_;
+std::vector<double> PaperShape::praCol_;
+std::vector<double> PaperShape::praIdeal_;
+
+TEST_F(PaperShape, StripesSpeedupNearPaper)
+{
+    // Paper: 1.85x average (16/p per layer); our three networks span
+    // roughly 1.3x (VGG19, p~12) to 2.2x (VGG-M, p~7).
+    auto s = speedups(str_);
+    EXPECT_NEAR(sim::geometricMean(s), 1.85, 0.40);
+    EXPECT_GT(s[1], s[2]); // VGG-M (low p) beats VGG19 (high p).
+}
+
+TEST_F(PaperShape, PragmaticPalletBeatsStripes)
+{
+    // Paper Fig. 9: PRA-2b ~2.59x vs STR 1.85x.
+    auto pra = speedups(pra2b_);
+    auto str = speedups(str_);
+    for (size_t i = 0; i < pra.size(); i++)
+        EXPECT_GT(pra[i], str[i]) << (*nets_)[i].name;
+    EXPECT_NEAR(sim::geometricMean(pra), 2.59, 0.55);
+}
+
+TEST_F(PaperShape, ColumnSyncBoostsOverPallet)
+{
+    // Paper: 3.1x with one SSR vs 2.59x pallet; ideal 3.45x.
+    auto col = speedups(praCol_);
+    auto pal = speedups(pra2b_);
+    auto ideal = speedups(praIdeal_);
+    for (size_t i = 0; i < col.size(); i++) {
+        EXPECT_GT(col[i], pal[i]) << (*nets_)[i].name;
+        EXPECT_GE(ideal[i] * 1.001, col[i]) << (*nets_)[i].name;
+    }
+    EXPECT_NEAR(sim::geometricMean(col), 3.1, 0.6);
+    EXPECT_NEAR(sim::geometricMean(ideal), 3.45, 0.7);
+    // One SSR captures most of the ideal benefit (Section VI-C).
+    EXPECT_GT(sim::geometricMean(col) / sim::geometricMean(ideal),
+              0.85);
+}
+
+TEST_F(PaperShape, SoftwareGuidanceBenefitNearTableV)
+{
+    // Paper Table V: 19% average benefit (10%..23% per network).
+    std::vector<double> benefit;
+    for (size_t i = 0; i < praRaw_.size(); i++)
+        benefit.push_back(praRaw_[i] / pra2b_[i] - 1.0);
+    double avg = 0.0;
+    for (double b : benefit) {
+        EXPECT_GT(b, 0.02);
+        EXPECT_LT(b, 0.40);
+        avg += b;
+    }
+    avg /= benefit.size();
+    EXPECT_NEAR(avg, 0.19, 0.11);
+}
+
+TEST_F(PaperShape, EfficiencyCrossoversMatchFigure11)
+{
+    // The decisive crossover of the paper: single-stage PRA (4b) is
+    // slightly LESS energy-efficient than DaDN, 2-stage PRA-2b is
+    // clearly more, and PRA-2b-1R is best.
+    double p_base = energy::dadnAreaPower().chipPower;
+    auto pal = speedups(pra2b_);
+    auto col = speedups(praCol_);
+    double eff4b = energy::energyEfficiency(
+        sim::geometricMean(pal), p_base,
+        energy::pragmaticPalletAreaPower(4).chipPower);
+    double eff2b = energy::energyEfficiency(
+        sim::geometricMean(pal), p_base,
+        energy::pragmaticPalletAreaPower(2).chipPower);
+    double eff2b1r = energy::energyEfficiency(
+        sim::geometricMean(col), p_base,
+        energy::pragmaticColumnAreaPower(2, 1).chipPower);
+    // The crossover is the claim: single-stage PRA sits below
+    // break-even, 2-stage above it, column-sync best. Our measured
+    // margins are thinner than the paper's (synthetic substrate) but
+    // the ordering and the break-even crossing are preserved.
+    EXPECT_LT(eff4b, 1.0);
+    EXPECT_GT(eff2b, 1.0);
+    EXPECT_GT(eff2b1r, eff2b);
+}
+
+TEST(PaperShapeQuant, QuantizedBenefitsPersist)
+{
+    // Paper Section VI-F: benefits persist at 8 bits, nearly 3.5x for
+    // PRA-2b-1R.
+    auto net = dnn::makeAlexNet();
+    DadnModel dadn;
+    PragmaticSimulator prag;
+    SimOptions opt;
+    opt.sample = sim::SampleSpec{32};
+    double base = dadn.run(net).totalCycles();
+
+    PragmaticConfig q;
+    q.representation = Representation::Quant8;
+    double pallet = base / prag.run(net, q, opt).totalCycles();
+    q.sync = SyncScheme::PerColumn;
+    q.ssrCount = 1;
+    double col = base / prag.run(net, q, opt).totalCycles();
+
+    EXPECT_GT(pallet, 1.5);
+    EXPECT_GT(col, pallet);
+    EXPECT_NEAR(col, 3.5, 1.0);
+}
+
+} // namespace
+} // namespace models
+} // namespace pra

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the pallet-synchronization engine (paper Section V-A4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "models/dadn/dadn.h"
+#include "models/pragmatic/tile.h"
+#include "sim/tiling.h"
+#include "util/random.h"
+
+namespace pra {
+namespace models {
+namespace {
+
+dnn::ConvLayerSpec
+evenLayer()
+{
+    // 16x16 windows: exactly 16 pallets, no partial edges.
+    dnn::ConvLayerSpec spec;
+    spec.name = "even";
+    spec.inputX = 18;
+    spec.inputY = 18;
+    spec.inputChannels = 32;
+    spec.filterX = 3;
+    spec.filterY = 3;
+    spec.numFilters = 256;
+    spec.stride = 1;
+    spec.pad = 0;
+    spec.profiledPrecision = 8;
+    return spec;
+}
+
+dnn::NeuronTensor
+constantInput(const dnn::ConvLayerSpec &layer, uint16_t value)
+{
+    dnn::NeuronTensor t(layer.inputX, layer.inputY,
+                        layer.inputChannels);
+    for (auto &v : t.flat())
+        v = value;
+    return t;
+}
+
+TEST(PalletSync, WorstCaseEqualsDaDn)
+{
+    // All-ones neurons: every brick takes 16 cycles, exactly DaDN's
+    // per-pallet cost — the paper's "always match DaDN" guarantee.
+    auto layer = evenLayer();
+    auto input = constantInput(layer, 0xffff);
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    tile.modelNmStalls = false;
+    auto result = simulateLayerPalletSync(layer, input, accel, tile,
+                                          sim::SampleSpec{0});
+    DadnModel dadn(accel);
+    EXPECT_DOUBLE_EQ(result.cycles, dadn.layerCycles(layer));
+}
+
+TEST(PalletSync, SingleBitNeuronsGiveSixteenX)
+{
+    auto layer = evenLayer();
+    auto input = constantInput(layer, 0b100);
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    tile.modelNmStalls = false;
+    auto result = simulateLayerPalletSync(layer, input, accel, tile,
+                                          sim::SampleSpec{0});
+    DadnModel dadn(accel);
+    EXPECT_DOUBLE_EQ(dadn.layerCycles(layer) / result.cycles, 16.0);
+}
+
+TEST(PalletSync, AllZeroInputStillPaysOneCyclePerSet)
+{
+    auto layer = evenLayer();
+    auto input = constantInput(layer, 0);
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    tile.modelNmStalls = false;
+    auto result = simulateLayerPalletSync(layer, input, accel, tile,
+                                          sim::SampleSpec{0});
+    sim::LayerTiling tiling(layer, accel);
+    EXPECT_DOUBLE_EQ(result.cycles,
+                     static_cast<double>(tiling.numPallets() *
+                                         tiling.numSynapseSets()));
+}
+
+TEST(PalletSync, NeverSlowerThanDaDnOnRandomData)
+{
+    auto layer = evenLayer();
+    util::Xoshiro256 rng(0xaaaa);
+    auto input = constantInput(layer, 0);
+    for (auto &v : input.flat())
+        v = static_cast<uint16_t>(rng.nextBounded(65536));
+    sim::AccelConfig accel;
+    DadnModel dadn(accel);
+    for (int l = 0; l <= 4; l++) {
+        PragmaticTileConfig tile;
+        tile.firstStageBits = l;
+        tile.modelNmStalls = false;
+        auto result = simulateLayerPalletSync(layer, input, accel,
+                                              tile, sim::SampleSpec{0});
+        EXPECT_LE(result.cycles, dadn.layerCycles(layer) + 1e-9) << l;
+    }
+}
+
+TEST(PalletSync, MonotoneInFirstStageBits)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    auto input = synth.synthesizeFixed16(1);
+    const auto &layer = net.layers[1];
+    sim::AccelConfig accel;
+    double prev = 1e18;
+    for (int l = 0; l <= 4; l++) {
+        PragmaticTileConfig tile;
+        tile.firstStageBits = l;
+        tile.modelNmStalls = false;
+        auto result = simulateLayerPalletSync(layer, input, accel,
+                                              tile, sim::SampleSpec{0});
+        EXPECT_LE(result.cycles, prev) << l;
+        prev = result.cycles;
+    }
+}
+
+TEST(PalletSync, SamplingIsUnbiasedOnUniformData)
+{
+    auto layer = evenLayer();
+    auto input = constantInput(layer, 0b1010);
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    tile.modelNmStalls = false;
+    auto full = simulateLayerPalletSync(layer, input, accel, tile,
+                                        sim::SampleSpec{0});
+    auto sampled = simulateLayerPalletSync(layer, input, accel, tile,
+                                           sim::SampleSpec{4});
+    EXPECT_DOUBLE_EQ(full.cycles, sampled.cycles);
+    EXPECT_GT(sampled.sampleScale, 1.0);
+}
+
+TEST(PalletSync, SamplingCloseOnRandomData)
+{
+    auto layer = evenLayer();
+    util::Xoshiro256 rng(0xbbbb);
+    auto input = constantInput(layer, 0);
+    for (auto &v : input.flat())
+        v = rng.nextBool(0.5)
+                ? static_cast<uint16_t>(rng.nextBounded(256))
+                : 0;
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    tile.modelNmStalls = false;
+    auto full = simulateLayerPalletSync(layer, input, accel, tile,
+                                        sim::SampleSpec{0});
+    auto sampled = simulateLayerPalletSync(layer, input, accel, tile,
+                                           sim::SampleSpec{8});
+    EXPECT_NEAR(sampled.cycles / full.cycles, 1.0, 0.1);
+}
+
+TEST(PalletSync, NmStallsOnlyAddCycles)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    auto input = synth.synthesizeFixed16Trimmed(0);
+    const auto &layer = net.layers[0]; // stride 4: visible stalls.
+    sim::AccelConfig accel;
+    PragmaticTileConfig with;
+    PragmaticTileConfig without;
+    without.modelNmStalls = false;
+    auto stalled = simulateLayerPalletSync(layer, input, accel, with,
+                                           sim::SampleSpec{32});
+    auto clean = simulateLayerPalletSync(layer, input, accel, without,
+                                         sim::SampleSpec{32});
+    EXPECT_GE(stalled.cycles, clean.cycles);
+    EXPECT_GE(stalled.nmStallCycles, 0.0);
+    EXPECT_DOUBLE_EQ(clean.nmStallCycles, 0.0);
+}
+
+TEST(PalletSync, EffectualTermsScaleWithFilters)
+{
+    auto layer = evenLayer();
+    auto input = constantInput(layer, 0b11);
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    tile.modelNmStalls = false;
+    auto result = simulateLayerPalletSync(layer, input, accel, tile,
+                                          sim::SampleSpec{0});
+    // Every neuron use contributes 2 essential bits x 256 filters.
+    double uses = static_cast<double>(layer.windows()) *
+                  layer.filterX * layer.filterY * layer.inputChannels;
+    EXPECT_DOUBLE_EQ(result.effectualTerms,
+                     uses * 2.0 * layer.numFilters);
+}
+
+TEST(PalletSync, SbReadsMatchDaDnSchedule)
+{
+    auto layer = evenLayer();
+    auto input = constantInput(layer, 1);
+    sim::AccelConfig accel;
+    PragmaticTileConfig tile;
+    auto result = simulateLayerPalletSync(layer, input, accel, tile,
+                                          sim::SampleSpec{0});
+    sim::LayerTiling tiling(layer, accel);
+    EXPECT_DOUBLE_EQ(result.sbReadSteps,
+                     static_cast<double>(tiling.numPallets() *
+                                         tiling.numSynapseSets()));
+}
+
+} // namespace
+} // namespace models
+} // namespace pra

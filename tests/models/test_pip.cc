@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the functional PIP datapath: the shift/reduce/accumulate
+ * pipeline must compute exact dot products for every first-stage
+ * width — the central arithmetic property of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixedpoint/fixed_point.h"
+#include "models/pragmatic/pip.h"
+#include "util/random.h"
+
+namespace pra {
+namespace models {
+namespace {
+
+int64_t
+dot(std::span<const int16_t> synapses, std::span<const uint16_t> neurons)
+{
+    int64_t acc = 0;
+    for (size_t i = 0; i < neurons.size(); i++)
+        acc += static_cast<int64_t>(synapses[i]) * neurons[i];
+    return acc;
+}
+
+TEST(Pip, PaperFigure4cExample)
+{
+    // Section III: n0 = 001b with s0 = 001b and n1 = 010b with
+    // s1 = 111b reduce to 1*1 + 2*7 = 15.
+    std::vector<int16_t> synapses = {1, 7};
+    std::vector<uint16_t> neurons = {0b001, 0b010};
+    PragmaticInnerProduct pip(4);
+    PipBrickResult r = pip.processBrick(synapses, neurons);
+    EXPECT_EQ(r.partialSum, 15);
+    EXPECT_EQ(r.cycles, 1); // Both neurons have one essential bit.
+}
+
+TEST(Pip, ZeroBrickProducesNothing)
+{
+    std::vector<int16_t> synapses(16, 123);
+    std::vector<uint16_t> neurons(16, 0);
+    for (int l = 0; l <= 4; l++) {
+        PragmaticInnerProduct pip(l);
+        PipBrickResult r = pip.processBrick(synapses, neurons);
+        EXPECT_EQ(r.partialSum, 0);
+        EXPECT_EQ(r.cycles, 0);
+    }
+}
+
+TEST(Pip, FirstStageOutputWidths)
+{
+    EXPECT_EQ(PragmaticInnerProduct(0).firstStageOutputBits(), 16);
+    EXPECT_EQ(PragmaticInnerProduct(1).firstStageOutputBits(), 17);
+    EXPECT_EQ(PragmaticInnerProduct(2).firstStageOutputBits(), 19);
+    EXPECT_EQ(PragmaticInnerProduct(3).firstStageOutputBits(), 23);
+    // Single-stage design needs the full 31 bits (Section V-B1).
+    EXPECT_EQ(PragmaticInnerProduct(4).firstStageOutputBits(), 31);
+}
+
+TEST(Pip, CyclesMatchSchedule)
+{
+    util::Xoshiro256 rng(0x9a9a);
+    for (int trial = 0; trial < 500; trial++) {
+        std::vector<int16_t> synapses(16);
+        std::vector<uint16_t> neurons(16);
+        for (int i = 0; i < 16; i++) {
+            synapses[i] =
+                static_cast<int16_t>(rng.nextInRange(-32768, 32767));
+            neurons[i] = static_cast<uint16_t>(rng.nextBounded(65536));
+        }
+        int l = static_cast<int>(rng.nextBounded(5));
+        PragmaticInnerProduct pip(l);
+        PipBrickResult r = pip.processBrick(synapses, neurons);
+        EXPECT_EQ(r.cycles, brickScheduleCycles(neurons, l));
+    }
+}
+
+TEST(Pip, RejectsBadConfiguration)
+{
+    EXPECT_DEATH(PragmaticInnerProduct(-1), "first-stage");
+    EXPECT_DEATH(PragmaticInnerProduct(5), "first-stage");
+    PragmaticInnerProduct pip(2);
+    std::vector<int16_t> synapses(4, 1);
+    std::vector<uint16_t> neurons(3, 1);
+    EXPECT_DEATH(pip.processBrick(synapses, neurons), "lane count");
+}
+
+/** Exhaustive-ish dot product equivalence per first-stage width. */
+class PipWidths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PipWidths, DotProductExactOnRandomBricks)
+{
+    int l = GetParam();
+    PragmaticInnerProduct pip(l);
+    util::Xoshiro256 rng(0xd07 + l);
+    for (int trial = 0; trial < 2000; trial++) {
+        std::vector<int16_t> synapses(16);
+        std::vector<uint16_t> neurons(16);
+        for (int i = 0; i < 16; i++) {
+            synapses[i] =
+                static_cast<int16_t>(rng.nextInRange(-32768, 32767));
+            neurons[i] = static_cast<uint16_t>(rng.nextBounded(65536));
+        }
+        PipBrickResult r = pip.processBrick(synapses, neurons);
+        EXPECT_EQ(r.partialSum, dot(synapses, neurons));
+    }
+}
+
+TEST_P(PipWidths, DotProductExactOnExtremes)
+{
+    int l = GetParam();
+    PragmaticInnerProduct pip(l);
+    // All-max synapses against all-ones neurons: the largest
+    // magnitude the datapath must carry.
+    std::vector<int16_t> synapses(16, -32768);
+    std::vector<uint16_t> neurons(16, 0xffff);
+    PipBrickResult r = pip.processBrick(synapses, neurons);
+    EXPECT_EQ(r.partialSum, dot(synapses, neurons));
+    EXPECT_EQ(r.cycles, 16);
+}
+
+TEST_P(PipWidths, PartialLanesSupported)
+{
+    int l = GetParam();
+    PragmaticInnerProduct pip(l);
+    util::Xoshiro256 rng(0xfeed + l);
+    for (size_t lanes : {1u, 3u, 15u}) {
+        std::vector<int16_t> synapses(lanes);
+        std::vector<uint16_t> neurons(lanes);
+        for (size_t i = 0; i < lanes; i++) {
+            synapses[i] =
+                static_cast<int16_t>(rng.nextInRange(-1000, 1000));
+            neurons[i] = static_cast<uint16_t>(rng.nextBounded(65536));
+        }
+        EXPECT_EQ(pip.processBrick(synapses, neurons).partialSum,
+                  dot(synapses, neurons));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FirstStage, PipWidths,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+} // namespace
+} // namespace models
+} // namespace pra

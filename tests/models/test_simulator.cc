@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the top-level Pragmatic simulation driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "models/dadn/dadn.h"
+#include "models/pragmatic/simulator.h"
+
+namespace pra {
+namespace models {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opt;
+    opt.sample = sim::SampleSpec{16};
+    return opt;
+}
+
+TEST(Simulator, ConfigLabels)
+{
+    PragmaticConfig c;
+    c.firstStageBits = 2;
+    EXPECT_EQ(c.label(), "PRA-2b");
+    c.sync = SyncScheme::PerColumn;
+    c.ssrCount = 1;
+    EXPECT_EQ(c.label(), "PRA-2b-1R");
+    c.ssrCount = 0;
+    EXPECT_EQ(c.label(), "PRA-2b-idealR");
+    c.representation = Representation::Quant8;
+    EXPECT_EQ(c.label(), "PRA-2b-idealR-q8");
+    PragmaticConfig raw;
+    raw.softwareTrim = false;
+    EXPECT_EQ(raw.label(), "PRA-2b-notrim");
+}
+
+TEST(Simulator, RunsAllLayersDeterministically)
+{
+    PragmaticSimulator sim;
+    auto net = dnn::makeTinyNetwork();
+    PragmaticConfig c;
+    auto r1 = sim.run(net, c, fastOptions());
+    auto r2 = sim.run(net, c, fastOptions());
+    ASSERT_EQ(r1.layers.size(), net.layers.size());
+    EXPECT_DOUBLE_EQ(r1.totalCycles(), r2.totalCycles());
+    EXPECT_EQ(r1.engineName, "PRA-2b");
+}
+
+TEST(Simulator, FasterThanDaDnOnRealisticStreams)
+{
+    PragmaticSimulator sim;
+    DadnModel dadn;
+    auto net = dnn::makeTinyNetwork();
+    PragmaticConfig c;
+    auto pra = sim.run(net, c, fastOptions());
+    auto base = dadn.run(net);
+    EXPECT_GT(pra.speedupOver(base), 1.0);
+}
+
+TEST(Simulator, TrimOnlyHelps)
+{
+    PragmaticSimulator sim;
+    auto net = dnn::makeAlexNet();
+    PragmaticConfig trimmed;
+    PragmaticConfig raw;
+    raw.softwareTrim = false;
+    auto opt = fastOptions();
+    auto with = sim.run(net, trimmed, opt);
+    auto without = sim.run(net, raw, opt);
+    EXPECT_LE(with.totalCycles(), without.totalCycles());
+}
+
+TEST(Simulator, ColumnSyncBeatsPalletSync)
+{
+    PragmaticSimulator sim;
+    auto net = dnn::makeTinyNetwork();
+    PragmaticConfig pallet;
+    PragmaticConfig column;
+    column.sync = SyncScheme::PerColumn;
+    column.ssrCount = 1;
+    auto opt = fastOptions();
+    auto p = sim.run(net, pallet, opt);
+    auto c = sim.run(net, column, opt);
+    EXPECT_LE(c.totalCycles(), p.totalCycles() * 1.02);
+}
+
+TEST(Simulator, QuantizedRepresentationRuns)
+{
+    PragmaticSimulator sim;
+    auto net = dnn::makeTinyNetwork();
+    PragmaticConfig c;
+    c.representation = Representation::Quant8;
+    auto result = sim.run(net, c, fastOptions());
+    EXPECT_GT(result.totalCycles(), 0.0);
+    // 8-bit codes: at most 8 essential bits per neuron, so PRA can't
+    // be slower than half of DaDN's 16-bit-parallel pace.
+    DadnModel dadn;
+    EXPECT_GT(result.speedupOver(dadn.run(net)), 1.0);
+}
+
+TEST(Simulator, QuantizedPrecisionsAreInByteRange)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    auto precisions = quantizedPrecisions(synth);
+    ASSERT_EQ(precisions.size(), net.layers.size());
+    for (int p : precisions) {
+        EXPECT_GE(p, 1);
+        EXPECT_LE(p, 8);
+    }
+    // Image layer codes span the full byte.
+    EXPECT_EQ(precisions[0], 8);
+}
+
+TEST(Simulator, SeedChangesWorkloadNotShape)
+{
+    PragmaticSimulator sim;
+    auto net = dnn::makeTinyNetwork();
+    PragmaticConfig c;
+    SimOptions a = fastOptions();
+    SimOptions b = fastOptions();
+    b.seed = 0xdead;
+    auto ra = sim.run(net, c, a);
+    auto rb = sim.run(net, c, b);
+    // Different streams, but statistically similar cycle counts.
+    EXPECT_NEAR(ra.totalCycles() / rb.totalCycles(), 1.0, 0.15);
+}
+
+TEST(Simulator, InvalidAccelConfigPanics)
+{
+    sim::AccelConfig bad;
+    bad.tiles = 0;
+    EXPECT_DEATH(PragmaticSimulator{bad}, "invalid config");
+}
+
+} // namespace
+} // namespace models
+} // namespace pra

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for result aggregation and speedup math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/layer_result.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+NetworkResult
+makeResult(std::initializer_list<double> cycles)
+{
+    NetworkResult r;
+    r.networkName = "net";
+    r.engineName = "engine";
+    for (double c : cycles) {
+        LayerResult lr;
+        lr.cycles = c;
+        r.layers.push_back(lr);
+    }
+    return r;
+}
+
+TEST(LayerResult, TotalsSumLayers)
+{
+    NetworkResult r = makeResult({100.0, 200.0, 50.0});
+    EXPECT_DOUBLE_EQ(r.totalCycles(), 350.0);
+}
+
+TEST(LayerResult, StallsSum)
+{
+    NetworkResult r = makeResult({10.0, 10.0});
+    r.layers[0].nmStallCycles = 3.0;
+    r.layers[1].nmStallCycles = 4.0;
+    EXPECT_DOUBLE_EQ(r.totalStalls(), 7.0);
+}
+
+TEST(LayerResult, SpeedupOverBaseline)
+{
+    NetworkResult base = makeResult({1000.0});
+    NetworkResult fast = makeResult({400.0});
+    EXPECT_DOUBLE_EQ(fast.speedupOver(base), 2.5);
+    EXPECT_DOUBLE_EQ(base.speedupOver(fast), 0.4);
+}
+
+TEST(LayerResult, SpeedupPanicsOnZeroCycles)
+{
+    NetworkResult base = makeResult({1000.0});
+    NetworkResult empty = makeResult({});
+    EXPECT_DEATH(empty.speedupOver(base), "zero cycle");
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geometricMean({1.0, 4.0}), 2.0);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, BelowArithmeticMean)
+{
+    std::vector<double> values = {1.0, 2.0, 3.0, 10.0};
+    double geo = geometricMean(values);
+    double arith = (1.0 + 2.0 + 3.0 + 10.0) / 4.0;
+    EXPECT_LT(geo, arith);
+}
+
+TEST(GeometricMean, RejectsBadInput)
+{
+    EXPECT_DEATH(geometricMean({}), "empty");
+    EXPECT_DEATH(geometricMean({1.0, 0.0}), "non-positive");
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

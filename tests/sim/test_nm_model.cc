@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Neuron Memory access model (paper Section V-A4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/nm_model.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+dnn::ConvLayerSpec
+strideLayer(int stride)
+{
+    dnn::ConvLayerSpec spec;
+    spec.name = "s";
+    spec.inputX = 64;
+    spec.inputY = 64;
+    spec.inputChannels = 32;
+    spec.filterX = 3;
+    spec.filterY = 3;
+    spec.numFilters = 64;
+    spec.stride = stride;
+    spec.pad = 0;
+    spec.profiledPrecision = 8;
+    return spec;
+}
+
+TEST(NmModel, UnitStrideFitsTwoRows)
+{
+    // "With unit stride the 256 neurons would be typically all stored
+    // in the same NM row or at most over two adjacent NM rows."
+    AccelConfig accel;
+    LayerTiling tiling(strideLayer(1), accel);
+    for (int64_t p = 0; p < std::min<int64_t>(8, tiling.numPallets());
+         p++) {
+        for (int64_t s = 0; s < tiling.numSynapseSets(); s += 3)
+            EXPECT_LE(nmFetchCycles(tiling, p, s), 2);
+    }
+}
+
+TEST(NmModel, LargerStrideSpreadsRows)
+{
+    AccelConfig accel;
+    LayerTiling tiling1(strideLayer(1), accel);
+    LayerTiling tiling4(strideLayer(4), accel);
+    int max1 = 0;
+    int max4 = 0;
+    for (int64_t s = 0; s < 9; s++) {
+        max1 = std::max(max1, nmFetchCycles(tiling1, 0, s));
+        max4 = std::max(max4, nmFetchCycles(tiling4, 0, s));
+    }
+    EXPECT_GT(max4, max1);
+}
+
+TEST(NmModel, PaddingOnlyStepCostsOneCycle)
+{
+    AccelConfig accel;
+    dnn::ConvLayerSpec spec = strideLayer(1);
+    spec.pad = 2;
+    LayerTiling tiling(spec, accel);
+    // First pallet, set (fy=0,fx=0): windows 0..15 read row -2 ->
+    // mostly padding; cost is clamped at >= 1.
+    EXPECT_GE(nmFetchCycles(tiling, 0, 0), 1);
+}
+
+TEST(NmModel, OverlapHidesFetchBehindProcessing)
+{
+    NmOverlapTracker tracker;
+    EXPECT_EQ(tracker.step(10, 2), 0); // Fully hidden.
+    EXPECT_EQ(tracker.step(1, 4), 3);  // 3 cycles exposed.
+    EXPECT_EQ(tracker.totalStalls(), 3);
+    EXPECT_EQ(tracker.step(4, 4), 0);
+    EXPECT_EQ(tracker.totalStalls(), 3);
+}
+
+TEST(NmModel, NegativeCyclesPanics)
+{
+    NmOverlapTracker tracker;
+    EXPECT_DEATH(tracker.step(-1, 0), "negative");
+}
+
+/** Row spread grows roughly linearly with stride. */
+class StrideRows : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StrideRows, BoundedByStridePlusOne)
+{
+    int stride = GetParam();
+    AccelConfig accel;
+    LayerTiling tiling(strideLayer(stride), accel);
+    for (int64_t s = 0; s < tiling.numSynapseSets(); s += 2) {
+        int cycles = nmFetchCycles(tiling, 1, s);
+        // 16 bricks spaced `stride` bricks apart cover at most
+        // stride + 1 rows of 16 bricks each.
+        EXPECT_LE(cycles, stride + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideRows,
+                         ::testing::Values(1, 2, 3, 4));
+
+} // namespace
+} // namespace sim
+} // namespace pra

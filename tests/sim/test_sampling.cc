@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for deterministic pallet sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sampling.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+TEST(Sampling, DisabledTakesEverything)
+{
+    SamplePlan plan = planSample(10, SampleSpec{0});
+    ASSERT_EQ(plan.indices.size(), 10u);
+    EXPECT_DOUBLE_EQ(plan.scale, 1.0);
+    for (int64_t i = 0; i < 10; i++)
+        EXPECT_EQ(plan.indices[i], i);
+}
+
+TEST(Sampling, SmallTotalsUnsampled)
+{
+    SamplePlan plan = planSample(5, SampleSpec{16});
+    EXPECT_EQ(plan.indices.size(), 5u);
+    EXPECT_DOUBLE_EQ(plan.scale, 1.0);
+}
+
+TEST(Sampling, CapsAndScales)
+{
+    SamplePlan plan = planSample(100, SampleSpec{10});
+    ASSERT_EQ(plan.indices.size(), 10u);
+    EXPECT_DOUBLE_EQ(plan.scale, 10.0);
+    EXPECT_EQ(plan.indices.front(), 0);
+}
+
+TEST(Sampling, IndicesStrictlyIncreasingInRange)
+{
+    SamplePlan plan = planSample(1000, SampleSpec{37});
+    for (size_t k = 1; k < plan.indices.size(); k++)
+        EXPECT_GT(plan.indices[k], plan.indices[k - 1]);
+    EXPECT_LT(plan.indices.back(), 1000);
+}
+
+TEST(Sampling, CoversWholeRange)
+{
+    SamplePlan plan = planSample(1000, SampleSpec{10});
+    // Last sample comes from the final tenth.
+    EXPECT_GE(plan.indices.back(), 900);
+}
+
+TEST(Sampling, EmptyTotal)
+{
+    SamplePlan plan = planSample(0, SampleSpec{8});
+    EXPECT_TRUE(plan.indices.empty());
+}
+
+TEST(Sampling, Deterministic)
+{
+    SamplePlan a = planSample(12345, SampleSpec{100});
+    SamplePlan b = planSample(12345, SampleSpec{100});
+    EXPECT_EQ(a.indices, b.indices);
+}
+
+TEST(Sampling, ScaleTimesCountEqualsTotal)
+{
+    for (int64_t total : {64, 100, 999, 4096}) {
+        SamplePlan plan = planSample(total, SampleSpec{32});
+        EXPECT_NEAR(plan.scale * plan.indices.size(),
+                    static_cast<double>(total), 1e-9);
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace pra {
+namespace util {
+namespace {
+
+ArgParser
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsForm)
+{
+    auto args = parse({"--network=alexnet", "--pallets=64"});
+    EXPECT_EQ(args.getString("network"), "alexnet");
+    EXPECT_EQ(args.getInt("pallets", 0), 64);
+}
+
+TEST(ArgParser, SpaceFormIsPositionalNotValue)
+{
+    // "--name value" is ambiguous against positionals, so the value
+    // stays positional and the flag is boolean.
+    auto args = parse({"--network", "vgg19"});
+    EXPECT_TRUE(args.has("network"));
+    EXPECT_EQ(args.getString("network"), "");
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "vgg19");
+}
+
+TEST(ArgParser, BareBooleanFlag)
+{
+    auto args = parse({"--full"});
+    EXPECT_TRUE(args.getBool("full"));
+    EXPECT_FALSE(args.getBool("absent"));
+    EXPECT_TRUE(args.getBool("absent", true));
+}
+
+TEST(ArgParser, ExplicitBooleanValues)
+{
+    EXPECT_TRUE(parse({"--x=true"}).getBool("x"));
+    EXPECT_TRUE(parse({"--x=1"}).getBool("x"));
+    EXPECT_FALSE(parse({"--x=false"}).getBool("x"));
+    EXPECT_FALSE(parse({"--x=0"}).getBool("x"));
+}
+
+TEST(ArgParser, Doubles)
+{
+    auto args = parse({"--scale=2.5"});
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgParser, Positional)
+{
+    auto args = parse({"alexnet", "--full", "vgg19"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "alexnet");
+    EXPECT_EQ(args.positional()[1], "vgg19");
+}
+
+TEST(ArgParser, FallbacksWhenAbsent)
+{
+    auto args = parse({});
+    EXPECT_EQ(args.getString("x", "dflt"), "dflt");
+    EXPECT_EQ(args.getInt("x", 7), 7);
+}
+
+TEST(ArgParser, HasDetectsPresence)
+{
+    auto args = parse({"--a=1"});
+    EXPECT_TRUE(args.has("a"));
+    EXPECT_FALSE(args.has("b"));
+}
+
+TEST(ArgParser, NegativeNumberValue)
+{
+    auto args = parse({"--offset=-5"});
+    EXPECT_EQ(args.getInt("offset", 0), -5);
+}
+
+} // namespace
+} // namespace util
+} // namespace pra

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for counters, running stats and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace pra {
+namespace util {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.increment(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_NEAR(s.variance(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsBucketsAndOverflow)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(2, 3);
+    h.add(4);
+    h.add(9); // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(2), 3u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, MeanIncludesWeights)
+{
+    Histogram h(10);
+    h.add(2, 2);
+    h.add(8, 2);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h(10);
+    for (uint64_t v = 1; v <= 10; v++)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.1), 1u);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(1.0), 10u);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(4);
+    h.add(1);
+    h.add(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(StatRegistry, CreatesAndFindsStats)
+{
+    StatRegistry reg;
+    reg.counter("cycles").increment(10);
+    reg.counter("cycles").increment(5);
+    reg.runningStat("speedup").add(2.5);
+    EXPECT_EQ(reg.counter("cycles").value(), 15u);
+    EXPECT_EQ(reg.runningStat("speedup").count(), 1u);
+    EXPECT_EQ(reg.counterNames().size(), 1u);
+    EXPECT_EQ(reg.runningStatNames().size(), 1u);
+}
+
+TEST(StatRegistry, ReportContainsNames)
+{
+    StatRegistry reg;
+    reg.counter("nm_stalls").increment(3);
+    reg.runningStat("brick_cycles").add(4.0);
+    std::string report = reg.report();
+    EXPECT_NE(report.find("nm_stalls = 3"), std::string::npos);
+    EXPECT_NE(report.find("brick_cycles"), std::string::npos);
+}
+
+} // namespace
+} // namespace util
+} // namespace pra

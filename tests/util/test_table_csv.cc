@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the text-table and CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace pra {
+namespace util {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    // Header then separator then two rows.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("------"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Each line has the same position for the second column.
+    auto first_line_end = out.find('\n');
+    std::string header = out.substr(0, first_line_end);
+    EXPECT_EQ(header.find("value"), std::string("longer").size() + 2);
+}
+
+TEST(TextTable, RowCountTracked)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width mismatch");
+}
+
+TEST(FormatHelpers, Doubles)
+{
+    EXPECT_EQ(formatDouble(2.586, 2), "2.59");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatHelpers, Percent)
+{
+    EXPECT_EQ(formatPercent(0.281), "28.1%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, PlainRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeHeader({"a", "b"});
+    csv.writeRow({"1", "2"});
+    EXPECT_EQ(out.str(), "a,b\n1,2\n");
+    EXPECT_EQ(csv.rowsWritten(), 1u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WidthEnforcedAfterHeader)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeHeader({"a", "b"});
+    EXPECT_DEATH(csv.writeRow({"1"}), "width mismatch");
+}
+
+TEST(CsvWriter, HeaderOnlyOnce)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeHeader({"a"});
+    EXPECT_DEATH(csv.writeHeader({"b"}), "header");
+}
+
+} // namespace
+} // namespace util
+} // namespace pra
