@@ -22,11 +22,13 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
-    dnn::Network net =
-        dnn::makeNetworkByName(args.getString("network", "alexnet"));
+    bool smoke = args.getBool("smoke");
+    dnn::Network net = dnn::makeNetworkByName(
+        args.getString("network", smoke ? "tiny" : "alexnet"));
     models::SimOptions opt;
     opt.sample.maxUnits =
-        args.getBool("full") ? 0 : args.getInt("units", 24);
+        args.getBool("full") ? 0
+                             : args.getInt("units", smoke ? 2 : 24);
 
     std::printf("== Ablation: machine shape (PRA-2b vs equally-shaped "
                 "DaDN), %s ==\n(design knobs of Section IV-A1; not a "

@@ -4,16 +4,18 @@
  * (E_DaDN / E_design) for Stripes, PRA-4b, PRA-2b and PRA-2b-1R,
  * combining our simulated cycle counts with the calibrated chip
  * powers.
+ *
+ * Cycle counts come from the Engine/sweep subsystem (parallel across
+ * --threads workers); the power model stays per-design.
  */
 
 #include <cstdio>
 
 #include "bench/common.h"
 #include "energy/area_power.h"
-#include "models/dadn/dadn.h"
-#include "models/pragmatic/simulator.h"
-#include "models/stripes/stripes.h"
+#include "models/engines.h"
 #include "sim/layer_result.h"
+#include "sim/sweep.h"
 #include "util/table.h"
 
 using namespace pra;
@@ -24,47 +26,43 @@ main(int argc, char **argv)
     auto opt = bench::BenchOptions::parse(argc, argv, 48);
     bench::banner("Relative energy efficiency vs DaDN", "Figure 11");
 
-    models::DadnModel dadn;
-    models::StripesModel stripes;
-    models::PragmaticSimulator prag;
-    models::SimOptions sim_opt;
-    sim_opt.sample = opt.sample;
-    sim_opt.seed = opt.seed;
-
     double p_base = energy::dadnAreaPower().chipPower;
-    double p_str = energy::stripesAreaPower().chipPower;
-    double p_4b = energy::pragmaticPalletAreaPower(4).chipPower;
-    double p_2b = energy::pragmaticPalletAreaPower(2).chipPower;
-    double p_2b1r = energy::pragmaticColumnAreaPower(2, 1).chipPower;
+    // Figure 11 series with each design's calibrated chip power; the
+    // DaDN baseline rides along at index 0.
+    const std::vector<sim::EngineSelection> engines = {
+        {"dadn", {}},
+        {"stripes", {}},
+        {"pragmatic", {{"bits", "4"}}},
+        {"pragmatic", {{"bits", "2"}}},
+        {"pragmatic-col", {{"bits", "2"}, {"ssr", "1"}}},
+    };
+    const double powers[4] = {
+        energy::stripesAreaPower().chipPower,
+        energy::pragmaticPalletAreaPower(4).chipPower,
+        energy::pragmaticPalletAreaPower(2).chipPower,
+        energy::pragmaticColumnAreaPower(2, 1).chipPower,
+    };
+
+    sim::SweepOptions sweep;
+    sweep.threads = opt.threads;
+    sweep.sample = opt.sample;
+    sweep.seed = opt.seed;
+    auto results = sim::runSweep(opt.networks, engines,
+                                 models::builtinEngines(), sweep);
 
     util::TextTable table({"network", "Stripes", "PRA-4b", "PRA-2b",
                            "PRA-2b-1R"});
     std::vector<std::vector<double>> effs(4);
-    for (const auto &net : opt.networks) {
-        double base = dadn.run(net).totalCycles();
-        double str_speed = base / stripes.run(net).totalCycles();
-
-        models::PragmaticConfig c4b;
-        c4b.firstStageBits = 4;
-        double s4b = base / prag.run(net, c4b, sim_opt).totalCycles();
-        models::PragmaticConfig c2b;
-        c2b.firstStageBits = 2;
-        double s2b = base / prag.run(net, c2b, sim_opt).totalCycles();
-        models::PragmaticConfig c1r = c2b;
-        c1r.sync = models::SyncScheme::PerColumn;
-        c1r.ssrCount = 1;
-        double s1r = base / prag.run(net, c1r, sim_opt).totalCycles();
-
-        double e[4] = {
-            energy::energyEfficiency(str_speed, p_base, p_str),
-            energy::energyEfficiency(s4b, p_base, p_4b),
-            energy::energyEfficiency(s2b, p_base, p_2b),
-            energy::energyEfficiency(s1r, p_base, p_2b1r),
-        };
-        std::vector<std::string> row = {net.name};
-        for (int i = 0; i < 4; i++) {
-            effs[i].push_back(e[i]);
-            row.push_back(util::formatDouble(e[i]));
+    for (size_t n = 0; n < opt.networks.size(); n++) {
+        const auto &base = results[n * engines.size()];
+        std::vector<std::string> row = {opt.networks[n].name};
+        for (size_t e = 0; e < 4; e++) {
+            double speedup =
+                results[n * engines.size() + e + 1].speedupOver(base);
+            double eff = energy::energyEfficiency(speedup, p_base,
+                                                  powers[e]);
+            effs[e].push_back(eff);
+            row.push_back(util::formatDouble(eff));
         }
         table.addRow(row);
     }

@@ -3,15 +3,19 @@
  * Reproduces Figure 9: performance of Stripes and of Pragmatic with
  * 0..4-bit first-stage shifters (2-stage shifting, pallet
  * synchronization), relative to DaDianNao.
+ *
+ * Runs through the Engine/sweep subsystem: the whole
+ * (network x engine) grid fans out across --threads workers and is
+ * bit-identical to the sequential run.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
-#include "models/dadn/dadn.h"
-#include "models/pragmatic/simulator.h"
-#include "models/stripes/stripes.h"
+#include "models/engines.h"
 #include "sim/layer_result.h"
+#include "sim/sweep.h"
 #include "util/table.h"
 
 using namespace pra;
@@ -24,35 +28,38 @@ main(int argc, char **argv)
         "Pragmatic performance vs DaDN, 2-stage shifting, pallet sync",
         "Figure 9");
 
-    models::DadnModel dadn;
-    models::StripesModel stripes;
-    models::PragmaticSimulator prag;
-    models::SimOptions sim_opt;
-    sim_opt.sample = opt.sample;
-    sim_opt.seed = opt.seed;
+    // Engine grid: DaDN baseline first, then the Figure 9 series.
+    std::vector<sim::EngineSelection> engines = {{"dadn", {}},
+                                                 {"stripes", {}}};
+    for (int l = 0; l <= 4; l++)
+        engines.push_back(
+            {"pragmatic", {{"bits", std::to_string(l)}}});
+
+    sim::SweepOptions sweep;
+    sweep.threads = opt.threads;
+    sweep.sample = opt.sample;
+    sweep.seed = opt.seed;
+    auto results = sim::runSweep(opt.networks, engines,
+                                 models::builtinEngines(), sweep);
 
     util::TextTable table({"network", "Stripes", "0-bit", "1-bit",
                            "2-bit", "3-bit", "4-bit"});
-    std::vector<std::vector<double>> speedups(6);
-    for (const auto &net : opt.networks) {
-        double base = dadn.run(net).totalCycles();
-        std::vector<std::string> row = {net.name};
-        double str = base / stripes.run(net).totalCycles();
-        speedups[0].push_back(str);
-        row.push_back(util::formatDouble(str));
-        for (int l = 0; l <= 4; l++) {
-            models::PragmaticConfig config;
-            config.firstStageBits = l;
+    const size_t series = engines.size() - 1; // All but the baseline.
+    std::vector<std::vector<double>> speedups(series);
+    for (size_t n = 0; n < opt.networks.size(); n++) {
+        const auto &base = results[n * engines.size()];
+        std::vector<std::string> row = {opt.networks[n].name};
+        for (size_t e = 0; e < series; e++) {
             double s =
-                base / prag.run(net, config, sim_opt).totalCycles();
-            speedups[l + 1].push_back(s);
+                results[n * engines.size() + e + 1].speedupOver(base);
+            speedups[e].push_back(s);
             row.push_back(util::formatDouble(s));
         }
         table.addRow(row);
     }
     std::vector<std::string> geo = {"geo"};
-    for (const auto &series : speedups)
-        geo.push_back(util::formatDouble(sim::geometricMean(series)));
+    for (const auto &column : speedups)
+        geo.push_back(util::formatDouble(sim::geometricMean(column)));
     table.addRow(geo);
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper (geo): Stripes 1.85x; PRA-single (4-bit) 2.59x;"

@@ -7,6 +7,8 @@
  *   --units=N         sampling cap per layer (pallets or windows)
  *   --seed=S          workload seed
  *   --networks=a,b    comma-separated subset (default: all six)
+ *   --threads=N       worker threads for sweep-based benches
+ *   --smoke           CI smoke mode: tiny network, tiny sampling cap
  */
 
 #ifndef PRA_BENCH_COMMON_H
@@ -19,6 +21,7 @@
 #include "dnn/model_zoo.h"
 #include "sim/sampling.h"
 #include "util/args.h"
+#include "util/thread_pool.h"
 
 namespace pra {
 namespace bench {
@@ -29,18 +32,28 @@ struct BenchOptions
     sim::SampleSpec sample{64};
     uint64_t seed = 0x5eed;
     std::vector<dnn::Network> networks;
+    int threads = 1;
+    bool smoke = false;
 
     static BenchOptions
     parse(int argc, const char *const *argv, int64_t default_units = 64)
     {
         util::ArgParser args(argc, argv);
         BenchOptions opt;
+        opt.smoke = args.getBool("smoke");
+        if (opt.smoke)
+            default_units = 2; // A few pallets: exercise every code
+                               // path in seconds, accuracy is moot.
         opt.sample.maxUnits =
             args.getBool("full") ? 0
                                  : args.getInt("units", default_units);
         opt.seed = static_cast<uint64_t>(args.getInt("seed", 0x5eed));
+        opt.threads = static_cast<int>(args.getInt(
+            "threads", util::ThreadPool::hardwareThreads()));
         std::string list = args.getString("networks", "");
-        if (list.empty()) {
+        if (list.empty() && opt.smoke) {
+            opt.networks.push_back(dnn::makeTinyNetwork());
+        } else if (list.empty()) {
             opt.networks = dnn::makeAllNetworks();
         } else {
             size_t pos = 0;

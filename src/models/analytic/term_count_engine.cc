@@ -1,0 +1,136 @@
+#include "models/analytic/term_count_engine.h"
+
+#include <algorithm>
+
+#include "dnn/activation_synth.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+namespace {
+
+const char *
+seriesLabel(TermCountEngine::Series series)
+{
+    switch (series) {
+      case TermCountEngine::Series::Dadn: return "dadn";
+      case TermCountEngine::Series::Zn: return "zn";
+      case TermCountEngine::Series::Cvn: return "cvn";
+      case TermCountEngine::Series::Stripes: return "stripes";
+      case TermCountEngine::Series::PraRaw: return "pra";
+      case TermCountEngine::Series::PraTrimmed: return "pra-red";
+    }
+    util::fatal("seriesLabel: bad series");
+}
+
+double
+selectSeries(const LayerTermCounts &counts,
+             TermCountEngine::Series series)
+{
+    switch (series) {
+      case TermCountEngine::Series::Dadn: return counts.dadn;
+      case TermCountEngine::Series::Zn: return counts.zn;
+      case TermCountEngine::Series::Cvn: return counts.cvn;
+      case TermCountEngine::Series::Stripes: return counts.stripes;
+      case TermCountEngine::Series::PraRaw: return counts.praRaw;
+      case TermCountEngine::Series::PraTrimmed:
+        return counts.praTrimmed;
+    }
+    util::fatal("selectSeries: bad series");
+}
+
+/**
+ * Re-derive the trimmed stream from the raw one: AND with the layer's
+ * precision-window mask at the synthesis anchor (the same formula
+ * calibrateFixed16 uses), matching synthesizeFixed16Trimmed().
+ */
+dnn::NeuronTensor
+trimStream(const dnn::ConvLayerSpec &layer,
+           const dnn::NeuronTensor &raw)
+{
+    int anchor = std::min(dnn::kNoiseSuffixBits,
+                          16 - layer.profiledPrecision);
+    uint16_t mask = layer.precisionWindow(anchor).mask();
+    dnn::NeuronTensor trimmed = raw;
+    for (auto &value : trimmed.flat())
+        value = static_cast<uint16_t>(value & mask);
+    return trimmed;
+}
+
+} // namespace
+
+TermCountEngine::TermCountEngine(const sim::EngineKnobs &knobs)
+{
+    sim::requireKnownKnobs("terms", knobs, {"series"});
+    std::string series = sim::knobString(knobs, "series", "pra-red");
+    if (series == "dadn")
+        series_ = Series::Dadn;
+    else if (series == "zn")
+        series_ = Series::Zn;
+    else if (series == "cvn")
+        series_ = Series::Cvn;
+    else if (series == "stripes")
+        series_ = Series::Stripes;
+    else if (series == "pra")
+        series_ = Series::PraRaw;
+    else if (series == "pra-red")
+        series_ = Series::PraTrimmed;
+    else
+        util::fatal("terms: unknown series '" + series + "'");
+}
+
+std::string
+TermCountEngine::name() const
+{
+    return std::string("terms-") + seriesLabel(series_);
+}
+
+sim::LayerResult
+TermCountEngine::layerTerms(const dnn::ConvLayerSpec &layer,
+                            const dnn::NeuronTensor &raw,
+                            bool is_first_layer,
+                            const sim::SampleSpec &sample) const
+{
+    LayerTermCounts counts = countLayerTerms16(
+        layer, raw, trimStream(layer, raw), is_first_layer, sample);
+    sim::LayerResult lr;
+    lr.layerName = layer.name;
+    lr.engineName = name();
+    lr.cycles = selectSeries(counts, series_);
+    lr.effectualTerms = lr.cycles;
+    return lr;
+}
+
+sim::LayerResult
+TermCountEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+                               const dnn::NeuronTensor &input,
+                               const sim::AccelConfig &accel,
+                               const sim::SampleSpec &sample) const
+{
+    (void)accel; // Term counts are machine-shape independent.
+    return layerTerms(layer, input, false, sample);
+}
+
+sim::NetworkResult
+TermCountEngine::runNetwork(const dnn::Network &network,
+                            const dnn::ActivationSynthesizer &activations,
+                            const sim::AccelConfig &accel,
+                            const sim::SampleSpec &sample) const
+{
+    (void)accel;
+    sim::NetworkResult result;
+    result.networkName = network.name;
+    result.engineName = name();
+    result.layers.reserve(network.layers.size());
+    for (size_t i = 0; i < network.layers.size(); i++) {
+        dnn::NeuronTensor raw =
+            activations.synthesizeFixed16(static_cast<int>(i));
+        result.layers.push_back(layerTerms(network.layers[i], raw,
+                                           i == 0, sample));
+    }
+    return result;
+}
+
+} // namespace models
+} // namespace pra

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Engine-registry adapter for the analytic term-count model (kind
+ * "terms").
+ *
+ * The analytic model measures *work* (single-bit terms, the paper's
+ * Figure 2 metric), not timed cycles; the adapter reports the selected
+ * series' term count in both the cycles and effectualTerms fields, so
+ * ratios between two "terms" engines reproduce the paper's relative
+ * work-reduction numbers (e.g. terms:series=dadn over
+ * terms:series=pra-red).
+ *
+ * Knobs:
+ *   series=dadn|zn|cvn|stripes|pra|pra-red   (default pra-red)
+ *     dadn     16 terms per product (bit-parallel baseline)
+ *     zn       ideal zero-neuron skipping
+ *     cvn      Cnvlutin (no skipping in the first layer)
+ *     stripes  p terms per product at profiled precision p
+ *     pra      essential bits of the raw neurons
+ *     pra-red  essential bits after Section V-F trimming
+ */
+
+#ifndef PRA_MODELS_ANALYTIC_TERM_COUNT_ENGINE_H
+#define PRA_MODELS_ANALYTIC_TERM_COUNT_ENGINE_H
+
+#include "models/analytic/term_count.h"
+#include "sim/engine.h"
+#include "sim/engine_registry.h"
+
+namespace pra {
+namespace models {
+
+/** The analytic term-count model behind the Engine interface. */
+class TermCountEngine : public sim::Engine
+{
+  public:
+    enum class Series { Dadn, Zn, Cvn, Stripes, PraRaw, PraTrimmed };
+
+    explicit TermCountEngine(const sim::EngineKnobs &knobs);
+
+    std::string kind() const override { return "terms"; }
+    std::string name() const override;
+
+    sim::InputStream inputStream() const override
+    {
+        return sim::InputStream::Fixed16Raw;
+    }
+
+    /**
+     * Term counts of one layer. The trimmed stream is derived from
+     * @p input by the layer's precision-window mask — bit-identical
+     * to ActivationSynthesizer::synthesizeFixed16Trimmed(). The
+     * first-layer CVN rule needs network context, so this treats the
+     * layer as non-first; runNetwork() applies the rule.
+     */
+    sim::LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const dnn::NeuronTensor &input,
+                  const sim::AccelConfig &accel,
+                  const sim::SampleSpec &sample) const override;
+
+    /** Layer loop honoring the first-layer CVN rule. */
+    sim::NetworkResult
+    runNetwork(const dnn::Network &network,
+               const dnn::ActivationSynthesizer &activations,
+               const sim::AccelConfig &accel,
+               const sim::SampleSpec &sample) const override;
+
+    Series series() const { return series_; }
+
+  private:
+    Series series_ = Series::PraTrimmed;
+
+    sim::LayerResult layerTerms(const dnn::ConvLayerSpec &layer,
+                                const dnn::NeuronTensor &raw,
+                                bool is_first_layer,
+                                const sim::SampleSpec &sample) const;
+};
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_ANALYTIC_TERM_COUNT_ENGINE_H

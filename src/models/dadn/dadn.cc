@@ -23,24 +23,29 @@ DadnModel::layerCycles(const dnn::ConvLayerSpec &layer) const
            static_cast<double>(tiling.numSynapseSets());
 }
 
+sim::LayerResult
+DadnModel::layerResult(const dnn::ConvLayerSpec &layer) const
+{
+    sim::LayerResult lr;
+    lr.layerName = layer.name;
+    lr.engineName = "DaDN";
+    lr.cycles = layerCycles(layer);
+    // Every term is processed, effectual or not; count the
+    // effectual ones as 16 per product upper bound is handled by
+    // the analytic module. Here: products * 16 terms processed.
+    lr.effectualTerms = static_cast<double>(layer.products()) * 16.0;
+    lr.sbReadSteps = lr.cycles;
+    return lr;
+}
+
 sim::NetworkResult
 DadnModel::run(const dnn::Network &network) const
 {
     sim::NetworkResult result;
     result.networkName = network.name;
     result.engineName = "DaDN";
-    for (const auto &layer : network.layers) {
-        sim::LayerResult lr;
-        lr.layerName = layer.name;
-        lr.engineName = result.engineName;
-        lr.cycles = layerCycles(layer);
-        // Every term is processed, effectual or not; count the
-        // effectual ones as 16 per product upper bound is handled by
-        // the analytic module. Here: products * 16 terms processed.
-        lr.effectualTerms = static_cast<double>(layer.products()) * 16.0;
-        lr.sbReadSteps = lr.cycles;
-        result.layers.push_back(lr);
-    }
+    for (const auto &layer : network.layers)
+        result.layers.push_back(layerResult(layer));
     return result;
 }
 

@@ -41,6 +41,9 @@ class DadnModel
      */
     double layerCycles(const dnn::ConvLayerSpec &layer) const;
 
+    /** Full per-layer result (cycles, terms, SB reads) for one layer. */
+    sim::LayerResult layerResult(const dnn::ConvLayerSpec &layer) const;
+
     /** Per-layer results for a whole network. */
     sim::NetworkResult run(const dnn::Network &network) const;
 

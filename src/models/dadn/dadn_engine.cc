@@ -1,0 +1,23 @@
+#include "models/dadn/dadn_engine.h"
+
+namespace pra {
+namespace models {
+
+DadnEngine::DadnEngine(const sim::EngineKnobs &knobs)
+{
+    sim::requireKnownKnobs("dadn", knobs, {});
+}
+
+sim::LayerResult
+DadnEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+                          const dnn::NeuronTensor &input,
+                          const sim::AccelConfig &accel,
+                          const sim::SampleSpec &sample) const
+{
+    (void)input;
+    (void)sample; // DaDN cycle counts are exact; nothing to sample.
+    return DadnModel(accel).layerResult(layer);
+}
+
+} // namespace models
+} // namespace pra

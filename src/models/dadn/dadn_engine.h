@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Engine-registry adapter for the DaDianNao baseline (kind "dadn").
+ *
+ * DaDN is value-independent, so the adapter takes no knobs and
+ * requests no neuron stream.
+ */
+
+#ifndef PRA_MODELS_DADN_DADN_ENGINE_H
+#define PRA_MODELS_DADN_DADN_ENGINE_H
+
+#include "models/dadn/dadn.h"
+#include "sim/engine.h"
+#include "sim/engine_registry.h"
+
+namespace pra {
+namespace models {
+
+/** The DaDN baseline behind the uniform Engine interface. */
+class DadnEngine : public sim::Engine
+{
+  public:
+    explicit DadnEngine(const sim::EngineKnobs &knobs);
+
+    std::string kind() const override { return "dadn"; }
+    std::string name() const override { return "DaDN"; }
+
+    sim::LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const dnn::NeuronTensor &input,
+                  const sim::AccelConfig &accel,
+                  const sim::SampleSpec &sample) const override;
+};
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_DADN_DADN_ENGINE_H

@@ -1,0 +1,71 @@
+#include "models/engines.h"
+
+#include "models/analytic/term_count_engine.h"
+#include "models/dadn/dadn_engine.h"
+#include "models/pragmatic/pragmatic_engine.h"
+#include "models/stripes/stripes_engine.h"
+
+namespace pra {
+namespace models {
+
+void
+registerBuiltinEngines(sim::EngineRegistry &registry)
+{
+    registry.registerEngine(
+        "dadn", "bit-parallel DaDianNao baseline (no knobs)",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<DadnEngine>(knobs);
+        });
+    registry.registerEngine(
+        "stripes", "bit-serial Stripes baseline [precision=0..16]",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<StripesEngine>(knobs);
+        });
+    registry.registerEngine(
+        "pragmatic",
+        "Pragmatic, pallet sync [bits=0..4 trim=0|1 "
+        "repr=fixed16|quant8 nmstalls=0|1]",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<PragmaticEngine>(SyncScheme::Pallet,
+                                                     knobs);
+        });
+    registry.registerEngine(
+        "pragmatic-col",
+        "Pragmatic, per-column sync [ssr=N plus pragmatic knobs]",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<PragmaticEngine>(
+                SyncScheme::PerColumn, knobs);
+        });
+    registry.registerEngine(
+        "terms",
+        "analytic term counts [series=dadn|zn|cvn|stripes|pra|pra-red]",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<TermCountEngine>(knobs);
+        });
+}
+
+const sim::EngineRegistry &
+builtinEngines()
+{
+    static const sim::EngineRegistry registry = [] {
+        sim::EngineRegistry r;
+        registerBuiltinEngines(r);
+        return r;
+    }();
+    return registry;
+}
+
+std::vector<sim::EngineSelection>
+paperEngineGrid()
+{
+    std::vector<sim::EngineSelection> grid;
+    grid.push_back({"dadn", {}});
+    grid.push_back({"stripes", {}});
+    for (int l = 0; l <= 4; l++)
+        grid.push_back({"pragmatic", {{"bits", std::to_string(l)}}});
+    grid.push_back({"pragmatic-col", {{"bits", "2"}, {"ssr", "1"}}});
+    return grid;
+}
+
+} // namespace models
+} // namespace pra

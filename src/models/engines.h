@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The built-in engine registry: every cycle/term model in src/models
+ * registered behind the sim::Engine interface.
+ *
+ * Kinds (see each adapter header for knobs):
+ *   dadn           bit-parallel DaDianNao baseline
+ *   stripes        bit-serial Stripes baseline
+ *   pragmatic      Pragmatic, pallet synchronization
+ *   pragmatic-col  Pragmatic, per-column synchronization (SSRs)
+ *   terms          analytic term-count model (work, not cycles)
+ */
+
+#ifndef PRA_MODELS_ENGINES_H
+#define PRA_MODELS_ENGINES_H
+
+#include "sim/engine_registry.h"
+
+namespace pra {
+namespace models {
+
+/** Register the five built-in engine kinds into @p registry. */
+void registerBuiltinEngines(sim::EngineRegistry &registry);
+
+/** The shared, immutable registry of built-in engines. */
+const sim::EngineRegistry &builtinEngines();
+
+/**
+ * The paper's headline design points as a default sweep grid:
+ * DaDN, Stripes, PRA-0b..4b (pallet) and PRA-2b-1R (column).
+ */
+std::vector<sim::EngineSelection> paperEngineGrid();
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_ENGINES_H

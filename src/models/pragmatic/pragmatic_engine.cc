@@ -1,0 +1,76 @@
+#include "models/pragmatic/pragmatic_engine.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+namespace {
+
+std::string
+kindOf(SyncScheme sync)
+{
+    return sync == SyncScheme::PerColumn ? "pragmatic-col"
+                                         : "pragmatic";
+}
+
+} // namespace
+
+PragmaticEngine::PragmaticEngine(SyncScheme sync,
+                                 const sim::EngineKnobs &knobs)
+{
+    std::vector<std::string> allowed = {"bits", "trim", "repr",
+                                        "nmstalls"};
+    if (sync == SyncScheme::PerColumn)
+        allowed.push_back("ssr");
+    sim::requireKnownKnobs(kindOf(sync), knobs, allowed);
+
+    config_.sync = sync;
+    config_.firstStageBits =
+        static_cast<int>(sim::knobInt(knobs, "bits", 2));
+    if (config_.firstStageBits < 0 || config_.firstStageBits > 4)
+        util::fatal("pragmatic: bits must be in 0..4");
+    config_.softwareTrim = sim::knobBool(knobs, "trim", true);
+    config_.modelNmStalls = sim::knobBool(knobs, "nmstalls", true);
+    std::string repr = sim::knobString(knobs, "repr", "fixed16");
+    if (repr == "fixed16")
+        config_.representation = Representation::Fixed16;
+    else if (repr == "quant8")
+        config_.representation = Representation::Quant8;
+    else
+        util::fatal("pragmatic: repr must be fixed16 or quant8");
+    if (sync == SyncScheme::PerColumn) {
+        config_.ssrCount =
+            static_cast<int>(sim::knobInt(knobs, "ssr", 1));
+        if (config_.ssrCount < 0)
+            util::fatal("pragmatic-col: ssr must be >= 0");
+    }
+}
+
+std::string
+PragmaticEngine::kind() const
+{
+    return kindOf(config_.sync);
+}
+
+sim::InputStream
+PragmaticEngine::inputStream() const
+{
+    if (config_.representation == Representation::Quant8)
+        return sim::InputStream::Quant8;
+    return config_.softwareTrim ? sim::InputStream::Fixed16Trimmed
+                                : sim::InputStream::Fixed16Raw;
+}
+
+sim::LayerResult
+PragmaticEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+                               const dnn::NeuronTensor &input,
+                               const sim::AccelConfig &accel,
+                               const sim::SampleSpec &sample) const
+{
+    return PragmaticSimulator(accel).runLayer(layer, input, config_,
+                                              sample);
+}
+
+} // namespace models
+} // namespace pra

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Engine-registry adapters for Pragmatic (kinds "pragmatic" and
+ * "pragmatic-col").
+ *
+ * "pragmatic" is the pallet-synchronized design of Sections V-A4/V-B;
+ * "pragmatic-col" the per-column design of Section V-E. Knobs:
+ *   bits=L      first-stage shifter width, 0..4      (default 2)
+ *   trim=0|1    Section V-F software trimming        (default 1)
+ *   repr=fixed16|quant8  neuron representation       (default fixed16)
+ *   nmstalls=0|1  model dispatcher/NM fetch overlap  (default 1)
+ *   ssr=N       ("pragmatic-col" only) synapse set registers;
+ *               0 models the infinite-register ideal (default 1)
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_PRAGMATIC_ENGINE_H
+#define PRA_MODELS_PRAGMATIC_PRAGMATIC_ENGINE_H
+
+#include "models/pragmatic/simulator.h"
+#include "sim/engine.h"
+#include "sim/engine_registry.h"
+
+namespace pra {
+namespace models {
+
+/** Pragmatic (either sync scheme) behind the Engine interface. */
+class PragmaticEngine : public sim::Engine
+{
+  public:
+    /** @p sync selects which registry kind the knobs configure. */
+    PragmaticEngine(SyncScheme sync, const sim::EngineKnobs &knobs);
+
+    std::string kind() const override;
+    std::string name() const override { return config_.label(); }
+    sim::InputStream inputStream() const override;
+
+    sim::LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const dnn::NeuronTensor &input,
+                  const sim::AccelConfig &accel,
+                  const sim::SampleSpec &sample) const override;
+
+    const PragmaticConfig &config() const { return config_; }
+
+  private:
+    PragmaticConfig config_;
+};
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_PRAGMATIC_ENGINE_H

@@ -46,21 +46,27 @@ StripesModel::run(const dnn::Network &network,
     sim::NetworkResult result;
     result.networkName = network.name;
     result.engineName = "Stripes";
-    for (size_t i = 0; i < network.layers.size(); i++) {
-        const auto &layer = network.layers[i];
-        sim::LayerResult lr;
-        lr.layerName = layer.name;
-        lr.engineName = result.engineName;
-        lr.cycles = layerCycles(layer, precisions[i]);
-        lr.effectualTerms = static_cast<double>(layer.products()) *
-                            precisions[i];
-        lr.sbReadSteps = static_cast<double>(layer.windows()) *
-                         sim::LayerTiling(layer, config_)
-                             .numSynapseSets() /
-                         config_.windowsPerPallet;
-        result.layers.push_back(lr);
-    }
+    for (size_t i = 0; i < network.layers.size(); i++)
+        result.layers.push_back(
+            layerResult(network.layers[i], precisions[i]));
     return result;
+}
+
+sim::LayerResult
+StripesModel::layerResult(const dnn::ConvLayerSpec &layer,
+                          int precision) const
+{
+    sim::LayerResult lr;
+    lr.layerName = layer.name;
+    lr.engineName = "Stripes";
+    lr.cycles = layerCycles(layer, precision);
+    lr.effectualTerms = static_cast<double>(layer.products()) *
+                        precision;
+    lr.sbReadSteps = static_cast<double>(layer.windows()) *
+                     sim::LayerTiling(layer, config_)
+                         .numSynapseSets() /
+                     config_.windowsPerPallet;
+    return lr;
 }
 
 int64_t

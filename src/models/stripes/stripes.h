@@ -42,6 +42,13 @@ class StripesModel
     double layerCycles(const dnn::ConvLayerSpec &layer,
                        int precision) const;
 
+    /**
+     * Full per-layer result (cycles, terms, SB reads) for one layer
+     * at serial precision @p precision.
+     */
+    sim::LayerResult layerResult(const dnn::ConvLayerSpec &layer,
+                                 int precision) const;
+
     /** Run a network with its profiled per-layer precisions. */
     sim::NetworkResult run(const dnn::Network &network) const;
 

@@ -1,0 +1,42 @@
+#include "models/stripes/stripes_engine.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+StripesEngine::StripesEngine(const sim::EngineKnobs &knobs)
+{
+    sim::requireKnownKnobs("stripes", knobs, {"precision"});
+    precisionOverride_ =
+        static_cast<int>(sim::knobInt(knobs, "precision", 0));
+    if (precisionOverride_ < 0 || precisionOverride_ > 16)
+        util::fatal("stripes: precision must be in 0..16");
+}
+
+std::string
+StripesEngine::name() const
+{
+    if (precisionOverride_ == 0)
+        return "Stripes";
+    return "Stripes-p" + std::to_string(precisionOverride_);
+}
+
+sim::LayerResult
+StripesEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+                             const dnn::NeuronTensor &input,
+                             const sim::AccelConfig &accel,
+                             const sim::SampleSpec &sample) const
+{
+    (void)input;
+    (void)sample; // Stripes cycle counts are exact; nothing to sample.
+    int precision = precisionOverride_ == 0 ? layer.profiledPrecision
+                                            : precisionOverride_;
+    sim::LayerResult lr =
+        StripesModel(accel).layerResult(layer, precision);
+    lr.engineName = name();
+    return lr;
+}
+
+} // namespace models
+} // namespace pra

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Engine-registry adapter for the Stripes baseline (kind "stripes").
+ *
+ * Knobs:
+ *   precision=N  fixed serial precision for every layer (1..16);
+ *                0 (default) uses each layer's profiled precision.
+ */
+
+#ifndef PRA_MODELS_STRIPES_STRIPES_ENGINE_H
+#define PRA_MODELS_STRIPES_STRIPES_ENGINE_H
+
+#include "models/stripes/stripes.h"
+#include "sim/engine.h"
+#include "sim/engine_registry.h"
+
+namespace pra {
+namespace models {
+
+/** The Stripes baseline behind the uniform Engine interface. */
+class StripesEngine : public sim::Engine
+{
+  public:
+    explicit StripesEngine(const sim::EngineKnobs &knobs);
+
+    std::string kind() const override { return "stripes"; }
+    std::string name() const override;
+
+    sim::LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const dnn::NeuronTensor &input,
+                  const sim::AccelConfig &accel,
+                  const sim::SampleSpec &sample) const override;
+
+  private:
+    int precisionOverride_ = 0; ///< 0 = per-layer profiled precision.
+};
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_STRIPES_STRIPES_ENGINE_H

@@ -1,0 +1,45 @@
+#include "sim/engine.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace sim {
+
+dnn::NeuronTensor
+synthesizeStream(const dnn::ActivationSynthesizer &activations,
+                 int layer_idx, InputStream stream)
+{
+    switch (stream) {
+      case InputStream::None:
+        return dnn::NeuronTensor();
+      case InputStream::Fixed16Raw:
+        return activations.synthesizeFixed16(layer_idx);
+      case InputStream::Fixed16Trimmed:
+        return activations.synthesizeFixed16Trimmed(layer_idx);
+      case InputStream::Quant8:
+        return activations.synthesizeQuant8(layer_idx);
+    }
+    util::fatal("synthesizeStream: bad stream");
+}
+
+NetworkResult
+Engine::runNetwork(const dnn::Network &network,
+                   const dnn::ActivationSynthesizer &activations,
+                   const AccelConfig &accel,
+                   const SampleSpec &sample) const
+{
+    NetworkResult result;
+    result.networkName = network.name;
+    result.engineName = name();
+    result.layers.reserve(network.layers.size());
+    for (size_t i = 0; i < network.layers.size(); i++) {
+        dnn::NeuronTensor input = synthesizeStream(
+            activations, static_cast<int>(i), inputStream());
+        result.layers.push_back(simulateLayer(network.layers[i], input,
+                                              accel, sample));
+    }
+    return result;
+}
+
+} // namespace sim
+} // namespace pra

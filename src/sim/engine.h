@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The unified simulation-engine interface.
+ *
+ * Every cycle/term model in src/models adapts to this interface so
+ * that sweeps, benches and tools can treat "a thing that simulates a
+ * layer" uniformly: DaDN and Stripes (value-independent baselines),
+ * the Pragmatic pallet- and column-sync engines, and the analytic
+ * term-count model. Adapters wrap the existing models without
+ * changing their math; an engine is identified by its registry
+ * *kind* (e.g. "pragmatic") and a variant *name* derived from its
+ * knobs (e.g. "PRA-2b-1R").
+ */
+
+#ifndef PRA_SIM_ENGINE_H
+#define PRA_SIM_ENGINE_H
+
+#include <string>
+
+#include "dnn/activation_synth.h"
+#include "dnn/conv_layer.h"
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+#include "sim/accel_config.h"
+#include "sim/layer_result.h"
+#include "sim/sampling.h"
+
+namespace pra {
+namespace sim {
+
+/**
+ * Which synthesized neuron stream an engine's simulateLayer expects.
+ * None marks value-independent engines (geometry only); the sweep
+ * driver skips synthesis for them entirely.
+ */
+enum class InputStream { None, Fixed16Raw, Fixed16Trimmed, Quant8 };
+
+/** Synthesize the stream @p stream of layer @p layer_idx. */
+dnn::NeuronTensor
+synthesizeStream(const dnn::ActivationSynthesizer &activations,
+                 int layer_idx, InputStream stream);
+
+/** One simulation backend behind a uniform layer/network API. */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    /** Registry kind this engine was created under, e.g. "stripes". */
+    virtual std::string kind() const = 0;
+
+    /**
+     * Variant label embedded in results, e.g. "PRA-2b". Distinct
+     * knob settings of one kind produce distinct names.
+     */
+    virtual std::string name() const = 0;
+
+    /** The neuron stream simulateLayer expects as @p input. */
+    virtual InputStream inputStream() const { return InputStream::None; }
+
+    /**
+     * Simulate one layer. @p input carries the stream announced by
+     * inputStream() (empty for value-independent engines). The
+     * returned LayerResult has layerName and engineName filled in.
+     */
+    virtual LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const dnn::NeuronTensor &input,
+                  const AccelConfig &accel,
+                  const SampleSpec &sample) const = 0;
+
+    /**
+     * Simulate a whole network on the synthesized activation stream.
+     * The default loops simulateLayer over the layers in order,
+     * synthesizing each layer's inputStream(); engines needing extra
+     * per-layer context (e.g. the analytic model's first-layer CVN
+     * rule) override this.
+     */
+    virtual NetworkResult
+    runNetwork(const dnn::Network &network,
+               const dnn::ActivationSynthesizer &activations,
+               const AccelConfig &accel, const SampleSpec &sample) const;
+};
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_ENGINE_H

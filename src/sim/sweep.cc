@@ -1,0 +1,115 @@
+#include "sim/sweep.h"
+
+#include <cstdio>
+
+#include "dnn/activation_synth.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+std::string
+roundTrip(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+std::vector<NetworkResult>
+runSweep(const std::vector<dnn::Network> &networks,
+         const std::vector<EngineSelection> &engines,
+         const EngineRegistry &registry, const SweepOptions &options)
+{
+    util::checkInvariant(!networks.empty() && !engines.empty(),
+                         "runSweep: empty grid");
+    // Validate every selection up front so knob errors surface before
+    // any worker starts.
+    for (const auto &sel : engines)
+        registry.create(sel);
+
+    const size_t cells = networks.size() * engines.size();
+    std::vector<NetworkResult> results(cells);
+
+    auto runCell = [&](size_t net_idx, size_t eng_idx) {
+        // Each job builds its own engine and synthesizer: nothing is
+        // shared across threads, and the stream depends only on
+        // (network, seed), so any schedule yields identical results.
+        const dnn::Network &network = networks[net_idx];
+        std::unique_ptr<Engine> engine =
+            registry.create(engines[eng_idx]);
+        dnn::ActivationSynthesizer activations(network, options.seed);
+        results[net_idx * engines.size() + eng_idx] =
+            engine->runNetwork(network, activations, options.accel,
+                               options.sample);
+    };
+
+    if (options.threads <= 1) {
+        for (size_t n = 0; n < networks.size(); n++)
+            for (size_t e = 0; e < engines.size(); e++)
+                runCell(n, e);
+    } else {
+        util::ThreadPool pool(options.threads);
+        for (size_t n = 0; n < networks.size(); n++)
+            for (size_t e = 0; e < engines.size(); e++)
+                pool.submit([&runCell, n, e] { runCell(n, e); });
+        pool.wait();
+    }
+    return results;
+}
+
+const NetworkResult &
+findResult(const std::vector<NetworkResult> &results,
+           const std::string &network, const std::string &engine)
+{
+    for (const auto &result : results)
+        if (result.networkName == network &&
+            result.engineName == engine)
+            return result;
+    util::fatal("sweep: no result for (" + network + ", " + engine +
+                ")");
+}
+
+void
+writeSweepCsv(std::ostream &out,
+              const std::vector<NetworkResult> &results, bool per_layer)
+{
+    util::CsvWriter csv(out);
+    std::vector<std::string> header = {"network", "engine"};
+    if (per_layer)
+        header.push_back("layer");
+    header.insert(header.end(),
+                  {"cycles", "nm_stall_cycles", "effectual_terms",
+                   "sb_read_steps"});
+    csv.writeHeader(header);
+    for (const auto &result : results) {
+        if (per_layer) {
+            for (const auto &layer : result.layers)
+                csv.writeRow({result.networkName, result.engineName,
+                              layer.layerName, roundTrip(layer.cycles),
+                              roundTrip(layer.nmStallCycles),
+                              roundTrip(layer.effectualTerms),
+                              roundTrip(layer.sbReadSteps)});
+        } else {
+            double terms = 0.0;
+            double sb_reads = 0.0;
+            for (const auto &layer : result.layers) {
+                terms += layer.effectualTerms;
+                sb_reads += layer.sbReadSteps;
+            }
+            csv.writeRow({result.networkName, result.engineName,
+                          roundTrip(result.totalCycles()),
+                          roundTrip(result.totalStalls()),
+                          roundTrip(terms), roundTrip(sb_reads)});
+        }
+    }
+}
+
+} // namespace sim
+} // namespace pra

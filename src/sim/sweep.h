@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parallel (network x engine) sweep driver.
+ *
+ * A sweep fans the full grid of (model-zoo network, engine variant)
+ * jobs out across a worker pool and collects one NetworkResult per
+ * cell. Determinism: every job synthesizes its own activation stream
+ * from (network, seed) — no state is shared between jobs — and
+ * results are stored by grid position (network-major, engine-minor),
+ * so the output is bit-identical for any thread count, including 1.
+ */
+
+#ifndef PRA_SIM_SWEEP_H
+#define PRA_SIM_SWEEP_H
+
+#include <ostream>
+#include <vector>
+
+#include "dnn/network.h"
+#include "sim/accel_config.h"
+#include "sim/engine_registry.h"
+#include "sim/layer_result.h"
+#include "sim/sampling.h"
+
+namespace pra {
+namespace sim {
+
+/** Options shared by every job of a sweep. */
+struct SweepOptions
+{
+    int threads = 1;          ///< Worker threads (<= 1: sequential).
+    AccelConfig accel;        ///< Machine configuration.
+    SampleSpec sample{64};    ///< Per-layer sampling cap.
+    uint64_t seed = 0x5eed;   ///< Activation-synthesis seed.
+};
+
+/**
+ * Run the (networks x engines) grid. Returns one NetworkResult per
+ * cell in grid order: all engines of networks[0], then networks[1],
+ * ... Engine selections are validated (instantiated once) before any
+ * worker starts, so bad knobs fail fast.
+ */
+std::vector<NetworkResult>
+runSweep(const std::vector<dnn::Network> &networks,
+         const std::vector<EngineSelection> &engines,
+         const EngineRegistry &registry, const SweepOptions &options);
+
+/**
+ * Find the cell for (network, engine-label) in sweep results;
+ * fatal() when absent.
+ */
+const NetworkResult &findResult(const std::vector<NetworkResult> &results,
+                                const std::string &network,
+                                const std::string &engine);
+
+/**
+ * Emit sweep results as CSV in grid order. Per-network totals by
+ * default; @p per_layer adds one row per layer instead. Formatting
+ * uses round-trip precision, so two result sets are bit-identical iff
+ * their CSV dumps are byte-identical.
+ */
+void writeSweepCsv(std::ostream &out,
+                   const std::vector<NetworkResult> &results,
+                   bool per_layer = false);
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_SWEEP_H

@@ -2,8 +2,9 @@
  * @file
  * A tiny command-line flag parser shared by benches and examples.
  *
- * Flags look like "--name=value" or "--name value"; bare "--name" sets
- * a boolean. Anything else is a positional argument.
+ * Flags look like "--name=value"; bare "--name" sets a boolean.
+ * Anything else is a positional argument. ("--name value" is
+ * deliberately unsupported: it is ambiguous against positionals.)
  */
 
 #ifndef PRA_UTIL_ARGS_H

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+ThreadPool::ThreadPool(int threads)
+{
+    int count = std::max(1, threads);
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    util::checkInvariant(static_cast<bool>(job),
+                         "ThreadPool: empty job");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        util::checkInvariant(!stop_,
+                             "ThreadPool: submit after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            active_++;
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            active_--;
+            if (queue_.empty() && active_ == 0)
+                drained_.notify_all();
+        }
+    }
+}
+
+} // namespace util
+} // namespace pra

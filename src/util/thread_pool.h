@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A minimal fixed-size worker pool for fan-out/join workloads.
+ *
+ * The sweep driver submits independent (network, engine) jobs and
+ * waits for all of them; jobs write their results into caller-owned
+ * slots, so completion order never affects output order. The pool is
+ * deliberately small: submit + wait, no futures, no work stealing.
+ */
+
+#ifndef PRA_UTIL_THREAD_POOL_H
+#define PRA_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pra {
+namespace util {
+
+/** Fixed-size worker pool; jobs are void() callables. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. A count <= 1 still starts one worker
+     * thread; use hardwareThreads() for an automatic choice.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers; pending jobs are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Must not be called after shutdown began. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;   ///< Signals workers: job or stop.
+    std::condition_variable drained_; ///< Signals wait(): all idle.
+    int active_ = 0;                  ///< Jobs currently executing.
+    bool stop_ = false;
+
+    void workerLoop();
+};
+
+} // namespace util
+} // namespace pra
+
+#endif // PRA_UTIL_THREAD_POOL_H

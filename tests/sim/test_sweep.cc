@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the engine registry and the parallel sweep driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "models/analytic/term_count.h"
+#include "models/dadn/dadn.h"
+#include "models/engines.h"
+#include "models/pragmatic/simulator.h"
+#include "models/stripes/stripes.h"
+#include "sim/sweep.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+SweepOptions
+tinyOptions(int threads)
+{
+    SweepOptions options;
+    options.threads = threads;
+    options.sample.maxUnits = 2;
+    return options;
+}
+
+std::vector<EngineSelection>
+allKindsGrid()
+{
+    std::vector<EngineSelection> grid;
+    for (const auto &kind : models::builtinEngines().kinds())
+        grid.push_back({kind, {}});
+    return grid;
+}
+
+TEST(EngineRegistry, ExposesAllFiveEngines)
+{
+    const auto &registry = models::builtinEngines();
+    EXPECT_EQ(registry.size(), 5u);
+    for (const char *kind : {"dadn", "stripes", "pragmatic",
+                             "pragmatic-col", "terms"}) {
+        EXPECT_TRUE(registry.has(kind)) << kind;
+        auto engine = registry.create(kind);
+        ASSERT_NE(engine, nullptr);
+        EXPECT_EQ(engine->kind(), kind);
+        EXPECT_FALSE(engine->name().empty());
+    }
+}
+
+TEST(EngineRegistry, KnobsSelectVariants)
+{
+    const auto &registry = models::builtinEngines();
+    EXPECT_EQ(registry.create("pragmatic", {{"bits", "4"}})->name(),
+              "PRA-4b");
+    EXPECT_EQ(registry
+                  .create("pragmatic-col",
+                          {{"bits", "2"}, {"ssr", "1"}})
+                  ->name(),
+              "PRA-2b-1R");
+    EXPECT_EQ(registry.create("terms", {{"series", "zn"}})->name(),
+              "terms-zn");
+    EXPECT_EQ(registry.create("stripes", {{"precision", "8"}})->name(),
+              "Stripes-p8");
+}
+
+TEST(EngineRegistry, ParseEngineSpec)
+{
+    EngineSelection sel =
+        parseEngineSpec("pragmatic-col:bits=2:ssr=4");
+    EXPECT_EQ(sel.kind, "pragmatic-col");
+    ASSERT_EQ(sel.knobs.size(), 2u);
+    EXPECT_EQ(sel.knobs.at("bits"), "2");
+    EXPECT_EQ(sel.knobs.at("ssr"), "4");
+
+    EngineSelection bare = parseEngineSpec("dadn");
+    EXPECT_EQ(bare.kind, "dadn");
+    EXPECT_TRUE(bare.knobs.empty());
+}
+
+TEST(EngineRegistryDeathTest, RejectsUnknownKindAndKnob)
+{
+    const auto &registry = models::builtinEngines();
+    EXPECT_DEATH(registry.create("warp-drive"), "unknown engine");
+    EXPECT_DEATH(registry.create("dadn", {{"bogus", "1"}}),
+                 "unknown knob");
+}
+
+TEST(EngineAdapters, DadnMatchesModel)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    AccelConfig accel;
+    auto engine = models::builtinEngines().create("dadn");
+    NetworkResult via_engine =
+        engine->runNetwork(net, synth, accel, SampleSpec{0});
+    NetworkResult direct = models::DadnModel(accel).run(net);
+    ASSERT_EQ(via_engine.layers.size(), direct.layers.size());
+    EXPECT_EQ(via_engine.totalCycles(), direct.totalCycles());
+    EXPECT_EQ(via_engine.engineName, direct.engineName);
+}
+
+TEST(EngineAdapters, StripesMatchesModel)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    AccelConfig accel;
+    auto engine = models::builtinEngines().create("stripes");
+    NetworkResult via_engine =
+        engine->runNetwork(net, synth, accel, SampleSpec{0});
+    NetworkResult direct = models::StripesModel(accel).run(net);
+    EXPECT_EQ(via_engine.totalCycles(), direct.totalCycles());
+}
+
+TEST(EngineAdapters, PragmaticMatchesSimulator)
+{
+    auto net = dnn::makeTinyNetwork();
+    models::SimOptions sim_opt;
+    sim_opt.sample.maxUnits = 2;
+    dnn::ActivationSynthesizer synth(net, sim_opt.seed);
+    AccelConfig accel;
+
+    for (const EngineSelection &sel :
+         {EngineSelection{"pragmatic", {{"bits", "2"}}},
+          EngineSelection{"pragmatic-col",
+                          {{"bits", "2"}, {"ssr", "1"}}}}) {
+        auto engine = models::builtinEngines().create(sel);
+        NetworkResult via_engine = engine->runNetwork(
+            net, synth, accel, sim_opt.sample);
+
+        models::PragmaticConfig config;
+        config.firstStageBits = 2;
+        if (sel.kind == "pragmatic-col") {
+            config.sync = models::SyncScheme::PerColumn;
+            config.ssrCount = 1;
+        }
+        NetworkResult direct = models::PragmaticSimulator(accel).run(
+            net, config, sim_opt);
+        EXPECT_EQ(via_engine.totalCycles(), direct.totalCycles())
+            << sel.kind;
+        EXPECT_EQ(via_engine.totalStalls(), direct.totalStalls())
+            << sel.kind;
+        EXPECT_EQ(via_engine.engineName, direct.engineName);
+    }
+}
+
+TEST(EngineAdapters, TermsTrimmingMatchesSynthesizer)
+{
+    // The terms engine re-derives the trimmed stream from the raw
+    // one; its pra-red counts must agree with counts taken on the
+    // synthesizer's own trimmed stream (same mask, same anchor).
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    SampleSpec sample{4};
+    auto engine = models::builtinEngines().create(
+        "terms", {{"series", "pra-red"}});
+    NetworkResult via_engine =
+        engine->runNetwork(net, synth, AccelConfig{}, sample);
+
+    double expected = 0.0;
+    for (size_t i = 0; i < net.layers.size(); i++) {
+        auto counts = models::countLayerTerms16(
+            net.layers[i],
+            synth.synthesizeFixed16(static_cast<int>(i)),
+            synth.synthesizeFixed16Trimmed(static_cast<int>(i)),
+            i == 0, sample);
+        expected += counts.praTrimmed;
+    }
+    EXPECT_DOUBLE_EQ(via_engine.totalCycles(), expected);
+}
+
+TEST(Sweep, ParallelBitIdenticalToSequential)
+{
+    // Two zoo networks, every engine kind: a 4-thread sweep must be
+    // bit-identical to the single-threaded one, field by field.
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork(),
+                                          dnn::makeAlexNet()};
+    auto grid = allKindsGrid();
+    auto seq = runSweep(networks, grid, models::builtinEngines(),
+                        tinyOptions(1));
+    auto par = runSweep(networks, grid, models::builtinEngines(),
+                        tinyOptions(4));
+    ASSERT_EQ(seq.size(), par.size());
+    for (size_t i = 0; i < seq.size(); i++) {
+        EXPECT_EQ(seq[i].networkName, par[i].networkName);
+        EXPECT_EQ(seq[i].engineName, par[i].engineName);
+        ASSERT_EQ(seq[i].layers.size(), par[i].layers.size());
+        for (size_t l = 0; l < seq[i].layers.size(); l++) {
+            const auto &a = seq[i].layers[l];
+            const auto &b = par[i].layers[l];
+            EXPECT_EQ(a.cycles, b.cycles);
+            EXPECT_EQ(a.effectualTerms, b.effectualTerms);
+            EXPECT_EQ(a.nmStallCycles, b.nmStallCycles);
+            EXPECT_EQ(a.sbReadSteps, b.sbReadSteps);
+            EXPECT_EQ(a.sampleScale, b.sampleScale);
+        }
+    }
+}
+
+TEST(Sweep, CsvDeterministicallyOrdered)
+{
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    std::vector<EngineSelection> grid = {
+        {"stripes", {}}, {"dadn", {}}, {"pragmatic", {{"bits", "2"}}}};
+
+    auto seq = runSweep(networks, grid, models::builtinEngines(),
+                        tinyOptions(1));
+    auto par = runSweep(networks, grid, models::builtinEngines(),
+                        tinyOptions(4));
+    std::ostringstream csv_seq, csv_par;
+    writeSweepCsv(csv_seq, seq);
+    writeSweepCsv(csv_par, par);
+    // Byte-identical dumps regardless of completion order...
+    EXPECT_EQ(csv_seq.str(), csv_par.str());
+
+    // ...and rows follow grid order, not alphabetical or completion
+    // order: stripes, dadn, pragmatic.
+    std::istringstream lines(csv_seq.str());
+    std::string header, row1, row2, row3;
+    std::getline(lines, header);
+    std::getline(lines, row1);
+    std::getline(lines, row2);
+    std::getline(lines, row3);
+    EXPECT_EQ(header.rfind("network,engine,cycles", 0), 0u);
+    EXPECT_EQ(row1.rfind("Tiny,Stripes,", 0), 0u);
+    EXPECT_EQ(row2.rfind("Tiny,DaDN,", 0), 0u);
+    EXPECT_EQ(row3.rfind("Tiny,PRA-2b,", 0), 0u);
+}
+
+TEST(Sweep, FindResult)
+{
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    std::vector<EngineSelection> grid = {{"dadn", {}},
+                                         {"stripes", {}}};
+    auto results = runSweep(networks, grid, models::builtinEngines(),
+                            tinyOptions(1));
+    EXPECT_EQ(findResult(results, "Tiny", "Stripes").engineName,
+              "Stripes");
+    EXPECT_GT(findResult(results, "Tiny", "DaDN").totalCycles(), 0.0);
+}
+
+TEST(Sweep, PaperGridCoversHeadlineDesigns)
+{
+    auto grid = models::paperEngineGrid();
+    // DaDN + Stripes + PRA-0b..4b + PRA-2b-1R.
+    EXPECT_EQ(grid.size(), 8u);
+    const auto &registry = models::builtinEngines();
+    std::vector<std::string> names;
+    for (const auto &sel : grid)
+        names.push_back(registry.create(sel)->name());
+    EXPECT_EQ(names.front(), "DaDN");
+    EXPECT_EQ(names.back(), "PRA-2b-1R");
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

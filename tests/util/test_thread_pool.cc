@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the worker pool used by the sweep driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace pra {
+namespace util {
+namespace {
+
+TEST(ThreadPool, RunsEveryJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns)
+{
+    ThreadPool pool(2);
+    pool.wait(); // Nothing submitted: must not block.
+    SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadClampsToOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; i++)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, JobsWriteDisjointSlots)
+{
+    // The sweep's usage pattern: jobs write results into their own
+    // slot of a caller-owned vector; no job sees another's slot.
+    ThreadPool pool(4);
+    std::vector<int> slots(64, -1);
+    for (size_t i = 0; i < slots.size(); i++)
+        pool.submit(
+            [&slots, i] { slots[i] = static_cast<int>(i) * 3; });
+    pool.wait();
+    for (size_t i = 0; i < slots.size(); i++)
+        EXPECT_EQ(slots[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; i++)
+            pool.submit([&count] { count.fetch_add(1); });
+        // No wait(): destruction must still complete the queue.
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+} // namespace
+} // namespace util
+} // namespace pra

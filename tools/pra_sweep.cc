@@ -1,0 +1,169 @@
+/**
+ * @file
+ * pra_sweep: run the (network x engine x config) grid in one shot.
+ *
+ *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
+ *             [--threads N] [--units N | --full] [--seed S]
+ *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
+ *
+ * An engine spec is "kind[:key=value]*", e.g. "pragmatic:bits=2" or
+ * "pragmatic-col:bits=2:ssr=1"; see --list-engines for kinds and
+ * knobs. "--engines paper" (default) runs the paper's headline design
+ * points; "--engines all" runs one default instance of every
+ * registered kind. Results stream as CSV to --csv (default stdout),
+ * with a speedup-vs-DaDN summary table on stderr when DaDN is in the
+ * grid. Output is bit-identical for any --threads value.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "dnn/model_zoo.h"
+#include "models/engines.h"
+#include "sim/sweep.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace pra;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string item =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (!item.empty())
+            items.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return items;
+}
+
+std::vector<dnn::Network>
+parseNetworks(const std::string &list)
+{
+    if (list == "all")
+        return dnn::makeAllNetworks();
+    std::vector<dnn::Network> networks;
+    for (const auto &name : splitList(list))
+        networks.push_back(dnn::makeNetworkByName(name));
+    if (networks.empty())
+        util::fatal("no networks selected");
+    return networks;
+}
+
+std::vector<sim::EngineSelection>
+parseEngines(const std::string &list)
+{
+    if (list == "paper")
+        return models::paperEngineGrid();
+    if (list == "all") {
+        std::vector<sim::EngineSelection> grid;
+        for (const auto &kind : models::builtinEngines().kinds())
+            grid.push_back({kind, {}});
+        return grid;
+    }
+    std::vector<sim::EngineSelection> grid;
+    for (const auto &spec : splitList(list))
+        grid.push_back(sim::parseEngineSpec(spec));
+    if (grid.empty())
+        util::fatal("no engines selected");
+    return grid;
+}
+
+/** Speedup-vs-DaDN table on stderr (skipped when DaDN absent). */
+void
+printSummary(const std::vector<dnn::Network> &networks,
+             const std::vector<sim::NetworkResult> &results,
+             size_t num_engines)
+{
+    bool have_dadn = false;
+    for (size_t e = 0; e < num_engines; e++)
+        if (results[e].engineName == "DaDN")
+            have_dadn = true;
+    if (!have_dadn)
+        return;
+
+    std::vector<std::string> header = {"network"};
+    for (size_t e = 0; e < num_engines; e++)
+        header.push_back(results[e].engineName);
+    util::TextTable table(header);
+    for (size_t n = 0; n < networks.size(); n++) {
+        const auto &base =
+            sim::findResult(results, networks[n].name, "DaDN");
+        std::vector<std::string> row = {networks[n].name};
+        for (size_t e = 0; e < num_engines; e++) {
+            const auto &cell = results[n * num_engines + e];
+            // The analytic terms engines report work, not cycles; a
+            // cycle ratio against them would be meaningless.
+            if (cell.engineName.rfind("terms-", 0) == 0)
+                row.push_back("-");
+            else
+                row.push_back(
+                    util::formatDouble(cell.speedupOver(base)));
+        }
+        table.addRow(row);
+    }
+    std::fprintf(stderr, "speedup over DaDN:\n%s\n",
+                 table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(argc, argv);
+
+    if (args.getBool("list-engines")) {
+        const auto &registry = models::builtinEngines();
+        for (const auto &kind : registry.kinds())
+            std::printf("%-14s %s\n", kind.c_str(),
+                        registry.help(kind).c_str());
+        return 0;
+    }
+
+    bool smoke = args.getBool("smoke");
+    std::vector<dnn::Network> networks = parseNetworks(
+        args.getString("networks", smoke ? "tiny" : "all"));
+    std::vector<sim::EngineSelection> engines =
+        parseEngines(args.getString("engines", "paper"));
+
+    sim::SweepOptions options;
+    options.threads = static_cast<int>(
+        args.getInt("threads", util::ThreadPool::hardwareThreads()));
+    int64_t default_units = smoke ? 4 : 64;
+    options.sample.maxUnits =
+        args.getBool("full") ? 0 : args.getInt("units", default_units);
+    options.seed = static_cast<uint64_t>(args.getInt("seed", 0x5eed));
+
+    std::vector<sim::NetworkResult> results = sim::runSweep(
+        networks, engines, models::builtinEngines(), options);
+
+    std::string csv_path = args.getString("csv", "");
+    bool per_layer = args.getBool("per-layer");
+    if (csv_path.empty()) {
+        sim::writeSweepCsv(std::cout, results, per_layer);
+    } else {
+        std::ofstream out(csv_path);
+        if (!out)
+            util::fatal("cannot open '" + csv_path + "'");
+        sim::writeSweepCsv(out, results, per_layer);
+        std::fprintf(stderr, "wrote %zu cells to %s\n",
+                     results.size(), csv_path.c_str());
+    }
+    printSummary(networks, results, engines.size());
+    return 0;
+}
