@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
+    args.checkUnknown({"smoke", "network", "full", "units"});
     bool smoke = args.getBool("smoke");
     dnn::Network net = dnn::makeNetworkByName(
         args.getString("network", smoke ? "tiny" : "alexnet"));

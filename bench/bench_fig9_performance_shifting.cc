@@ -37,6 +37,8 @@ main(int argc, char **argv)
 
     sim::SweepOptions sweep;
     sweep.threads = opt.threads;
+    sweep.innerThreads = opt.innerThreads;
+    sweep.cache = opt.cache;
     sweep.sample = opt.sample;
     sweep.seed = opt.seed;
     auto results = sim::runSweep(opt.networks, engines,

@@ -2,8 +2,10 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's hot kernels:
  * oneffset generation, brick scheduling across first-stage widths,
- * the functional PIP, and activation synthesis. These gate the
- * simulator's own throughput, not the modeled hardware.
+ * the functional PIP, activation synthesis, and the workload-cache
+ * substrate (brick-plane construction, plane-served vs tensor-served
+ * pallet-sync layer simulation). These gate the simulator's own
+ * throughput, not the modeled hardware.
  */
 
 #include <benchmark/benchmark.h>
@@ -15,6 +17,8 @@
 #include "fixedpoint/oneffset.h"
 #include "models/pragmatic/pip.h"
 #include "models/pragmatic/schedule.h"
+#include "models/pragmatic/tile.h"
+#include "sim/workload_cache.h"
 #include "util/random.h"
 
 using namespace pra;
@@ -98,6 +102,75 @@ BM_ActivationSynthesisLayer(benchmark::State &state)
         benchmark::DoNotOptimize(synth.synthesizeFixed16(2));
 }
 BENCHMARK(BM_ActivationSynthesisLayer);
+
+void
+BM_BrickPlanesBuild(benchmark::State &state)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    auto tensor = synth.synthesizeFixed16Trimmed(2);
+    for (auto _ : state) {
+        // Clone outside the timed region: the workload takes its
+        // tensor by value and this should measure plane construction,
+        // not a megabyte memcpy.
+        state.PauseTiming();
+        dnn::NeuronTensor copy = tensor;
+        state.ResumeTiming();
+        sim::LayerWorkload workload(std::move(copy));
+        benchmark::DoNotOptimize(&workload.brickPlanes());
+    }
+}
+BENCHMARK(BM_BrickPlanesBuild);
+
+/**
+ * One pallet-sync layer, first-stage width from the range argument:
+ * the tensor path rederives every brick schedule, the workload path
+ * serves term counts and L=0/L=4 schedule lengths from the shared
+ * planes.
+ */
+void
+BM_PalletSyncLayerTensor(benchmark::State &state)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    auto tensor = synth.synthesizeFixed16Trimmed(2);
+    models::PragmaticTileConfig tile;
+    tile.firstStageBits = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(models::simulateLayerPalletSync(
+            net.layers[2], tensor, sim::AccelConfig{}, tile,
+            sim::SampleSpec{16}));
+}
+BENCHMARK(BM_PalletSyncLayerTensor)->DenseRange(0, 4, 2);
+
+void
+BM_PalletSyncLayerWorkload(benchmark::State &state)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    sim::LayerWorkload workload(synth.synthesizeFixed16Trimmed(2));
+    workload.brickPlanes(); // Build outside the timed region.
+    models::PragmaticTileConfig tile;
+    tile.firstStageBits = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(models::simulateLayerPalletSync(
+            net.layers[2], workload, sim::AccelConfig{}, tile,
+            sim::SampleSpec{16}, util::InnerExecutor()));
+}
+BENCHMARK(BM_PalletSyncLayerWorkload)->DenseRange(0, 4, 2);
+
+void
+BM_WorkloadCacheHit(benchmark::State &state)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    sim::WorkloadCache cache;
+    cache.layer(synth, 0, sim::InputStream::Fixed16Trimmed);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.layer(synth, 0, sim::InputStream::Fixed16Trimmed));
+}
+BENCHMARK(BM_WorkloadCacheHit);
 
 } // namespace
 

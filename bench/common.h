@@ -8,7 +8,13 @@
  *   --seed=S          workload seed
  *   --networks=a,b    comma-separated subset (default: all six)
  *   --threads=N       worker threads for sweep-based benches
+ *   --inner-threads=N per-cell layer-splitting cap (0 = automatic)
+ *   --cache=on|off    share synthesized workloads across the grid
  *   --smoke           CI smoke mode: tiny network, tiny sampling cap
+ *
+ * Unknown flags fail loudly (a typo like --smke must not run the
+ * full bench); benches with extra flags declare them via the
+ * extra_flags argument of parse().
  */
 
 #ifndef PRA_BENCH_COMMON_H
@@ -33,12 +39,21 @@ struct BenchOptions
     uint64_t seed = 0x5eed;
     std::vector<dnn::Network> networks;
     int threads = 1;
+    int innerThreads = 0;
+    bool cache = true;
     bool smoke = false;
 
     static BenchOptions
-    parse(int argc, const char *const *argv, int64_t default_units = 64)
+    parse(int argc, const char *const *argv, int64_t default_units = 64,
+          const std::vector<std::string> &extra_flags = {})
     {
         util::ArgParser args(argc, argv);
+        std::vector<std::string> known = {
+            "full", "units",   "seed",         "networks",
+            "threads", "smoke", "inner-threads", "cache"};
+        known.insert(known.end(), extra_flags.begin(),
+                     extra_flags.end());
+        args.checkUnknown(known);
         BenchOptions opt;
         opt.smoke = args.getBool("smoke");
         if (opt.smoke)
@@ -50,6 +65,9 @@ struct BenchOptions
         opt.seed = static_cast<uint64_t>(args.getInt("seed", 0x5eed));
         opt.threads = static_cast<int>(args.getInt(
             "threads", util::ThreadPool::hardwareThreads()));
+        opt.innerThreads =
+            static_cast<int>(args.getInt("inner-threads", 0));
+        opt.cache = args.getBool("cache", true);
         std::string list = args.getString("networks", "");
         if (list.empty() && opt.smoke) {
             opt.networks.push_back(dnn::makeTinyNetwork());

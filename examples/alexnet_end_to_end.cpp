@@ -28,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
+    args.checkUnknown({"network", "full", "units", "csv"});
     dnn::Network net =
         dnn::makeNetworkByName(args.getString("network", "alexnet"));
     models::SimOptions opt;

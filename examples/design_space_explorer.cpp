@@ -9,7 +9,8 @@
  * parallel sweep grid, optionally exported as CSV.
  *
  *   ./design_space_explorer [--network=vggm] [--units=48]
- *                           [--threads=N] [--csv=FILE] [--smoke]
+ *                           [--threads=N] [--inner-threads=N]
+ *                           [--cache=on|off] [--csv=FILE] [--smoke]
  */
 
 #include <cstdio>
@@ -30,6 +31,8 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
+    args.checkUnknown({"network", "units", "full", "threads",
+                       "inner-threads", "cache", "csv", "smoke"});
     bool smoke = args.getBool("smoke");
     dnn::Network net = dnn::makeNetworkByName(
         args.getString("network", smoke ? "tiny" : "vggm"));
@@ -39,8 +42,14 @@ main(int argc, char **argv)
         args.getBool("full")
             ? 0
             : args.getInt("units", smoke ? 2 : 48);
+    // One network x eleven engines: exactly the small-grid case the
+    // two-level sweep is for — spare workers split layers instead of
+    // idling.
     sweep.threads = static_cast<int>(args.getInt(
         "threads", util::ThreadPool::hardwareThreads()));
+    sweep.innerThreads =
+        static_cast<int>(args.getInt("inner-threads", 0));
+    sweep.cache = args.getBool("cache", true);
 
     // The exploration grid: DaDN baseline, pallet sync over the
     // first-stage shifter width, column sync at L == 2 over SSRs.

@@ -28,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
+    args.checkUnknown({"network", "full", "units"});
     dnn::Network net =
         dnn::makeNetworkByName(args.getString("network", "googlenet"));
 

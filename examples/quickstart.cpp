@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
+    args.checkUnknown({"network", "layer"});
     dnn::Network net =
         dnn::makeNetworkByName(args.getString("network", "alexnet"));
     int layer_idx = static_cast<int>(args.getInt("layer", 2));

@@ -148,6 +148,9 @@ class ActivationSynthesizer
 
     const Network &network() const { return network_; }
 
+    /** The workload seed streams derive from (cache-key component). */
+    uint64_t seed() const { return seed_; }
+
     /**
      * Synthesize the raw 16-bit fixed-point input stream of layer
      * @p layer_idx (untrimmed: suffix noise present).

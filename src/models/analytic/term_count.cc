@@ -54,6 +54,67 @@ windowStats(const dnn::ConvLayerSpec &layer, const dnn::NeuronTensor &raw,
     return stats;
 }
 
+/**
+ * The same accumulation as windowStats, but summing whole bricks from
+ * the precomputed planes (identical integers, ~kBrickSize fewer
+ * iterations).
+ */
+WindowStats
+planeWindowStats(const dnn::ConvLayerSpec &layer,
+                 const sim::BrickPlanes &raw,
+                 const sim::BrickPlanes &trimmed, int wx, int wy)
+{
+    WindowStats stats;
+    int base_x = wx * layer.stride - layer.pad;
+    int base_y = wy * layer.stride - layer.pad;
+    for (int fy = 0; fy < layer.filterY; fy++) {
+        int y = base_y + fy;
+        for (int fx = 0; fx < layer.filterX; fx++) {
+            int x = base_x + fx;
+            stats.elements += layer.inputChannels;
+            if (x < 0 || x >= layer.inputX || y < 0 ||
+                y >= layer.inputY)
+                continue;
+            size_t idx = raw.index(x, y, 0);
+            for (int b = 0; b < raw.bricksPerColumn; b++) {
+                stats.nonZero += raw.nonZero[idx + b];
+                stats.popRaw += raw.pop[idx + b];
+                stats.popTrimmed += trimmed.pop[idx + b];
+            }
+        }
+    }
+    return stats;
+}
+
+/** Fold one window's stats into the layer counts. */
+void
+addWindowCounts(LayerTermCounts &counts, const dnn::ConvLayerSpec &layer,
+                const WindowStats &stats, bool is_first_layer)
+{
+    double filters = static_cast<double>(layer.numFilters);
+    counts.dadn += 16.0 * stats.elements * filters;
+    counts.zn += 16.0 * stats.nonZero * filters;
+    counts.cvn += 16.0 *
+                  (is_first_layer ? stats.elements : stats.nonZero) *
+                  filters;
+    counts.stripes += static_cast<double>(layer.profiledPrecision) *
+                      stats.elements * filters;
+    counts.praRaw += static_cast<double>(stats.popRaw) * filters;
+    counts.praTrimmed += static_cast<double>(stats.popTrimmed) *
+                         filters;
+}
+
+void
+scaleCounts(LayerTermCounts &counts, double scale)
+{
+    counts.dadn *= scale;
+    counts.zn *= scale;
+    counts.cvn *= scale;
+    counts.stripes *= scale;
+    counts.praRaw *= scale;
+    counts.praTrimmed *= scale;
+}
+
 } // namespace
 
 LayerTermCounts
@@ -71,24 +132,33 @@ countLayerTerms16(const dnn::ConvLayerSpec &layer,
         int wx = static_cast<int>(w % layer.outX());
         int wy = static_cast<int>(w / layer.outX());
         WindowStats stats = windowStats(layer, raw, &trimmed, wx, wy);
-        double filters = static_cast<double>(layer.numFilters);
-        counts.dadn += 16.0 * stats.elements * filters;
-        counts.zn += 16.0 * stats.nonZero * filters;
-        counts.cvn += 16.0 *
-                      (is_first_layer ? stats.elements : stats.nonZero) *
-                      filters;
-        counts.stripes += static_cast<double>(layer.profiledPrecision) *
-                          stats.elements * filters;
-        counts.praRaw += static_cast<double>(stats.popRaw) * filters;
-        counts.praTrimmed += static_cast<double>(stats.popTrimmed) *
-                             filters;
+        addWindowCounts(counts, layer, stats, is_first_layer);
     }
-    counts.dadn *= plan.scale;
-    counts.zn *= plan.scale;
-    counts.cvn *= plan.scale;
-    counts.stripes *= plan.scale;
-    counts.praRaw *= plan.scale;
-    counts.praTrimmed *= plan.scale;
+    scaleCounts(counts, plan.scale);
+    return counts;
+}
+
+LayerTermCounts
+countLayerTerms16(const dnn::ConvLayerSpec &layer,
+                  const sim::LayerWorkload &raw,
+                  const sim::LayerWorkload &trimmed,
+                  bool is_first_layer, const sim::SampleSpec &sample)
+{
+    sim::SamplePlan plan = sim::planSample(layer.windows(), sample);
+    util::checkInvariant(!plan.indices.empty(),
+                         "countLayerTerms16: no windows");
+
+    const sim::BrickPlanes &raw_planes = raw.brickPlanes();
+    const sim::BrickPlanes &trimmed_planes = trimmed.brickPlanes();
+    LayerTermCounts counts;
+    for (int64_t w : plan.indices) {
+        int wx = static_cast<int>(w % layer.outX());
+        int wy = static_cast<int>(w / layer.outX());
+        WindowStats stats = planeWindowStats(layer, raw_planes,
+                                             trimmed_planes, wx, wy);
+        addWindowCounts(counts, layer, stats, is_first_layer);
+    }
+    scaleCounts(counts, plan.scale);
     return counts;
 }
 

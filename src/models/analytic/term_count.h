@@ -26,6 +26,7 @@
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "sim/sampling.h"
+#include "sim/workload_cache.h"
 
 namespace pra {
 namespace models {
@@ -54,6 +55,17 @@ LayerTermCounts
 countLayerTerms16(const dnn::ConvLayerSpec &layer,
                   const dnn::NeuronTensor &raw,
                   const dnn::NeuronTensor &trimmed,
+                  bool is_first_layer, const sim::SampleSpec &sample);
+
+/**
+ * Workload-view variant: identical counts, accumulated brick-at-a-
+ * time from the precomputed per-brick term planes instead of element
+ * by element.
+ */
+LayerTermCounts
+countLayerTerms16(const dnn::ConvLayerSpec &layer,
+                  const sim::LayerWorkload &raw,
+                  const sim::LayerWorkload &trimmed,
                   bool is_first_layer, const sim::SampleSpec &sample);
 
 /** Relative (to DaDN) term counts for one network, 16-bit stream. */

@@ -87,19 +87,26 @@ TermCountEngine::name() const
 }
 
 sim::LayerResult
-TermCountEngine::layerTerms(const dnn::ConvLayerSpec &layer,
-                            const dnn::NeuronTensor &raw,
-                            bool is_first_layer,
-                            const sim::SampleSpec &sample) const
+TermCountEngine::resultFromCounts(const dnn::ConvLayerSpec &layer,
+                                  const LayerTermCounts &counts) const
 {
-    LayerTermCounts counts = countLayerTerms16(
-        layer, raw, trimStream(layer, raw), is_first_layer, sample);
     sim::LayerResult lr;
     lr.layerName = layer.name;
     lr.engineName = name();
     lr.cycles = selectSeries(counts, series_);
     lr.effectualTerms = lr.cycles;
     return lr;
+}
+
+sim::LayerResult
+TermCountEngine::layerTerms(const dnn::ConvLayerSpec &layer,
+                            const dnn::NeuronTensor &raw,
+                            bool is_first_layer,
+                            const sim::SampleSpec &sample) const
+{
+    return resultFromCounts(
+        layer, countLayerTerms16(layer, raw, trimStream(layer, raw),
+                                 is_first_layer, sample));
 }
 
 sim::LayerResult
@@ -114,20 +121,30 @@ TermCountEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
 
 sim::NetworkResult
 TermCountEngine::runNetwork(const dnn::Network &network,
-                            const dnn::ActivationSynthesizer &activations,
+                            const sim::WorkloadSource &source,
                             const sim::AccelConfig &accel,
-                            const sim::SampleSpec &sample) const
+                            const sim::SampleSpec &sample,
+                            const util::InnerExecutor &exec) const
 {
     (void)accel;
+    (void)exec; // Term counting is already brick-granular and cheap.
     sim::NetworkResult result;
     result.networkName = network.name;
     result.engineName = name();
     result.layers.reserve(network.layers.size());
     for (size_t i = 0; i < network.layers.size(); i++) {
-        dnn::NeuronTensor raw =
-            activations.synthesizeFixed16(static_cast<int>(i));
-        result.layers.push_back(layerTerms(network.layers[i], raw,
-                                           i == 0, sample));
+        // The trimmed view is the synthesizer's own trimmed stream —
+        // bit-identical to masking the raw one (see layerTerms) and
+        // shared with every other consumer through the cache.
+        std::shared_ptr<const sim::LayerWorkload> raw = source.layer(
+            static_cast<int>(i), sim::InputStream::Fixed16Raw);
+        std::shared_ptr<const sim::LayerWorkload> trimmed =
+            source.layer(static_cast<int>(i),
+                         sim::InputStream::Fixed16Trimmed);
+        result.layers.push_back(resultFromCounts(
+            network.layers[i],
+            countLayerTerms16(network.layers[i], *raw, *trimmed,
+                              i == 0, sample)));
     }
     return result;
 }

@@ -59,12 +59,19 @@ class TermCountEngine : public sim::Engine
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample) const override;
 
-    /** Layer loop honoring the first-layer CVN rule. */
+    /**
+     * Layer loop honoring the first-layer CVN rule, consuming the
+     * source's cached raw *and* trimmed views (and their term
+     * planes) instead of re-deriving the trimmed stream.
+     */
     sim::NetworkResult
     runNetwork(const dnn::Network &network,
-               const dnn::ActivationSynthesizer &activations,
+               const sim::WorkloadSource &source,
                const sim::AccelConfig &accel,
-               const sim::SampleSpec &sample) const override;
+               const sim::SampleSpec &sample,
+               const util::InnerExecutor &exec) const override;
+
+    using sim::Engine::runNetwork;
 
     Series series() const { return series_; }
 
@@ -75,6 +82,9 @@ class TermCountEngine : public sim::Engine
                                 const dnn::NeuronTensor &raw,
                                 bool is_first_layer,
                                 const sim::SampleSpec &sample) const;
+
+    sim::LayerResult resultFromCounts(const dnn::ConvLayerSpec &layer,
+                                      const LayerTermCounts &counts) const;
 };
 
 } // namespace models

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-brick schedule-cycle and term-count resolution shared by the
+ * pallet- and column-sync engines.
+ *
+ * Both engines fundamentally consume, per (window, synapse set), the
+ * brick's PIP schedule length and its effectual-term (set-bit) count.
+ * When the workload's packed brick planes apply (brick size == the
+ * machine's neuron lanes), the term count is a single plane lookup
+ * and the schedule length short-circuits through the exact plane
+ * identities:
+ *
+ *   cycles(L=0) == orPop   (distinct oneffset positions),
+ *   cycles(L=4) == maxPop  (busiest lane), and
+ *   orPop == maxPop  =>  cycles(L) == maxPop for every L
+ *
+ * (monotonicity of the schedule in L; asserted by the schedule test
+ * suite). Only bricks where the bounds disagree run the cycle-by-
+ * cycle schedule, on a zero-copy view of the input tensor.
+ */
+
+#ifndef PRA_MODELS_PRAGMATIC_BRICK_COST_H
+#define PRA_MODELS_PRAGMATIC_BRICK_COST_H
+
+#include <bit>
+#include <cstdint>
+
+#include "dnn/tensor.h"
+#include "models/pragmatic/schedule.h"
+#include "sim/tiling.h"
+#include "sim/workload_cache.h"
+
+namespace pra {
+namespace models {
+
+/** Resolves brick costs for one layer stream (see file comment). */
+class BrickCostModel
+{
+  public:
+    /** Schedule cycles and term count of one brick; {0, 0} = padding. */
+    struct Cost
+    {
+        int cycles = 0;
+        int32_t terms = 0;
+    };
+
+    /**
+     * @param tiling  the layer's tiling (outlives the model).
+     * @param input   the stream tensor (outlives the model).
+     * @param planes  packed brick planes of @p input, or nullptr to
+     *                resolve every brick from the tensor; only valid
+     *                when the machine's neuronLanes == kBrickSize.
+     * @param first_stage_bits  L, the PIP first-stage shifter width.
+     */
+    BrickCostModel(const sim::LayerTiling &tiling,
+                   const dnn::NeuronTensor &input,
+                   const sim::BrickPlanes *planes, int first_stage_bits)
+        : tiling_(tiling), input_(input), planes_(planes),
+          bits_(first_stage_bits)
+    {
+    }
+
+    Cost
+    brick(const sim::WindowCoord &w, const sim::SynapseSetCoord &s) const
+    {
+        if (planes_) {
+            const dnn::ConvLayerSpec &layer = tiling_.layer();
+            int x = w.x * layer.stride - layer.pad + s.fx;
+            int y = w.y * layer.stride - layer.pad + s.fy;
+            if (x < 0 || x >= layer.inputX || y < 0 || y >= layer.inputY)
+                return {};
+            size_t idx =
+                planes_->index(x, y, s.brickI / dnn::kBrickSize);
+            Cost cost;
+            cost.terms = planes_->pop[idx];
+            int max_pop = planes_->maxPop[idx];
+            if (bits_ == 0)
+                cost.cycles = planes_->orPop[idx];
+            else if (bits_ >= kMaxFirstStageBits ||
+                     planes_->orPop[idx] == max_pop)
+                cost.cycles = max_pop;
+            else
+                cost.cycles = brickScheduleCycles(
+                    tiling_.gatherBrickView(input_, w, s), bits_);
+            return cost;
+        }
+        auto view = tiling_.gatherBrickView(input_, w, s);
+        Cost cost;
+        for (uint16_t n : view)
+            cost.terms += std::popcount(n);
+        cost.cycles = brickScheduleCycles(view, bits_);
+        return cost;
+    }
+
+  private:
+    const sim::LayerTiling &tiling_;
+    const dnn::NeuronTensor &input_;
+    const sim::BrickPlanes *planes_;
+    int bits_;
+};
+
+} // namespace models
+} // namespace pra
+
+#endif // PRA_MODELS_PRAGMATIC_BRICK_COST_H

@@ -1,11 +1,9 @@
 #include "models/pragmatic/column_sync.h"
 
 #include <algorithm>
-#include <bit>
-#include <deque>
 #include <vector>
 
-#include "models/pragmatic/schedule.h"
+#include "models/pragmatic/brick_cost.h"
 #include "sim/nm_model.h"
 #include "sim/tiling.h"
 #include "util/logging.h"
@@ -55,14 +53,13 @@ class SsrPool
     std::vector<int64_t> allCopied_;
 };
 
-} // namespace
-
 sim::LayerResult
-simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
-                        const dnn::NeuronTensor &input,
-                        const sim::AccelConfig &accel,
-                        const ColumnSyncConfig &config,
-                        const sim::SampleSpec &sample)
+simulateColumnSyncImpl(const dnn::ConvLayerSpec &layer,
+                       const dnn::NeuronTensor &input,
+                       const sim::BrickPlanes *planes,
+                       const sim::AccelConfig &accel,
+                       const ColumnSyncConfig &config,
+                       const sim::SampleSpec &sample)
 {
     sim::LayerTiling tiling(layer, accel);
     sim::SamplePlan plan = sim::planSample(tiling.numPallets(), sample);
@@ -71,6 +68,7 @@ simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
 
     const int columns = accel.windowsPerPallet;
     const int64_t num_sets = tiling.numSynapseSets();
+    BrickCostModel costs(tiling, input, planes, config.firstStageBits);
 
     // Per-column clocks: when the column finished its previous set.
     std::vector<int64_t> col_time(columns, 0);
@@ -85,7 +83,7 @@ simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
     int64_t pallet_finish_m2 = 0;    // All columns drained pallet k-2.
     int64_t pallet_finish_m1 = 0;    // All columns drained pallet k-1.
 
-    double pop_sum = 0.0;
+    int64_t terms = 0;
     int64_t stall_reference = 0; // Sum of raw schedule costs (no sync).
 
     for (size_t pi = 0; pi < plan.indices.size(); pi++) {
@@ -112,20 +110,17 @@ simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
         for (int64_t s = 0; s < num_sets; s++) {
             int64_t g = static_cast<int64_t>(pi) * num_sets + s;
 
-            // Gather this set's schedule cost for every column.
+            // Resolve this set's schedule cost for every column.
             for (int c = 0; c < columns; c++) {
                 int64_t w = tiling.windowIndex(pallet, c);
                 if (w < 0) {
                     set_cost[c] = 1; // Idle column tracks the stream.
                     continue;
                 }
-                auto brick = tiling.gatherBrick(
-                    input, tiling.windowCoord(w), tiling.setCoord(s));
-                int t = brickScheduleCycles(brick,
-                                            config.firstStageBits);
-                set_cost[c] = std::max(1, t);
-                for (uint16_t n : brick)
-                    pop_sum += std::popcount(n);
+                BrickCostModel::Cost cost = costs.brick(
+                    tiling.windowCoord(w), tiling.setCoord(s));
+                set_cost[c] = std::max(1, cost.cycles);
+                terms += cost.terms;
                 stall_reference += set_cost[c];
             }
 
@@ -167,13 +162,41 @@ simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
     result.nmStallCycles = std::max(
         0.0, passes * plan.scale *
                  (static_cast<double>(stream_finish) - busiest));
-    result.effectualTerms = plan.scale * pop_sum * layer.numFilters;
+    result.effectualTerms = plan.scale * static_cast<double>(terms) *
+                            layer.numFilters;
     // Section V-E guarantees SB is read the same number of times as
     // under pallet synchronization (SSRs absorb the repeats).
     result.sbReadSteps = passes *
                          static_cast<double>(tiling.numPallets()) *
                          static_cast<double>(num_sets);
     return result;
+}
+
+} // namespace
+
+sim::LayerResult
+simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+                        const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const ColumnSyncConfig &config,
+                        const sim::SampleSpec &sample)
+{
+    return simulateColumnSyncImpl(layer, input, nullptr, accel, config,
+                                  sample);
+}
+
+sim::LayerResult
+simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+                        const sim::LayerWorkload &workload,
+                        const sim::AccelConfig &accel,
+                        const ColumnSyncConfig &config,
+                        const sim::SampleSpec &sample)
+{
+    const sim::BrickPlanes *planes =
+        accel.neuronLanes == dnn::kBrickSize ? &workload.brickPlanes()
+                                             : nullptr;
+    return simulateColumnSyncImpl(layer, workload.tensor(), planes,
+                                  accel, config, sample);
 }
 
 } // namespace models

@@ -31,6 +31,7 @@
 #include "sim/accel_config.h"
 #include "sim/layer_result.h"
 #include "sim/sampling.h"
+#include "sim/workload_cache.h"
 
 namespace pra {
 namespace models {
@@ -49,6 +50,19 @@ struct ColumnSyncConfig
 sim::LayerResult
 simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
                         const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const ColumnSyncConfig &config,
+                        const sim::SampleSpec &sample);
+
+/**
+ * Workload-view variant: identical result, resolving brick costs
+ * through the precomputed planes where possible. Column sync carries
+ * SSR/dispatcher state across the whole pallet stream, so it does
+ * not block-split (no InnerExecutor parameter).
+ */
+sim::LayerResult
+simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+                        const sim::LayerWorkload &workload,
                         const sim::AccelConfig &accel,
                         const ColumnSyncConfig &config,
                         const sim::SampleSpec &sample);

@@ -72,5 +72,31 @@ PragmaticEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
                                               sample);
 }
 
+sim::LayerResult
+PragmaticEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+                               const sim::LayerWorkload &workload,
+                               const sim::AccelConfig &accel,
+                               const sim::SampleSpec &sample,
+                               const util::InnerExecutor &exec) const
+{
+    sim::LayerResult result;
+    if (config_.sync == SyncScheme::Pallet) {
+        PragmaticTileConfig tile;
+        tile.firstStageBits = config_.firstStageBits;
+        tile.modelNmStalls = config_.modelNmStalls;
+        result = simulateLayerPalletSync(layer, workload, accel, tile,
+                                         sample, exec);
+    } else {
+        ColumnSyncConfig column;
+        column.firstStageBits = config_.firstStageBits;
+        column.ssrCount = config_.ssrCount;
+        column.modelNmStalls = config_.modelNmStalls;
+        result = simulateLayerColumnSync(layer, workload, accel, column,
+                                         sample);
+    }
+    result.engineName = config_.label();
+    return result;
+}
+
 } // namespace models
 } // namespace pra

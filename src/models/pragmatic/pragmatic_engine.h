@@ -40,6 +40,18 @@ class PragmaticEngine : public sim::Engine
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample) const override;
 
+    /**
+     * Workload fast path: consumes the shared brick planes and (for
+     * pallet sync, whose pallets are independent) splits the layer
+     * across @p exec. Bit-identical to the tensor overload.
+     */
+    sim::LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const sim::LayerWorkload &workload,
+                  const sim::AccelConfig &accel,
+                  const sim::SampleSpec &sample,
+                  const util::InnerExecutor &exec) const override;
+
     const PragmaticConfig &config() const { return config_; }
 
   private:

@@ -11,12 +11,19 @@ namespace models {
 std::string
 PragmaticConfig::label() const
 {
-    std::string name = "PRA-" + std::to_string(firstStageBits) + "b";
+    // Built with repeated appends: the a + b + c temporary chain
+    // trips GCC 12's -Wrestrict false positive (PR 105651).
+    std::string name = "PRA-";
+    name += std::to_string(firstStageBits);
+    name += 'b';
     if (sync == SyncScheme::PerColumn) {
-        if (ssrCount <= 0)
+        if (ssrCount <= 0) {
             name += "-idealR";
-        else
-            name += "-" + std::to_string(ssrCount) + "R";
+        } else {
+            name += '-';
+            name += std::to_string(ssrCount);
+            name += 'R';
+        }
     }
     if (representation == Representation::Quant8)
         name += "-q8";

@@ -1,9 +1,9 @@
 #include "models/pragmatic/tile.h"
 
 #include <algorithm>
-#include <bit>
+#include <vector>
 
-#include "models/pragmatic/schedule.h"
+#include "models/pragmatic/brick_cost.h"
 #include "sim/nm_model.h"
 #include "sim/tiling.h"
 #include "util/logging.h"
@@ -11,12 +11,28 @@
 namespace pra {
 namespace models {
 
+namespace {
+
+/**
+ * Exact per-block accumulators: every field is an integer (term
+ * counts sum set bits), so partials combined in block order equal
+ * the serial accumulation bit for bit.
+ */
+struct PalletPartial
+{
+    int64_t processCycles = 0;
+    int64_t stallCycles = 0;
+    int64_t terms = 0;
+};
+
 sim::LayerResult
-simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
-                        const dnn::NeuronTensor &input,
-                        const sim::AccelConfig &accel,
-                        const PragmaticTileConfig &tile,
-                        const sim::SampleSpec &sample)
+simulateImpl(const dnn::ConvLayerSpec &layer,
+             const dnn::NeuronTensor &input,
+             const sim::BrickPlanes *planes,
+             const sim::AccelConfig &accel,
+             const PragmaticTileConfig &tile,
+             const sim::SampleSpec &sample,
+             const util::InnerExecutor &exec)
 {
     sim::LayerTiling tiling(layer, accel);
     sim::SamplePlan plan = sim::planSample(tiling.numPallets(), sample);
@@ -24,38 +40,65 @@ simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
                          "pallet sync: layer has no pallets");
 
     const int64_t num_sets = tiling.numSynapseSets();
-    int64_t process_cycles = 0;
-    int64_t stall_cycles = 0;
-    double pop_sum = 0.0;
-    sim::NmOverlapTracker nm;
+    BrickCostModel costs(tiling, input, planes, tile.firstStageBits);
 
-    for (int64_t pallet : plan.indices) {
-        // Fetch of step (p, s+1) overlaps processing of (p, s); the
-        // previous step's processing time hides the current fetch.
-        int64_t prev_process = 0;
-        for (int64_t s = 0; s < num_sets; s++) {
-            int max_cycles = 0;
-            for (int c = 0; c < accel.windowsPerPallet; c++) {
-                int64_t w = tiling.windowIndex(pallet, c);
-                if (w < 0)
-                    continue;
-                auto brick = tiling.gatherBrick(
-                    input, tiling.windowCoord(w), tiling.setCoord(s));
-                int t = brickScheduleCycles(brick, tile.firstStageBits);
-                max_cycles = std::max(max_cycles, t);
-                for (uint16_t n : brick)
-                    pop_sum += std::popcount(n);
+    // Set coordinates are pallet-independent; resolve them once.
+    std::vector<sim::SynapseSetCoord> set_coords;
+    set_coords.reserve(static_cast<size_t>(num_sets));
+    for (int64_t s = 0; s < num_sets; s++)
+        set_coords.push_back(tiling.setCoord(s));
+
+    const int64_t num_units = static_cast<int64_t>(plan.indices.size());
+    const int blocks = exec.blockCount(num_units);
+    std::vector<PalletPartial> partials(
+        static_cast<size_t>(std::max(blocks, 1)));
+
+    // Pallets are independent: the fetch/process overlap window resets
+    // at a pallet boundary, so contiguous pallet blocks accumulate
+    // exact partials that combine to the serial result.
+    exec.forEachBlock(blocks, [&](int block) {
+        auto [lo, hi] = util::InnerExecutor::blockRange(num_units,
+                                                        blocks, block);
+        PalletPartial acc;
+        sim::NmOverlapTracker nm;
+        for (int64_t pi = lo; pi < hi; pi++) {
+            int64_t pallet = plan.indices[static_cast<size_t>(pi)];
+            // Fetch of step (p, s+1) overlaps processing of (p, s);
+            // the previous step's processing time hides the current
+            // fetch.
+            int64_t prev_process = 0;
+            for (int64_t s = 0; s < num_sets; s++) {
+                int max_cycles = 0;
+                for (int c = 0; c < accel.windowsPerPallet; c++) {
+                    int64_t w = tiling.windowIndex(pallet, c);
+                    if (w < 0)
+                        continue;
+                    BrickCostModel::Cost cost = costs.brick(
+                        tiling.windowCoord(w),
+                        set_coords[static_cast<size_t>(s)]);
+                    max_cycles = std::max(max_cycles, cost.cycles);
+                    acc.terms += cost.terms;
+                }
+                // Even an all-zero pallet step holds the pipeline for
+                // the SB read cycle.
+                int64_t set_cycles = std::max(1, max_cycles);
+                if (tile.modelNmStalls) {
+                    int64_t fetch =
+                        sim::nmFetchCycles(tiling, pallet, s);
+                    acc.stallCycles += nm.step(prev_process, fetch);
+                }
+                acc.processCycles += set_cycles;
+                prev_process = set_cycles;
             }
-            // Even an all-zero pallet step holds the pipeline for the
-            // SB read cycle.
-            int64_t set_cycles = std::max(1, max_cycles);
-            if (tile.modelNmStalls) {
-                int64_t fetch = sim::nmFetchCycles(tiling, pallet, s);
-                stall_cycles += nm.step(prev_process, fetch);
-            }
-            process_cycles += set_cycles;
-            prev_process = set_cycles;
         }
+        partials[static_cast<size_t>(block)] = acc;
+    });
+
+    PalletPartial total;
+    for (const PalletPartial &partial : partials) {
+        total.processCycles += partial.processCycles;
+        total.stallCycles += partial.stallCycles;
+        total.terms += partial.terms;
     }
 
     sim::LayerResult result;
@@ -64,15 +107,46 @@ simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
     result.sampleScale = plan.scale;
     double passes = static_cast<double>(tiling.passes());
     result.cycles = passes * plan.scale *
-                    static_cast<double>(process_cycles + stall_cycles);
+                    static_cast<double>(total.processCycles +
+                                        total.stallCycles);
     result.nmStallCycles = passes * plan.scale *
-                           static_cast<double>(stall_cycles);
-    result.effectualTerms = plan.scale * pop_sum * layer.numFilters;
+                           static_cast<double>(total.stallCycles);
+    result.effectualTerms = plan.scale *
+                            static_cast<double>(total.terms) *
+                            layer.numFilters;
     // One SB read per pallet step: the same count DaDN performs
     // (Section V-E's "accessed the same number of times" baseline).
     result.sbReadSteps = passes * static_cast<double>(tiling.numPallets()) *
                          static_cast<double>(num_sets);
     return result;
+}
+
+} // namespace
+
+sim::LayerResult
+simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+                        const dnn::NeuronTensor &input,
+                        const sim::AccelConfig &accel,
+                        const PragmaticTileConfig &tile,
+                        const sim::SampleSpec &sample)
+{
+    return simulateImpl(layer, input, nullptr, accel, tile, sample,
+                        util::InnerExecutor());
+}
+
+sim::LayerResult
+simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+                        const sim::LayerWorkload &workload,
+                        const sim::AccelConfig &accel,
+                        const PragmaticTileConfig &tile,
+                        const sim::SampleSpec &sample,
+                        const util::InnerExecutor &exec)
+{
+    const sim::BrickPlanes *planes =
+        accel.neuronLanes == dnn::kBrickSize ? &workload.brickPlanes()
+                                             : nullptr;
+    return simulateImpl(layer, workload.tensor(), planes, accel, tile,
+                        sample, exec);
 }
 
 } // namespace models

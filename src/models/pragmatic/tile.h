@@ -9,6 +9,14 @@
  * read takes). NM fetch of the next step overlaps with processing of
  * the current one; the residue shows up as stall cycles
  * (Section V-A4).
+ *
+ * The workload-view overload consumes the precomputed per-brick
+ * planes (term counts and L=0/L=4 schedule lengths) and can split the
+ * sampled pallets into blocks across an InnerExecutor. Pallets are
+ * mutually independent (the NM overlap window resets at a pallet
+ * boundary) and every per-block accumulator is an exact integer, so
+ * block partials combined in block order are bit-identical to the
+ * serial path for any block count.
  */
 
 #ifndef PRA_MODELS_PRAGMATIC_TILE_H
@@ -19,6 +27,8 @@
 #include "sim/accel_config.h"
 #include "sim/layer_result.h"
 #include "sim/sampling.h"
+#include "sim/workload_cache.h"
+#include "util/thread_pool.h"
 
 namespace pra {
 namespace models {
@@ -46,6 +56,18 @@ simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
                         const sim::AccelConfig &accel,
                         const PragmaticTileConfig &tile,
                         const sim::SampleSpec &sample);
+
+/**
+ * Workload-view variant: same result, served from the shared planes
+ * where possible and split across @p exec (see the file comment).
+ */
+sim::LayerResult
+simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+                        const sim::LayerWorkload &workload,
+                        const sim::AccelConfig &accel,
+                        const PragmaticTileConfig &tile,
+                        const sim::SampleSpec &sample,
+                        const util::InnerExecutor &exec);
 
 } // namespace models
 } // namespace pra

@@ -5,40 +5,43 @@
 namespace pra {
 namespace sim {
 
-dnn::NeuronTensor
-synthesizeStream(const dnn::ActivationSynthesizer &activations,
-                 int layer_idx, InputStream stream)
+LayerResult
+Engine::simulateLayer(const dnn::ConvLayerSpec &layer,
+                      const LayerWorkload &workload,
+                      const AccelConfig &accel, const SampleSpec &sample,
+                      const util::InnerExecutor &exec) const
 {
-    switch (stream) {
-      case InputStream::None:
-        return dnn::NeuronTensor();
-      case InputStream::Fixed16Raw:
-        return activations.synthesizeFixed16(layer_idx);
-      case InputStream::Fixed16Trimmed:
-        return activations.synthesizeFixed16Trimmed(layer_idx);
-      case InputStream::Quant8:
-        return activations.synthesizeQuant8(layer_idx);
-    }
-    util::fatal("synthesizeStream: bad stream");
+    (void)exec; // Engines without a block-parallel path run serially.
+    return simulateLayer(layer, workload.tensor(), accel, sample);
 }
 
 NetworkResult
 Engine::runNetwork(const dnn::Network &network,
-                   const dnn::ActivationSynthesizer &activations,
-                   const AccelConfig &accel,
-                   const SampleSpec &sample) const
+                   const WorkloadSource &source, const AccelConfig &accel,
+                   const SampleSpec &sample,
+                   const util::InnerExecutor &exec) const
 {
     NetworkResult result;
     result.networkName = network.name;
     result.engineName = name();
     result.layers.reserve(network.layers.size());
     for (size_t i = 0; i < network.layers.size(); i++) {
-        dnn::NeuronTensor input = synthesizeStream(
-            activations, static_cast<int>(i), inputStream());
-        result.layers.push_back(simulateLayer(network.layers[i], input,
-                                              accel, sample));
+        std::shared_ptr<const LayerWorkload> workload =
+            source.layer(static_cast<int>(i), inputStream());
+        result.layers.push_back(simulateLayer(network.layers[i],
+                                              *workload, accel, sample,
+                                              exec));
     }
     return result;
+}
+
+NetworkResult
+Engine::runNetwork(const dnn::Network &network,
+                   const dnn::ActivationSynthesizer &activations,
+                   const AccelConfig &accel, const SampleSpec &sample) const
+{
+    return runNetwork(network, WorkloadSource(activations), accel,
+                      sample, util::InnerExecutor());
 }
 
 } // namespace sim

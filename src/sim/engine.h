@@ -10,6 +10,14 @@
  * changing their math; an engine is identified by its registry
  * *kind* (e.g. "pragmatic") and a variant *name* derived from its
  * knobs (e.g. "PRA-2b-1R").
+ *
+ * Engines consume immutable LayerWorkload views (stream tensor plus
+ * packed per-brick planes) handed out by a WorkloadSource, so a sweep
+ * can share one synthesized workload across every grid cell, and may
+ * split big layers into deterministic blocks across an InnerExecutor.
+ * The tensor-based simulateLayer overload remains the one engines
+ * must implement and the workload overload defaults to it, so simple
+ * engines never see the cache machinery.
  */
 
 #ifndef PRA_SIM_ENGINE_H
@@ -24,21 +32,11 @@
 #include "sim/accel_config.h"
 #include "sim/layer_result.h"
 #include "sim/sampling.h"
+#include "sim/workload_cache.h"
+#include "util/thread_pool.h"
 
 namespace pra {
 namespace sim {
-
-/**
- * Which synthesized neuron stream an engine's simulateLayer expects.
- * None marks value-independent engines (geometry only); the sweep
- * driver skips synthesis for them entirely.
- */
-enum class InputStream { None, Fixed16Raw, Fixed16Trimmed, Quant8 };
-
-/** Synthesize the stream @p stream of layer @p layer_idx. */
-dnn::NeuronTensor
-synthesizeStream(const dnn::ActivationSynthesizer &activations,
-                 int layer_idx, InputStream stream);
 
 /** One simulation backend behind a uniform layer/network API. */
 class Engine
@@ -70,13 +68,36 @@ class Engine
                   const SampleSpec &sample) const = 0;
 
     /**
-     * Simulate a whole network on the synthesized activation stream.
-     * The default loops simulateLayer over the layers in order,
-     * synthesizing each layer's inputStream(); engines needing extra
-     * per-layer context (e.g. the analytic model's first-layer CVN
-     * rule) override this.
+     * Simulate one layer from a shared workload view, optionally
+     * splitting it into deterministic blocks across @p exec. The
+     * default ignores the planes and the executor and forwards to the
+     * tensor overload; engines with a workload-aware fast path
+     * (Pragmatic) override it. Must produce bit-identical results to
+     * the tensor overload on workload.tensor().
+     */
+    virtual LayerResult
+    simulateLayer(const dnn::ConvLayerSpec &layer,
+                  const LayerWorkload &workload, const AccelConfig &accel,
+                  const SampleSpec &sample,
+                  const util::InnerExecutor &exec) const;
+
+    /**
+     * Simulate a whole network on the workloads of @p source. The
+     * default loops simulateLayer over the layers in order, pulling
+     * each layer's inputStream() view from the source; engines
+     * needing extra per-layer context (e.g. the analytic model's
+     * first-layer CVN rule) override this.
      */
     virtual NetworkResult
+    runNetwork(const dnn::Network &network, const WorkloadSource &source,
+               const AccelConfig &accel, const SampleSpec &sample,
+               const util::InnerExecutor &exec) const;
+
+    /**
+     * Convenience overload: simulate a whole network straight off a
+     * synthesizer (uncached workloads, serial execution).
+     */
+    NetworkResult
     runNetwork(const dnn::Network &network,
                const dnn::ActivationSynthesizer &activations,
                const AccelConfig &accel, const SampleSpec &sample) const;

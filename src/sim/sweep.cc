@@ -1,8 +1,11 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "dnn/activation_synth.h"
+#include "sim/workload_cache.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -18,6 +21,23 @@ roundTrip(double value)
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", value);
     return buf;
+}
+
+/**
+ * Blocks one cell may split a layer into. An explicit innerThreads
+ * wins; automatic mode splits only when the grid alone cannot keep
+ * every worker busy, handing each cell its share of the pool.
+ */
+int
+resolveInnerTasks(const SweepOptions &options, size_t cells)
+{
+    int threads = std::max(1, options.threads);
+    if (options.innerThreads > 0)
+        return options.innerThreads;
+    if (cells >= static_cast<size_t>(threads))
+        return 1;
+    return static_cast<int>(
+        (threads + cells - 1) / static_cast<int>(cells));
 }
 
 } // namespace
@@ -37,28 +57,43 @@ runSweep(const std::vector<dnn::Network> &networks,
     const size_t cells = networks.size() * engines.size();
     std::vector<NetworkResult> results(cells);
 
-    auto runCell = [&](size_t net_idx, size_t eng_idx) {
-        // Each job builds its own engine and synthesizer: nothing is
-        // shared across threads, and the stream depends only on
-        // (network, seed), so any schedule yields identical results.
+    WorkloadCache cache;
+    WorkloadCache *shared = options.cache ? &cache : nullptr;
+
+    auto runCell = [&](size_t net_idx, size_t eng_idx,
+                       const util::InnerExecutor &exec) {
+        // Each job builds its own engine; the workload source is
+        // either private (cache off: streams rebuilt per cell) or
+        // backed by the sweep-wide cache. Streams depend only on
+        // (network, seed), so both modes and any schedule yield
+        // identical results.
         const dnn::Network &network = networks[net_idx];
         std::unique_ptr<Engine> engine =
             registry.create(engines[eng_idx]);
-        dnn::ActivationSynthesizer activations(network, options.seed);
+        std::shared_ptr<const dnn::ActivationSynthesizer> synth =
+            shared ? shared->synthesizer(network, options.seed)
+                   : std::make_shared<const dnn::ActivationSynthesizer>(
+                         network, options.seed);
+        WorkloadSource source =
+            shared ? WorkloadSource(*synth, *shared)
+                   : WorkloadSource(*synth);
         results[net_idx * engines.size() + eng_idx] =
-            engine->runNetwork(network, activations, options.accel,
-                               options.sample);
+            engine->runNetwork(network, source, options.accel,
+                               options.sample, exec);
     };
 
-    if (options.threads <= 1) {
+    const int inner = resolveInnerTasks(options, cells);
+    if (options.threads <= 1 && inner <= 1) {
         for (size_t n = 0; n < networks.size(); n++)
             for (size_t e = 0; e < engines.size(); e++)
-                runCell(n, e);
+                runCell(n, e, util::InnerExecutor());
     } else {
         util::ThreadPool pool(options.threads);
+        util::InnerExecutor exec(&pool, inner);
         for (size_t n = 0; n < networks.size(); n++)
             for (size_t e = 0; e < engines.size(); e++)
-                pool.submit([&runCell, n, e] { runCell(n, e); });
+                pool.submit(
+                    [&runCell, &exec, n, e] { runCell(n, e, exec); });
         pool.wait();
     }
     return results;

@@ -1,13 +1,26 @@
 /**
  * @file
- * Parallel (network x engine) sweep driver.
+ * Parallel (network x engine) sweep driver with a shared workload
+ * cache and two-level scheduling.
  *
  * A sweep fans the full grid of (model-zoo network, engine variant)
  * jobs out across a worker pool and collects one NetworkResult per
- * cell. Determinism: every job synthesizes its own activation stream
- * from (network, seed) — no state is shared between jobs — and
- * results are stored by grid position (network-major, engine-minor),
- * so the output is bit-identical for any thread count, including 1.
+ * cell. All cells of a grid draw their synthesized streams from one
+ * WorkloadCache (unless disabled), so each distinct (network,
+ * representation, trim, seed) workload is built exactly once no
+ * matter how many engines consume it.
+ *
+ * Scheduling is two-level: grid cells fan out across the pool, and
+ * when the grid alone cannot occupy every worker (fewer cells than
+ * threads) each cell may additionally split large layers into pallet
+ * blocks on the same pool (see InnerExecutor).
+ *
+ * Determinism: streams depend only on (network, seed) — identical
+ * whether cached or rebuilt — results are stored by grid position
+ * (network-major, engine-minor), and block splits combine exact
+ * integer partials in block order, so the output is bit-identical
+ * for any thread count, any inner-thread count, and with the cache
+ * on or off.
  */
 
 #ifndef PRA_SIM_SWEEP_H
@@ -29,6 +42,14 @@ namespace sim {
 struct SweepOptions
 {
     int threads = 1;          ///< Worker threads (<= 1: sequential).
+    /**
+     * Layer-splitting subtasks each cell may fan out on the shared
+     * pool: 0 picks automatically (split only when the grid has
+     * fewer cells than threads), 1 disables inner parallelism, N
+     * allows up to N blocks per layer.
+     */
+    int innerThreads = 0;
+    bool cache = true;        ///< Share workloads across the grid.
     AccelConfig accel;        ///< Machine configuration.
     SampleSpec sample{64};    ///< Per-layer sampling cap.
     uint64_t seed = 0x5eed;   ///< Activation-synthesis seed.

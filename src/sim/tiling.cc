@@ -11,6 +11,8 @@ LayerTiling::LayerTiling(const dnn::ConvLayerSpec &layer,
 {
     util::checkInvariant(layer_.valid(), "LayerTiling: invalid layer");
     util::checkInvariant(config_.valid(), "LayerTiling: invalid config");
+    util::checkInvariant(config_.neuronLanes <= dnn::kBrickSize,
+                         "LayerTiling: neuronLanes exceeds brick size");
     int64_t windows = layer_.windows();
     numPallets_ = (windows + config_.windowsPerPallet - 1) /
                   config_.windowsPerPallet;
@@ -81,6 +83,21 @@ LayerTiling::gatherBrick(const dnn::NeuronTensor &input,
     for (int lane = 0; lane < lanes; lane++)
         brick[lane] = input.at(x, y, s.brickI + lane);
     return brick;
+}
+
+std::span<const uint16_t>
+LayerTiling::gatherBrickView(const dnn::NeuronTensor &input,
+                             const WindowCoord &w,
+                             const SynapseSetCoord &s) const
+{
+    int x = w.x * layer_.stride - layer_.pad + s.fx;
+    int y = w.y * layer_.stride - layer_.pad + s.fy;
+    if (x < 0 || x >= layer_.inputX || y < 0 || y >= layer_.inputY)
+        return {}; // Entirely padding: all zeros.
+    int lanes = std::min(config_.neuronLanes,
+                         layer_.inputChannels - s.brickI);
+    return std::span<const uint16_t>(&input.at(x, y, s.brickI),
+                                     static_cast<size_t>(lanes));
 }
 
 int64_t

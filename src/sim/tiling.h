@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dnn/conv_layer.h"
@@ -96,6 +97,18 @@ class LayerTiling
     std::array<uint16_t, dnn::kBrickSize>
     gatherBrick(const dnn::NeuronTensor &input, const WindowCoord &w,
                 const SynapseSetCoord &s) const;
+
+    /**
+     * Zero-copy view of the same brick: the tensor's channel-major
+     * layout keeps a brick's lanes contiguous, so the view aliases
+     * @p input directly. Padding positions yield an empty span and a
+     * partial channel brick a short one — both equivalent to
+     * gatherBrick()'s zero-padded lanes for scheduling and popcount
+     * purposes (zero lanes contribute nothing to either).
+     */
+    std::span<const uint16_t>
+    gatherBrickView(const dnn::NeuronTensor &input, const WindowCoord &w,
+                    const SynapseSetCoord &s) const;
 
     /**
      * First flat NM address (in neurons) of the brick, or -1 when the

@@ -1,0 +1,191 @@
+#include "sim/workload_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+/** The shared view value-independent engines receive. */
+const std::shared_ptr<const LayerWorkload> &
+emptyWorkload()
+{
+    static const std::shared_ptr<const LayerWorkload> empty =
+        std::make_shared<const LayerWorkload>(dnn::NeuronTensor());
+    return empty;
+}
+
+BrickPlanes
+buildBrickPlanes(const dnn::NeuronTensor &tensor)
+{
+    util::checkInvariant(!tensor.empty(),
+                         "brickPlanes: empty workload has no planes");
+    BrickPlanes planes;
+    planes.sizeX = tensor.sizeX();
+    planes.sizeY = tensor.sizeY();
+    planes.bricksPerColumn =
+        (tensor.sizeI() + dnn::kBrickSize - 1) / dnn::kBrickSize;
+    size_t cells = static_cast<size_t>(planes.sizeX) * planes.sizeY *
+                   planes.bricksPerColumn;
+    planes.pop.resize(cells);
+    planes.maxPop.resize(cells);
+    planes.orPop.resize(cells);
+    planes.nonZero.resize(cells);
+
+    const uint16_t *data = tensor.flat().data();
+    const int channels = tensor.sizeI();
+    size_t out = 0;
+    // Channel-major layout: each (x, y) column is `channels`
+    // consecutive elements, carved into kBrickSize bricks.
+    for (int64_t column = 0;
+         column < static_cast<int64_t>(planes.sizeX) * planes.sizeY;
+         column++) {
+        const uint16_t *lane = data + column * channels;
+        for (int base = 0; base < channels; base += dnn::kBrickSize) {
+            int lanes = std::min(dnn::kBrickSize, channels - base);
+            int32_t pop = 0;
+            int max_pop = 0;
+            int non_zero = 0;
+            uint16_t any = 0;
+            for (int i = 0; i < lanes; i++) {
+                uint16_t v = lane[base + i];
+                int p = std::popcount(v);
+                pop += p;
+                max_pop = std::max(max_pop, p);
+                any |= v;
+                non_zero += v != 0;
+            }
+            planes.pop[out] = pop;
+            planes.maxPop[out] = static_cast<uint8_t>(max_pop);
+            planes.orPop[out] =
+                static_cast<uint8_t>(std::popcount(any));
+            planes.nonZero[out] = static_cast<uint8_t>(non_zero);
+            out++;
+        }
+    }
+    return planes;
+}
+
+} // namespace
+
+dnn::NeuronTensor
+synthesizeStream(const dnn::ActivationSynthesizer &activations,
+                 int layer_idx, InputStream stream)
+{
+    switch (stream) {
+      case InputStream::None:
+        return dnn::NeuronTensor();
+      case InputStream::Fixed16Raw:
+        return activations.synthesizeFixed16(layer_idx);
+      case InputStream::Fixed16Trimmed:
+        return activations.synthesizeFixed16Trimmed(layer_idx);
+      case InputStream::Quant8:
+        return activations.synthesizeQuant8(layer_idx);
+    }
+    util::fatal("synthesizeStream: bad stream");
+}
+
+const BrickPlanes &
+LayerWorkload::brickPlanes() const
+{
+    std::call_once(planesOnce_,
+                   [this] { planes_ = buildBrickPlanes(tensor_); });
+    return planes_;
+}
+
+std::shared_ptr<const dnn::ActivationSynthesizer>
+WorkloadCache::synthesizer(const dnn::Network &network, uint64_t seed)
+{
+    SynthKey key{network.name, seed};
+    std::shared_future<std::shared_ptr<const dnn::ActivationSynthesizer>>
+        future;
+    Entry<const dnn::ActivationSynthesizer> *mine = nullptr;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto [it, inserted] = synths_.try_emplace(key);
+        if (inserted) {
+            it->second.future = it->second.promise.get_future().share();
+            mine = &it->second;
+        }
+        future = it->second.future;
+    }
+    if (mine) {
+        // Build outside the lock: other keys proceed concurrently,
+        // same-key requesters block on the future. A failed build
+        // must fulfill the promise too, or every waiter hangs.
+        try {
+            mine->promise.set_value(
+                std::make_shared<const dnn::ActivationSynthesizer>(
+                    network, seed));
+        } catch (...) {
+            mine->promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const LayerWorkload>
+WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
+                     int layer_idx, InputStream stream)
+{
+    if (stream == InputStream::None)
+        return emptyWorkload();
+    LayerKey key{synth.network().name, synth.seed(), layer_idx,
+                 static_cast<int>(stream)};
+    std::shared_future<std::shared_ptr<const LayerWorkload>> future;
+    Entry<const LayerWorkload> *mine = nullptr;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto [it, inserted] = layers_.try_emplace(key);
+        if (inserted) {
+            it->second.future = it->second.promise.get_future().share();
+            mine = &it->second;
+            misses_++;
+        } else {
+            hits_++;
+        }
+        future = it->second.future;
+    }
+    if (mine) {
+        try {
+            mine->promise.set_value(
+                std::make_shared<const LayerWorkload>(
+                    synthesizeStream(synth, layer_idx, stream)));
+        } catch (...) {
+            mine->promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+int64_t
+WorkloadCache::hits() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+int64_t
+WorkloadCache::misses() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::shared_ptr<const LayerWorkload>
+WorkloadSource::layer(int layer_idx, InputStream stream) const
+{
+    if (stream == InputStream::None)
+        return emptyWorkload();
+    if (cache_)
+        return cache_->layer(synth_, layer_idx, stream);
+    return std::make_shared<const LayerWorkload>(
+        synthesizeStream(synth_, layer_idx, stream));
+}
+
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Shared workload substrate for sweeps: synthesized neuron streams,
+ * packed per-brick term-count/oneffset-bound planes, and a
+ * thread-safe cache keyed by (network, representation, trim, seed).
+ *
+ * Every value-dependent engine in a sweep grid consumes some
+ * synthesized stream of each layer. Without sharing, each grid cell
+ * re-synthesizes its streams from scratch, so sweep cost grows with
+ * the grid size instead of with the number of *distinct* workloads.
+ * The cache synthesizes each (network, stream, seed) workload once
+ * and hands every consumer an immutable std::shared_ptr view.
+ *
+ * A LayerWorkload also precomputes, per 16-channel brick position,
+ * packed summaries of the oneffset content the engines otherwise
+ * rederive lane by lane:
+ *
+ *  - pop:     total oneffsets (set bits) of the brick — the brick's
+ *             effectual-term count;
+ *  - maxPop:  the busiest lane's oneffset count — exactly the
+ *             single-stage (L=4) PIP schedule length;
+ *  - orPop:   distinct oneffset positions across the brick — exactly
+ *             the L=0 schedule length, and an upper bound for any L;
+ *  - nonZero: non-zero lanes — the zero-skip term count.
+ *
+ * Since the brick schedule length is monotone in L between orPop
+ * (L=0) and maxPop (L=4) — properties asserted by the schedule test
+ * suite — engines can serve L=0/L=4 from the planes outright and skip
+ * the cycle-by-cycle schedule for any L whenever orPop == maxPop,
+ * without changing a single result bit.
+ */
+
+#ifndef PRA_SIM_WORKLOAD_CACHE_H
+#define PRA_SIM_WORKLOAD_CACHE_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "dnn/network.h"
+#include "dnn/tensor.h"
+
+namespace pra {
+namespace sim {
+
+/**
+ * Which synthesized neuron stream an engine's simulateLayer expects.
+ * None marks value-independent engines (geometry only); workload
+ * sources hand them an empty view and skip synthesis entirely.
+ */
+enum class InputStream { None, Fixed16Raw, Fixed16Trimmed, Quant8 };
+
+/** Synthesize the stream @p stream of layer @p layer_idx. */
+dnn::NeuronTensor
+synthesizeStream(const dnn::ActivationSynthesizer &activations,
+                 int layer_idx, InputStream stream);
+
+/**
+ * Packed per-brick planes of one layer stream (see file comment).
+ * Bricks are dnn::kBrickSize consecutive channels; entry (x, y, b)
+ * lives at flat index (y * sizeX + x) * bricksPerColumn + b. The
+ * last brick of a column is partial when the channel count is not a
+ * brick multiple (missing lanes count as zero, as gathers pad them).
+ */
+struct BrickPlanes
+{
+    int sizeX = 0;
+    int sizeY = 0;
+    int bricksPerColumn = 0; ///< ceil(channels / kBrickSize).
+
+    std::vector<int32_t> pop;    ///< Brick term (set-bit) totals.
+    std::vector<uint8_t> maxPop; ///< Max lane popcount (L=4 cycles).
+    std::vector<uint8_t> orPop;  ///< Popcount of lane OR (L=0 cycles).
+    std::vector<uint8_t> nonZero; ///< Non-zero lanes in the brick.
+
+    size_t
+    index(int x, int y, int brick) const
+    {
+        return (static_cast<size_t>(y) * sizeX + x) * bricksPerColumn +
+               brick;
+    }
+};
+
+/**
+ * One layer's input stream plus its lazily built brick planes.
+ * Immutable once constructed; share freely across threads via
+ * std::shared_ptr<const LayerWorkload>.
+ */
+class LayerWorkload
+{
+  public:
+    /** Wrap a synthesized stream (empty tensor = no-input view). */
+    explicit LayerWorkload(dnn::NeuronTensor tensor)
+        : tensor_(std::move(tensor))
+    {
+    }
+
+    const dnn::NeuronTensor &tensor() const { return tensor_; }
+
+    /**
+     * The packed brick planes, built on first use (thread-safe).
+     * Must not be called on an empty (no-input) workload.
+     */
+    const BrickPlanes &brickPlanes() const;
+
+  private:
+    dnn::NeuronTensor tensor_;
+    mutable std::once_flag planesOnce_;
+    mutable BrickPlanes planes_;
+};
+
+/**
+ * Thread-safe cache of synthesizers and layer workloads, keyed by
+ * (network name, seed) and (network name, seed, layer, stream).
+ * Networks are assumed uniquely named (the model zoo guarantees it).
+ * Concurrent requests for the same key block until the first
+ * requester finishes building; everyone shares one immutable object.
+ */
+class WorkloadCache
+{
+  public:
+    WorkloadCache() = default;
+
+    WorkloadCache(const WorkloadCache &) = delete;
+    WorkloadCache &operator=(const WorkloadCache &) = delete;
+
+    /** The shared synthesizer for (network, seed). */
+    std::shared_ptr<const dnn::ActivationSynthesizer>
+    synthesizer(const dnn::Network &network, uint64_t seed);
+
+    /**
+     * The shared workload of layer @p layer_idx's @p stream under
+     * @p synth. InputStream::None returns the shared empty view.
+     */
+    std::shared_ptr<const LayerWorkload>
+    layer(const dnn::ActivationSynthesizer &synth, int layer_idx,
+          InputStream stream);
+
+    /** Workload requests served from / added to the cache so far. */
+    int64_t hits() const;
+    int64_t misses() const;
+
+  private:
+    using LayerKey = std::tuple<std::string, uint64_t, int, int>;
+    using SynthKey = std::pair<std::string, uint64_t>;
+
+    template <typename V> struct Entry
+    {
+        std::promise<std::shared_ptr<V>> promise;
+        std::shared_future<std::shared_ptr<V>> future;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<SynthKey, Entry<const dnn::ActivationSynthesizer>> synths_;
+    std::map<LayerKey, Entry<const LayerWorkload>> layers_;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+};
+
+/**
+ * Where one simulation run's workloads come from: a synthesizer,
+ * optionally backed by a shared cache. Uncached sources synthesize
+ * (and build planes) on every request — exactly the same values, just
+ * not shared — so results are byte-identical with the cache on or
+ * off.
+ */
+class WorkloadSource
+{
+  public:
+    /** Uncached: every layer() call synthesizes afresh. */
+    explicit WorkloadSource(const dnn::ActivationSynthesizer &synth)
+        : synth_(synth)
+    {
+    }
+
+    /** Cached: layer() shares workloads through @p cache. */
+    WorkloadSource(const dnn::ActivationSynthesizer &synth,
+                   WorkloadCache &cache)
+        : synth_(synth), cache_(&cache)
+    {
+    }
+
+    const dnn::ActivationSynthesizer &synthesizer() const
+    {
+        return synth_;
+    }
+
+    /** The workload view of layer @p layer_idx's @p stream. */
+    std::shared_ptr<const LayerWorkload>
+    layer(int layer_idx, InputStream stream) const;
+
+  private:
+    const dnn::ActivationSynthesizer &synth_;
+    WorkloadCache *cache_ = nullptr;
+};
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_WORKLOAD_CACHE_H

@@ -1,11 +1,36 @@
 #include "util/args.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/logging.h"
 
 namespace pra {
 namespace util {
+
+namespace {
+
+/** Plain Levenshtein distance for "did you mean" suggestions. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); j++)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); i++) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); j++) {
+            size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
 
 ArgParser::ArgParser(int argc, const char *const *argv)
 {
@@ -28,6 +53,29 @@ ArgParser::ArgParser(int argc, const char *const *argv)
             flags_[body.substr(0, eq)] = body.substr(eq + 1);
         else
             flags_[body] = "";
+    }
+}
+
+void
+ArgParser::checkUnknown(const std::vector<std::string> &known) const
+{
+    for (const auto &[name, value] : flags_) {
+        (void)value;
+        if (std::find(known.begin(), known.end(), name) != known.end())
+            continue;
+        std::string msg = "unknown flag --" + name;
+        size_t best = name.size();
+        const std::string *suggestion = nullptr;
+        for (const auto &candidate : known) {
+            size_t d = editDistance(name, candidate);
+            if (d < best && d <= 2) {
+                best = d;
+                suggestion = &candidate;
+            }
+        }
+        if (suggestion)
+            msg += " (did you mean --" + *suggestion + "?)";
+        fatal(msg);
     }
 }
 
@@ -80,9 +128,10 @@ ArgParser::getBool(const std::string &name, bool fallback) const
     if (it == flags_.end())
         return fallback;
     const std::string &v = it->second;
-    if (v.empty() || v == "true" || v == "1" || v == "yes")
+    if (v.empty() || v == "true" || v == "1" || v == "yes" ||
+        v == "on")
         return true;
-    if (v == "false" || v == "0" || v == "no")
+    if (v == "false" || v == "0" || v == "no" || v == "off")
         return false;
     fatal("flag --" + name + " expects a boolean, got '" + v + "'");
 }

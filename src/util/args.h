@@ -5,6 +5,10 @@
  * Flags look like "--name=value"; bare "--name" sets a boolean.
  * Anything else is a positional argument. ("--name value" is
  * deliberately unsupported: it is ambiguous against positionals.)
+ *
+ * Programs declare the flags they understand with checkUnknown():
+ * a misspelled flag ("--smke") then fails loudly instead of silently
+ * running with defaults.
  */
 
 #ifndef PRA_UTIL_ARGS_H
@@ -37,8 +41,18 @@ class ArgParser
     /** Double flag value, or @p fallback when absent. */
     double getDouble(const std::string &name, double fallback) const;
 
-    /** Boolean flag: present without value, or "true"/"false"/"1"/"0". */
+    /**
+     * Boolean flag: present without value, or
+     * "true"/"false"/"1"/"0"/"yes"/"no"/"on"/"off".
+     */
     bool getBool(const std::string &name, bool fallback = false) const;
+
+    /**
+     * fatal() when any parsed flag is not in @p known — call once,
+     * after construction, with every flag the program understands.
+     * The error names the closest known flag when one is plausible.
+     */
+    void checkUnknown(const std::vector<std::string> &known) const;
 
     const std::vector<std::string> &positional() const
     {

@@ -50,9 +50,11 @@ CsvWriter::writeHeader(const std::vector<std::string> &cells)
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
-    if (headerWritten_) {
-        checkInvariant(cells.size() == width_, "CSV row width mismatch");
-    }
+    // The first row (header or not) locks the table width; headerless
+    // tables must not silently emit ragged CSV.
+    if (!headerWritten_ && rows_ == 0)
+        width_ = cells.size();
+    checkInvariant(cells.size() == width_, "CSV row width mismatch");
     rows_++;
     writeLine(cells);
 }

@@ -26,7 +26,10 @@ class CsvWriter
     /** Write a header row; may only be called before any data row. */
     void writeHeader(const std::vector<std::string> &cells);
 
-    /** Write one data row. Width must match the header if one was set. */
+    /**
+     * Write one data row. The first row written (header or data)
+     * locks the table width; later rows must match it.
+     */
     void writeRow(const std::vector<std::string> &cells);
 
     size_t rowsWritten() const { return rows_; }

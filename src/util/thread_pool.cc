@@ -41,11 +41,31 @@ ThreadPool::submit(std::function<void()> job)
 }
 
 void
+ThreadPool::submitFirst(std::function<void()> job)
+{
+    util::checkInvariant(static_cast<bool>(job),
+                         "ThreadPool: empty job");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        util::checkInvariant(!stop_,
+                             "ThreadPool: submit after shutdown");
+        queue_.push_front(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    drained_.wait(lock,
-                  [this] { return queue_.empty() && active_ == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        drained_.wait(lock,
+                      [this] { return queue_.empty() && active_ == 0; });
+        error = std::exchange(firstError_, nullptr);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 int
@@ -53,6 +73,54 @@ ThreadPool::hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/**
+ * Run @p job with active_ already incremented by the caller. The
+ * decrement is RAII so a throwing job still counts as finished and
+ * wait() cannot deadlock; the first exception is kept for wait() to
+ * rethrow.
+ */
+void
+ThreadPool::runJob(std::function<void()> job)
+{
+    struct ActiveGuard
+    {
+        ThreadPool &pool;
+        std::exception_ptr error;
+
+        ~ActiveGuard()
+        {
+            std::unique_lock<std::mutex> lock(pool.mutex_);
+            if (error && !pool.firstError_)
+                pool.firstError_ = error;
+            pool.active_--;
+            if (pool.queue_.empty() && pool.active_ == 0)
+                pool.drained_.notify_all();
+        }
+    } guard{*this, nullptr};
+
+    try {
+        job();
+    } catch (...) {
+        guard.error = std::current_exception();
+    }
+}
+
+bool
+ThreadPool::runOneQueued()
+{
+    std::function<void()> job;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        active_++;
+    }
+    runJob(std::move(job));
+    return true;
 }
 
 void
@@ -70,14 +138,86 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             active_++;
         }
-        job();
+        runJob(std::move(job));
+    }
+}
+
+TaskGroup::~TaskGroup()
+{
+    // A group abandoned without wait() (e.g. run() threw on a full
+    // queue) must still join its subtasks: they capture `this`.
+    try {
+        wait();
+    } catch (...) {
+        // Destructors must not throw; wait() already ran every task.
+    }
+}
+
+void
+TaskGroup::run(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        pending_++;
+    }
+    pool_.submitFirst([this, job = std::move(job)] {
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (error && !error_)
+            error_ = error;
+        pending_--;
+        if (pending_ == 0)
+            done_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    for (;;) {
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            active_--;
-            if (queue_.empty() && active_ == 0)
-                drained_.notify_all();
+            if (pending_ == 0)
+                break;
         }
+        // Make progress instead of blocking: run queued pool jobs
+        // (ours or another group's — either way the pool advances).
+        if (pool_.runOneQueued())
+            continue;
+        // Queue empty: our remaining subtasks are executing on other
+        // workers; now blocking is safe.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        break;
     }
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        error = std::exchange(error_, nullptr);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+InnerExecutor::forEachBlock(int blocks,
+                            const std::function<void(int)> &fn) const
+{
+    util::checkInvariant(blocks >= 0, "forEachBlock: negative blocks");
+    if (!pool_ || maxTasks_ <= 1 || blocks <= 1) {
+        for (int b = 0; b < blocks; b++)
+            fn(b);
+        return;
+    }
+    TaskGroup group(*pool_);
+    for (int b = 0; b < blocks; b++)
+        group.run([&fn, b] { fn(b); });
+    group.wait();
 }
 
 } // namespace util

@@ -6,16 +6,29 @@
  * waits for all of them; jobs write their results into caller-owned
  * slots, so completion order never affects output order. The pool is
  * deliberately small: submit + wait, no futures, no work stealing.
+ *
+ * Two extras serve the two-level sweep:
+ *
+ *  - exceptions never escape a worker thread: the first exception a
+ *    job throws is captured and rethrown from wait(), and a throwing
+ *    job still counts as finished (no deadlock);
+ *  - TaskGroup lets a job running *on* the pool fan out subtasks to
+ *    the same pool and join only those. Its wait() helps execute
+ *    queued jobs instead of blocking, so nested fan-out cannot
+ *    deadlock even when every worker is inside a group wait.
  */
 
 #ifndef PRA_UTIL_THREAD_POOL_H
 #define PRA_UTIL_THREAD_POOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace pra {
@@ -40,8 +53,28 @@ class ThreadPool
     /** Enqueue one job. Must not be called after shutdown began. */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished executing. */
+    /**
+     * Enqueue one job at the *front* of the queue. TaskGroup submits
+     * subtasks this way so nested fan-out runs before queued
+     * top-level jobs — a helping wait() then executes subtasks
+     * instead of inlining whole unrelated outer jobs (which would
+     * serialize them and recurse arbitrarily deep).
+     */
+    void submitFirst(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished executing. If any
+     * job threw, rethrows the first captured exception (the remaining
+     * jobs still ran to completion).
+     */
     void wait();
+
+    /**
+     * Run one queued job on the calling thread; returns false when
+     * the queue is empty. Used by TaskGroup::wait to make progress
+     * instead of blocking while its subtasks are still queued.
+     */
+    bool runOneQueued();
 
     int threadCount() const { return static_cast<int>(workers_.size()); }
 
@@ -56,8 +89,98 @@ class ThreadPool
     std::condition_variable drained_; ///< Signals wait(): all idle.
     int active_ = 0;                  ///< Jobs currently executing.
     bool stop_ = false;
+    std::exception_ptr firstError_;   ///< First job exception, if any.
 
     void workerLoop();
+    void runJob(std::function<void()> job);
+};
+
+/**
+ * A join scope for subtasks submitted to a shared pool. run() enqueues
+ * a subtask; wait() joins only this group's subtasks, executing other
+ * queued pool jobs while it waits, and rethrows the first exception a
+ * subtask threw. Submit every subtask before calling wait().
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    /** wait() must have been called (or no subtasks submitted). */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue one subtask into the pool under this group. */
+    void run(std::function<void()> job);
+
+    /**
+     * Join this group's subtasks. Helps drain the pool queue while
+     * waiting, so calling from inside a pool job is deadlock-free.
+     * Rethrows the first exception any subtask threw.
+     */
+    void wait();
+
+  private:
+    ThreadPool &pool_;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    int pending_ = 0;
+    std::exception_ptr error_;
+};
+
+/**
+ * Deterministic block-parallel execution policy handed down to layer
+ * simulators: how many subtasks one sweep cell may fan out, and the
+ * pool to fan them out on. Engines split an index range [0, n) into
+ * at most maxTasks() contiguous blocks, compute an exact partial
+ * result per block, and combine the partials in block order — so the
+ * result is byte-identical for every task count, including the
+ * default serial executor.
+ */
+class InnerExecutor
+{
+  public:
+    /** Serial executor: forEachBlock runs inline. */
+    InnerExecutor() = default;
+
+    /** Up to @p max_tasks blocks across @p pool (null = serial). */
+    InnerExecutor(ThreadPool *pool, int max_tasks)
+        : pool_(pool), maxTasks_(max_tasks < 1 ? 1 : max_tasks)
+    {
+    }
+
+    int maxTasks() const { return pool_ ? maxTasks_ : 1; }
+
+    /** Number of blocks an n-element range splits into (>= 1 slots). */
+    int
+    blockCount(int64_t n) const
+    {
+        if (n <= 1)
+            return n == 1 ? 1 : 0;
+        int64_t tasks = maxTasks();
+        return static_cast<int>(tasks < n ? tasks : n);
+    }
+
+    /** Half-open index range of block @p b of @p blocks over [0, n). */
+    static std::pair<int64_t, int64_t>
+    blockRange(int64_t n, int blocks, int b)
+    {
+        return {b * n / blocks, (b + 1) * static_cast<int64_t>(n) / blocks};
+    }
+
+    /**
+     * Run fn(b) for b in [0, blocks); parallel across the pool when
+     * one is attached, inline otherwise. Returns once every block
+     * finished; rethrows the first exception a block threw.
+     */
+    void forEachBlock(int blocks,
+                      const std::function<void(int)> &fn) const;
+
+  private:
+    ThreadPool *pool_ = nullptr;
+    int maxTasks_ = 1;
 };
 
 } // namespace util

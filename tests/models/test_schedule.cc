@@ -191,9 +191,11 @@ TEST(Schedule, FirstStageShiftsWithinReach)
         for (int l = 0; l <= 4; l++) {
             for (const auto &cycle : brickScheduleTrace(brick, l)
                                          .cycles) {
-                for (int lane = 0; lane < 16; lane++)
-                    if (cycle.firedLanes >> lane & 1)
+                for (int lane = 0; lane < 16; lane++) {
+                    if (cycle.firedLanes >> lane & 1) {
                         EXPECT_LT(cycle.firstStageShift[lane], 1 << l);
+                    }
+                }
             }
         }
     }

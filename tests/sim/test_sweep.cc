@@ -29,6 +29,31 @@ tinyOptions(int threads)
     return options;
 }
 
+void
+expectSameResults(const std::vector<NetworkResult> &expected,
+                  const std::vector<NetworkResult> &actual,
+                  const std::string &what)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << what;
+    for (size_t i = 0; i < expected.size(); i++) {
+        EXPECT_EQ(expected[i].networkName, actual[i].networkName)
+            << what;
+        EXPECT_EQ(expected[i].engineName, actual[i].engineName)
+            << what;
+        ASSERT_EQ(expected[i].layers.size(), actual[i].layers.size())
+            << what;
+        for (size_t l = 0; l < expected[i].layers.size(); l++) {
+            const auto &a = expected[i].layers[l];
+            const auto &b = actual[i].layers[l];
+            EXPECT_EQ(a.cycles, b.cycles) << what;
+            EXPECT_EQ(a.effectualTerms, b.effectualTerms) << what;
+            EXPECT_EQ(a.nmStallCycles, b.nmStallCycles) << what;
+            EXPECT_EQ(a.sbReadSteps, b.sbReadSteps) << what;
+            EXPECT_EQ(a.sampleScale, b.sampleScale) << what;
+        }
+    }
+}
+
 std::vector<EngineSelection>
 allKindsGrid()
 {
@@ -184,20 +209,53 @@ TEST(Sweep, ParallelBitIdenticalToSequential)
                         tinyOptions(1));
     auto par = runSweep(networks, grid, models::builtinEngines(),
                         tinyOptions(4));
-    ASSERT_EQ(seq.size(), par.size());
-    for (size_t i = 0; i < seq.size(); i++) {
-        EXPECT_EQ(seq[i].networkName, par[i].networkName);
-        EXPECT_EQ(seq[i].engineName, par[i].engineName);
-        ASSERT_EQ(seq[i].layers.size(), par[i].layers.size());
-        for (size_t l = 0; l < seq[i].layers.size(); l++) {
-            const auto &a = seq[i].layers[l];
-            const auto &b = par[i].layers[l];
-            EXPECT_EQ(a.cycles, b.cycles);
-            EXPECT_EQ(a.effectualTerms, b.effectualTerms);
-            EXPECT_EQ(a.nmStallCycles, b.nmStallCycles);
-            EXPECT_EQ(a.sbReadSteps, b.sbReadSteps);
-            EXPECT_EQ(a.sampleScale, b.sampleScale);
-        }
+    expectSameResults(seq, par, "threads=4");
+}
+
+TEST(Sweep, CacheOnAndOffBitIdentical)
+{
+    // The workload cache only shares synthesis; results must be
+    // byte-identical with it on or off, sequential and parallel.
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    auto grid = allKindsGrid();
+    SweepOptions cached = tinyOptions(1);
+    ASSERT_TRUE(cached.cache); // Shared workloads are the default.
+    SweepOptions uncached = tinyOptions(1);
+    uncached.cache = false;
+    auto with = runSweep(networks, grid, models::builtinEngines(),
+                         cached);
+    auto without = runSweep(networks, grid, models::builtinEngines(),
+                            uncached);
+    expectSameResults(with, without, "cache=off");
+
+    SweepOptions uncached_par = tinyOptions(4);
+    uncached_par.cache = false;
+    auto without_par = runSweep(networks, grid,
+                                models::builtinEngines(), uncached_par);
+    expectSameResults(with, without_par, "cache=off threads=4");
+}
+
+TEST(Sweep, InvariantAcrossInnerThreadCounts)
+{
+    // Pallet-block splitting inside a cell must not change a bit:
+    // compare the serial sweep against small grids (fewer cells than
+    // workers, so the automatic policy actually splits) and against
+    // forced inner-thread counts.
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    std::vector<EngineSelection> grid = {
+        {"pragmatic", {{"bits", "2"}}},
+        {"pragmatic-col", {{"bits", "2"}, {"ssr", "1"}}}};
+    SweepOptions serial = tinyOptions(1);
+    serial.innerThreads = 1;
+    auto base = runSweep(networks, grid, models::builtinEngines(),
+                         serial);
+    for (int inner : {0, 2, 5}) {
+        SweepOptions split = tinyOptions(4);
+        split.innerThreads = inner;
+        auto result = runSweep(networks, grid,
+                               models::builtinEngines(), split);
+        expectSameResults(base, result,
+                          "inner=" + std::to_string(inner));
     }
 }
 

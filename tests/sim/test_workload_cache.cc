@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the shared workload cache: plane math against brute
+ * force, cache hit/sharing semantics, and engine-level equivalence of
+ * cached vs uncached workload views.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "models/engines.h"
+#include "models/pragmatic/schedule.h"
+#include "sim/workload_cache.h"
+#include "util/thread_pool.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+/** Every stream an engine can request. */
+const InputStream kStreams[] = {InputStream::Fixed16Raw,
+                                InputStream::Fixed16Trimmed,
+                                InputStream::Quant8};
+
+TEST(BrickPlanes, MatchBruteForcePerBrick)
+{
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    // Layer 2 of AlexNet has a channel count that is a multiple of
+    // 16; the Tiny network below covers the partial-brick case.
+    LayerWorkload workload(synth.synthesizeFixed16(2));
+    const dnn::NeuronTensor &tensor = workload.tensor();
+    const BrickPlanes &planes = workload.brickPlanes();
+
+    ASSERT_EQ(planes.sizeX, tensor.sizeX());
+    ASSERT_EQ(planes.sizeY, tensor.sizeY());
+    ASSERT_EQ(planes.bricksPerColumn,
+              (tensor.sizeI() + dnn::kBrickSize - 1) / dnn::kBrickSize);
+
+    for (int y = 0; y < tensor.sizeY(); y += 7) {
+        for (int x = 0; x < tensor.sizeX(); x += 5) {
+            for (int b = 0; b < planes.bricksPerColumn; b++) {
+                int32_t pop = 0;
+                int max_pop = 0;
+                int non_zero = 0;
+                uint16_t any = 0;
+                int lanes = std::min(dnn::kBrickSize,
+                                     tensor.sizeI() -
+                                         b * dnn::kBrickSize);
+                for (int i = 0; i < lanes; i++) {
+                    uint16_t v =
+                        tensor.at(x, y, b * dnn::kBrickSize + i);
+                    pop += std::popcount(v);
+                    max_pop = std::max(max_pop,
+                                       std::popcount(v));
+                    any |= v;
+                    non_zero += v != 0;
+                }
+                size_t idx = planes.index(x, y, b);
+                EXPECT_EQ(planes.pop[idx], pop);
+                EXPECT_EQ(planes.maxPop[idx], max_pop);
+                EXPECT_EQ(planes.orPop[idx], std::popcount(any));
+                EXPECT_EQ(planes.nonZero[idx], non_zero);
+            }
+        }
+    }
+}
+
+TEST(BrickPlanes, ScheduleIdentitiesHold)
+{
+    // The plane shortcuts rely on cycles(L=0) == orPop and
+    // cycles(L=4) == maxPop; check them against the real schedule on
+    // a real stream, brick by brick.
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    LayerWorkload workload(synth.synthesizeFixed16(1));
+    const dnn::NeuronTensor &tensor = workload.tensor();
+    const BrickPlanes &planes = workload.brickPlanes();
+
+    for (int y = 0; y < tensor.sizeY(); y++) {
+        for (int x = 0; x < tensor.sizeX(); x++) {
+            for (int b = 0; b < planes.bricksPerColumn; b++) {
+                int lanes = std::min(dnn::kBrickSize,
+                                     tensor.sizeI() -
+                                         b * dnn::kBrickSize);
+                std::span<const uint16_t> brick(
+                    &tensor.at(x, y, b * dnn::kBrickSize), lanes);
+                size_t idx = planes.index(x, y, b);
+                EXPECT_EQ(models::brickScheduleCycles(brick, 0),
+                          planes.orPop[idx]);
+                EXPECT_EQ(models::brickScheduleCycles(brick, 4),
+                          planes.maxPop[idx]);
+                if (planes.orPop[idx] == planes.maxPop[idx]) {
+                    for (int l = 1; l <= 3; l++)
+                        EXPECT_EQ(
+                            models::brickScheduleCycles(brick, l),
+                            planes.maxPop[idx]);
+                }
+            }
+        }
+    }
+}
+
+TEST(WorkloadCache, SharesOneWorkloadPerKey)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    WorkloadCache cache;
+    auto first =
+        cache.layer(synth, 0, InputStream::Fixed16Trimmed);
+    auto second =
+        cache.layer(synth, 0, InputStream::Fixed16Trimmed);
+    EXPECT_EQ(first.get(), second.get()); // Same object, not a copy.
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 1);
+
+    // A different stream, layer, or seed is a different workload.
+    auto raw = cache.layer(synth, 0, InputStream::Fixed16Raw);
+    EXPECT_NE(first.get(), raw.get());
+    auto other_layer =
+        cache.layer(synth, 1, InputStream::Fixed16Trimmed);
+    EXPECT_NE(first.get(), other_layer.get());
+    EXPECT_EQ(cache.misses(), 3);
+}
+
+TEST(WorkloadCache, CachedEqualsFreshSynthesis)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    WorkloadCache cache;
+    for (InputStream stream : kStreams) {
+        for (size_t i = 0; i < net.layers.size(); i++) {
+            auto cached =
+                cache.layer(synth, static_cast<int>(i), stream);
+            dnn::NeuronTensor fresh =
+                synthesizeStream(synth, static_cast<int>(i), stream);
+            ASSERT_EQ(cached->tensor().size(), fresh.size());
+            auto lhs = cached->tensor().flat();
+            auto rhs = fresh.flat();
+            for (size_t k = 0; k < rhs.size(); k++)
+                ASSERT_EQ(lhs[k], rhs[k]);
+        }
+    }
+}
+
+TEST(WorkloadCache, NoneStreamIsSharedEmptyView)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    WorkloadCache cache;
+    auto none = cache.layer(synth, 0, InputStream::None);
+    ASSERT_NE(none, nullptr);
+    EXPECT_TRUE(none->tensor().empty());
+    EXPECT_EQ(cache.misses(), 0); // Not a synthesis, not a miss.
+
+    WorkloadSource uncached(synth);
+    EXPECT_EQ(uncached.layer(0, InputStream::None).get(), none.get());
+}
+
+TEST(WorkloadCache, ConcurrentRequestersShareOneBuild)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    WorkloadCache cache;
+    std::vector<std::shared_ptr<const LayerWorkload>> views(16);
+    {
+        util::ThreadPool pool(4);
+        for (size_t t = 0; t < views.size(); t++)
+            pool.submit([&cache, &synth, &views, t] {
+                views[t] = cache.layer(
+                    synth, 0, InputStream::Fixed16Trimmed);
+            });
+        pool.wait();
+    }
+    for (const auto &view : views)
+        EXPECT_EQ(view.get(), views[0].get());
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 15);
+}
+
+TEST(WorkloadCache, EngineResultsIdenticalCachedVsUncached)
+{
+    // Every engine kind must produce bit-identical LayerResults from
+    // cached views, uncached views, and the legacy synthesizer path.
+    auto net = dnn::makeTinyNetwork();
+    AccelConfig accel;
+    SampleSpec sample{4};
+    WorkloadCache cache;
+    for (const auto &kind : models::builtinEngines().kinds()) {
+        auto engine = models::builtinEngines().create(kind);
+        dnn::ActivationSynthesizer synth(net);
+        auto shared_synth = cache.synthesizer(net, synth.seed());
+
+        NetworkResult legacy =
+            engine->runNetwork(net, synth, accel, sample);
+        NetworkResult uncached = engine->runNetwork(
+            net, WorkloadSource(synth), accel, sample,
+            util::InnerExecutor());
+        NetworkResult cached = engine->runNetwork(
+            net, WorkloadSource(*shared_synth, cache), accel, sample,
+            util::InnerExecutor());
+
+        for (const NetworkResult *other : {&uncached, &cached}) {
+            ASSERT_EQ(legacy.layers.size(), other->layers.size())
+                << kind;
+            for (size_t l = 0; l < legacy.layers.size(); l++) {
+                const auto &a = legacy.layers[l];
+                const auto &b = other->layers[l];
+                EXPECT_EQ(a.cycles, b.cycles) << kind;
+                EXPECT_EQ(a.effectualTerms, b.effectualTerms) << kind;
+                EXPECT_EQ(a.nmStallCycles, b.nmStallCycles) << kind;
+                EXPECT_EQ(a.sbReadSteps, b.sbReadSteps) << kind;
+            }
+        }
+    }
+}
+
+TEST(WorkloadCache, PalletSyncInvariantAcrossBlockCounts)
+{
+    // Pallet-block splitting must be exact: any inner task count
+    // yields the serial result bit for bit.
+    auto net = dnn::makeTinyNetwork();
+    AccelConfig accel;
+    SampleSpec sample{0}; // Exhaustive: every pallet.
+    auto engine = models::builtinEngines().create(
+        "pragmatic", {{"bits", "2"}});
+    dnn::ActivationSynthesizer synth(net);
+
+    NetworkResult serial = engine->runNetwork(
+        net, WorkloadSource(synth), accel, sample,
+        util::InnerExecutor());
+    util::ThreadPool pool(4);
+    for (int tasks : {2, 3, 8}) {
+        NetworkResult split = engine->runNetwork(
+            net, WorkloadSource(synth), accel, sample,
+            util::InnerExecutor(&pool, tasks));
+        ASSERT_EQ(serial.layers.size(), split.layers.size());
+        for (size_t l = 0; l < serial.layers.size(); l++) {
+            EXPECT_EQ(serial.layers[l].cycles,
+                      split.layers[l].cycles)
+                << tasks;
+            EXPECT_EQ(serial.layers[l].effectualTerms,
+                      split.layers[l].effectualTerms)
+                << tasks;
+            EXPECT_EQ(serial.layers[l].nmStallCycles,
+                      split.layers[l].nmStallCycles)
+                << tasks;
+        }
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

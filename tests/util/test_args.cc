@@ -49,8 +49,16 @@ TEST(ArgParser, ExplicitBooleanValues)
 {
     EXPECT_TRUE(parse({"--x=true"}).getBool("x"));
     EXPECT_TRUE(parse({"--x=1"}).getBool("x"));
+    EXPECT_TRUE(parse({"--x=on"}).getBool("x"));
     EXPECT_FALSE(parse({"--x=false"}).getBool("x"));
     EXPECT_FALSE(parse({"--x=0"}).getBool("x"));
+    EXPECT_FALSE(parse({"--x=off"}).getBool("x"));
+}
+
+TEST(ArgParserDeathTest, RejectsMalformedBoolean)
+{
+    auto args = parse({"--cache=of"});
+    EXPECT_DEATH(args.getBool("cache", true), "expects a boolean");
 }
 
 TEST(ArgParser, Doubles)
@@ -86,6 +94,29 @@ TEST(ArgParser, NegativeNumberValue)
 {
     auto args = parse({"--offset=-5"});
     EXPECT_EQ(args.getInt("offset", 0), -5);
+}
+
+TEST(ArgParser, CheckUnknownAcceptsKnownFlags)
+{
+    auto args = parse({"--smoke", "--units=4", "positional"});
+    args.checkUnknown({"smoke", "units", "full"});
+    SUCCEED(); // Positionals are not flags; known flags pass.
+}
+
+TEST(ArgParserDeathTest, CheckUnknownRejectsTypo)
+{
+    // Regression: "--smke" used to be silently ignored, running the
+    // full non-smoke bench in CI.
+    auto args = parse({"--smke"});
+    EXPECT_DEATH(args.checkUnknown({"smoke", "units"}),
+                 "unknown flag --smke.*did you mean --smoke");
+}
+
+TEST(ArgParserDeathTest, CheckUnknownRejectsUnrelatedFlag)
+{
+    auto args = parse({"--frobnicate=1"});
+    EXPECT_DEATH(args.checkUnknown({"smoke", "units"}),
+                 "unknown flag --frobnicate");
 }
 
 } // namespace

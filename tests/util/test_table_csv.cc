@@ -82,6 +82,18 @@ TEST(CsvWriter, WidthEnforcedAfterHeader)
     EXPECT_DEATH(csv.writeRow({"1"}), "width mismatch");
 }
 
+TEST(CsvWriter, HeaderlessFirstRowLocksWidth)
+{
+    // Regression: width was only enforced when a header was written,
+    // so headerless tables could silently emit ragged CSV.
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow({"a", "b", "c"});
+    csv.writeRow({"1", "2", "3"});
+    EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+    EXPECT_DEATH(csv.writeRow({"only", "two"}), "width mismatch");
+}
+
 TEST(CsvWriter, HeaderOnlyOnce)
 {
     std::ostringstream out;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -83,6 +85,122 @@ TEST(ThreadPool, DestructorDrainsPendingJobs)
 TEST(ThreadPool, HardwareThreadsAtLeastOne)
 {
     EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotDeadlockWait)
+{
+    // Regression: an exception escaping a job used to reach the
+    // worker thread (std::terminate) and skip the active_ decrement,
+    // deadlocking wait(). Now wait() returns and rethrows the first
+    // captured exception.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; i++)
+        pool.submit([&ran, i] {
+            ran.fetch_add(1);
+            if (i == 3)
+                throw std::runtime_error("job 3 failed");
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 8); // Remaining jobs still ran.
+}
+
+TEST(ThreadPool, WaitClearsErrorAndStaysUsable)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait(); // No stale exception, no deadlock.
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DestructorSwallowsJobExceptions)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+    // No wait(): destruction must neither terminate nor throw.
+}
+
+TEST(TaskGroup, JoinsOnlyItsOwnJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> group_jobs{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 32; i++)
+        group.run([&group_jobs] { group_jobs.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(group_jobs.load(), 32);
+    pool.wait();
+}
+
+TEST(TaskGroup, NestedFanOutFromPoolJobsDoesNotDeadlock)
+{
+    // More outer jobs than workers, each fanning out subtasks to the
+    // same pool and joining them: only safe because TaskGroup::wait
+    // helps execute queued jobs instead of blocking.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 8; i++)
+        pool.submit([&pool, &total] {
+            TaskGroup group(pool);
+            for (int j = 0; j < 4; j++)
+                group.run([&total] { total.fetch_add(1); });
+            group.wait();
+        });
+    pool.wait();
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(TaskGroup, RethrowsSubtaskException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("subtask failed"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    pool.wait(); // The group captured it; the pool stays clean.
+}
+
+TEST(InnerExecutor, SerialByDefault)
+{
+    InnerExecutor exec;
+    EXPECT_EQ(exec.maxTasks(), 1);
+    EXPECT_EQ(exec.blockCount(100), 1);
+    int calls = 0;
+    exec.forEachBlock(1, [&calls](int) { calls++; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(InnerExecutor, BlockRangesPartitionExactly)
+{
+    for (int64_t n : {1, 5, 7, 64, 1000}) {
+        for (int blocks : {1, 2, 3, 8}) {
+            if (blocks > n)
+                continue;
+            int64_t expect_lo = 0;
+            for (int b = 0; b < blocks; b++) {
+                auto [lo, hi] = InnerExecutor::blockRange(n, blocks, b);
+                EXPECT_EQ(lo, expect_lo);
+                EXPECT_LE(lo, hi);
+                expect_lo = hi;
+            }
+            EXPECT_EQ(expect_lo, n);
+        }
+    }
+}
+
+TEST(InnerExecutor, ParallelBlocksAllRun)
+{
+    ThreadPool pool(3);
+    InnerExecutor exec(&pool, 3);
+    EXPECT_EQ(exec.blockCount(10), 3);
+    EXPECT_EQ(exec.blockCount(2), 2);
+    std::vector<int> slots(7, 0);
+    exec.forEachBlock(7, [&slots](int b) { slots[b] = b + 1; });
+    for (int b = 0; b < 7; b++)
+        EXPECT_EQ(slots[b], b + 1);
+    pool.wait();
 }
 
 } // namespace

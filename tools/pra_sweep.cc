@@ -3,7 +3,8 @@
  * pra_sweep: run the (network x engine x config) grid in one shot.
  *
  *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
- *             [--threads N] [--units N | --full] [--seed S]
+ *             [--threads N] [--inner-threads N] [--cache on|off]
+ *             [--units N | --full] [--seed S]
  *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
  *
  * An engine spec is "kind[:key=value]*", e.g. "pragmatic:bits=2" or
@@ -12,7 +13,15 @@
  * points; "--engines all" runs one default instance of every
  * registered kind. Results stream as CSV to --csv (default stdout),
  * with a speedup-vs-DaDN summary table on stderr when DaDN is in the
- * grid. Output is bit-identical for any --threads value.
+ * grid.
+ *
+ * "--cache off" rebuilds every cell's workload from scratch instead
+ * of sharing one synthesis per (network, stream, seed) — only useful
+ * to bound the cache's memory or to verify equivalence.
+ * "--inner-threads N" caps the pallet-block subtasks a cell may fan
+ * out (0 = automatic: split only when the grid has fewer cells than
+ * threads). Output is bit-identical for any --threads or
+ * --inner-threads value and with the cache on or off.
  */
 
 #include <cstdio>
@@ -126,6 +135,10 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
+    args.checkUnknown({"networks", "engines", "threads",
+                       "inner-threads", "cache", "units", "full",
+                       "seed", "csv", "per-layer", "smoke",
+                       "list-engines"});
 
     if (args.getBool("list-engines")) {
         const auto &registry = models::builtinEngines();
@@ -144,6 +157,9 @@ main(int argc, char **argv)
     sim::SweepOptions options;
     options.threads = static_cast<int>(
         args.getInt("threads", util::ThreadPool::hardwareThreads()));
+    options.innerThreads =
+        static_cast<int>(args.getInt("inner-threads", 0));
+    options.cache = args.getBool("cache", true);
     int64_t default_units = smoke ? 4 : 64;
     options.sample.maxUnits =
         args.getBool("full") ? 0 : args.getInt("units", default_units);
