@@ -22,10 +22,11 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
-    args.checkUnknown({"smoke", "network", "full", "units"});
+    args.checkUnknown({"smoke", "network", "layers", "full", "units"});
     bool smoke = args.getBool("smoke");
     dnn::Network net = dnn::makeNetworkByName(
-        args.getString("network", smoke ? "tiny" : "alexnet"));
+        args.getString("network", smoke ? "tiny" : "alexnet"),
+        dnn::parseLayerSelect(args.getString("layers", "conv")));
     models::SimOptions opt;
     opt.sample.maxUnits =
         args.getBool("full") ? 0

@@ -159,6 +159,30 @@ BM_PalletSyncLayerWorkload(benchmark::State &state)
 }
 BENCHMARK(BM_PalletSyncLayerWorkload)->DenseRange(0, 4, 2);
 
+/**
+ * An FC layer priced through the pallet-sync path: the 1x1xI
+ * lowering tiles to a single-window partial pallet over ceil(I/16)
+ * channel bricks (AlexNet fc8: 256 bricks, one window), stressing
+ * the partial-pallet/channel-brick walk instead of the spatial
+ * window walk the conv benches cover.
+ */
+void
+BM_FcLoweringPalletSync(benchmark::State &state)
+{
+    auto net = dnn::makeAlexNet(dnn::LayerSelect::All);
+    dnn::ActivationSynthesizer synth(net);
+    int fc8 = static_cast<int>(net.layers.size()) - 1;
+    sim::LayerWorkload workload(synth.synthesizeFixed16Trimmed(fc8));
+    workload.brickPlanes(); // Build outside the timed region.
+    models::PragmaticTileConfig tile;
+    tile.firstStageBits = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(models::simulateLayerPalletSync(
+            net.layers[fc8], workload, sim::AccelConfig{}, tile,
+            sim::SampleSpec{0}, util::InnerExecutor()));
+}
+BENCHMARK(BM_FcLoweringPalletSync)->DenseRange(0, 4, 2);
+
 void
 BM_WorkloadCacheHit(benchmark::State &state)
 {

@@ -7,6 +7,7 @@
  *   --units=N         sampling cap per layer (pallets or windows)
  *   --seed=S          workload seed
  *   --networks=a,b    comma-separated subset (default: all six)
+ *   --layers=K        layer kinds: conv (default) | fc | all
  *   --threads=N       worker threads for sweep-based benches
  *   --inner-threads=N per-cell layer-splitting cap (0 = automatic)
  *   --cache=on|off    share synthesized workloads across the grid
@@ -38,6 +39,7 @@ struct BenchOptions
     sim::SampleSpec sample{64};
     uint64_t seed = 0x5eed;
     std::vector<dnn::Network> networks;
+    dnn::LayerSelect select = dnn::LayerSelect::Conv;
     int threads = 1;
     int innerThreads = 0;
     bool cache = true;
@@ -50,12 +52,14 @@ struct BenchOptions
         util::ArgParser args(argc, argv);
         std::vector<std::string> known = {
             "full", "units",   "seed",         "networks",
-            "threads", "smoke", "inner-threads", "cache"};
+            "layers", "threads", "smoke", "inner-threads", "cache"};
         known.insert(known.end(), extra_flags.begin(),
                      extra_flags.end());
         args.checkUnknown(known);
         BenchOptions opt;
         opt.smoke = args.getBool("smoke");
+        opt.select =
+            dnn::parseLayerSelect(args.getString("layers", "conv"));
         if (opt.smoke)
             default_units = 2; // A few pallets: exercise every code
                                // path in seconds, accuracy is moot.
@@ -70,9 +74,9 @@ struct BenchOptions
         opt.cache = args.getBool("cache", true);
         std::string list = args.getString("networks", "");
         if (list.empty() && opt.smoke) {
-            opt.networks.push_back(dnn::makeTinyNetwork());
+            opt.networks.push_back(dnn::makeTinyNetwork(opt.select));
         } else if (list.empty()) {
-            opt.networks = dnn::makeAllNetworks();
+            opt.networks = dnn::makeAllNetworks(opt.select);
         } else {
             size_t pos = 0;
             while (pos != std::string::npos) {
@@ -83,7 +87,7 @@ struct BenchOptions
                                          : comma - pos);
                 if (!name.empty())
                     opt.networks.push_back(
-                        dnn::makeNetworkByName(name));
+                        dnn::makeNetworkByName(name, opt.select));
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
         }

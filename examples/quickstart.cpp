@@ -29,7 +29,7 @@ main(int argc, char **argv)
     dnn::Network net =
         dnn::makeNetworkByName(args.getString("network", "alexnet"));
     int layer_idx = static_cast<int>(args.getInt("layer", 2));
-    const dnn::ConvLayerSpec &layer = net.layers.at(layer_idx);
+    const dnn::LayerSpec &layer = net.layers.at(layer_idx);
 
     std::printf("Quickstart: %s / %s\n", net.name.c_str(),
                 layer.name.c_str());

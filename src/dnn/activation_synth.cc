@@ -14,18 +14,6 @@ namespace dnn {
 
 namespace {
 
-/** FNV-1a 64-bit hash for deterministic per-layer seeds. */
-uint64_t
-hashString(const std::string &text)
-{
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (char ch : text) {
-        h ^= static_cast<uint8_t>(ch);
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
 /**
  * Expected popcount of the dense mixture component for a p-bit core:
  * MSB fixed at bit p-1, lower p-1 bits uniform.
@@ -115,7 +103,7 @@ calibrateLambda(uint32_t max_value, double target_popcount)
 }
 
 SynthParams
-calibrateFixed16(const ConvLayerSpec &layer, const BitStatsTargets &targets)
+calibrateFixed16(const LayerSpec &layer, const BitStatsTargets &targets)
 {
     SynthParams params;
     params.zeroFraction = targets.zeroFraction16();
@@ -216,7 +204,11 @@ ActivationSynthesizer::ActivationSynthesizer(const Network &network,
     // dense (nearly no zeros) and its pixel values spread uniformly
     // across the layer's precision window. This is why Cnvlutin
     // cannot skip layer 1 (Section II-B) and it shapes conv1 timing.
-    if (!fixed16Params_.empty()) {
+    // The override only applies when the network actually starts at
+    // its convolutional front: an FC-selected network begins at fc6,
+    // whose input is a pooled ReLU output, not the image.
+    if (!fixed16Params_.empty() &&
+        network_.layers.front().kind == LayerKind::Conv) {
         SynthParams &first = fixed16Params_.front();
         first.zeroFraction = kImageZeroFraction;
         first.lambda = 0.0; // Uniform pixel magnitudes.
@@ -232,20 +224,27 @@ ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
     const auto &layer = network_.layers.at(layer_idx);
     SynthParams params =
         quantized ? quant8Params_ : fixed16Params_.at(layer_idx);
-    if (quantized && layer_idx == 0) {
+    if (quantized && layer_idx == 0 && layer.kind == LayerKind::Conv) {
         // Image input: dense, uniform codes (see the fixed-point
         // first-layer note in the constructor).
         params.zeroFraction = kImageZeroFraction;
         params.lambda = 0.0;
         params.denseFraction = 0.0;
         params.noiseDense = 0.0;
-    params.noiseLight = 0.0;
+        params.noiseLight = 0.0;
     }
 
-    uint64_t layer_seed = seed_ ^ hashString(network_.name) ^
-                          hashString(layer.name) ^
-                          (quantized ? 0x9u : 0x1u) ^
-                          (static_cast<uint64_t>(layer_idx) << 32);
+    // Seed by the layer's ordinal (its position in the unfiltered
+    // network) rather than its index in this selection, so the same
+    // logical layer synthesizes the same stream under --layers=fc
+    // and --layers=all. Hand-built layers without an ordinal fall
+    // back to the index; under Conv/All selections ordinal == index,
+    // so pre-selection streams are bit-identical.
+    uint64_t position = static_cast<uint64_t>(
+        layer.ordinal >= 0 ? layer.ordinal : layer_idx);
+    uint64_t layer_seed = seed_ ^ util::fnv1a(network_.name) ^
+                          util::fnv1a(layer.name) ^
+                          (quantized ? 0x9u : 0x1u) ^ (position << 32);
     util::Xoshiro256 rng(layer_seed);
 
     uint32_t core_max = (1u << params.precisionBits) - 1;
@@ -318,12 +317,12 @@ ActivationSynthesizer::fixed16Params(int layer_idx) const
 }
 
 std::vector<FilterTensor>
-synthesizeFilters(const ConvLayerSpec &layer, uint64_t seed,
+synthesizeFilters(const LayerSpec &layer, uint64_t seed,
                   int weight_range)
 {
     util::checkInvariant(weight_range > 0 && weight_range <= 32767,
                          "synthesizeFilters: bad weight range");
-    util::Xoshiro256 rng(seed ^ hashString(layer.name));
+    util::Xoshiro256 rng(seed ^ util::fnv1a(layer.name));
     std::vector<FilterTensor> filters;
     filters.reserve(layer.numFilters);
     for (int f = 0; f < layer.numFilters; f++) {

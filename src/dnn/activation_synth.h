@@ -121,7 +121,10 @@ inline constexpr double kLightComponentPopcount = 1.3;
 
 /**
  * Zero fraction of the first layer's input (the image): images are
- * dense — only a sliver of pixels is exactly zero.
+ * dense — only a sliver of pixels is exactly zero. The override
+ * applies only when the network's first layer is convolutional; a
+ * front-trimmed FC-only network starts from pooled ReLU outputs, not
+ * the image.
  */
 inline constexpr double kImageZeroFraction = 0.02;
 
@@ -129,7 +132,7 @@ inline constexpr double kImageZeroFraction = 0.02;
  * Calibrate the 16-bit fixed-point stream of one layer against the
  * network's Table I / Table V targets.
  */
-SynthParams calibrateFixed16(const ConvLayerSpec &layer,
+SynthParams calibrateFixed16(const LayerSpec &layer,
                              const BitStatsTargets &targets);
 
 /** Calibrate the 8-bit quantized code stream (network-wide). */
@@ -185,7 +188,7 @@ class ActivationSynthesizer
  * filters of the layer's geometry with weights uniform in
  * [-weight_range, weight_range].
  */
-std::vector<FilterTensor> synthesizeFilters(const ConvLayerSpec &layer,
+std::vector<FilterTensor> synthesizeFilters(const LayerSpec &layer,
                                             uint64_t seed = 0xf117,
                                             int weight_range = 255);
 

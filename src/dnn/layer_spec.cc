@@ -1,0 +1,137 @@
+#include "dnn/layer_spec.h"
+
+#include "dnn/tensor.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace dnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::FullyConnected: return "fc";
+    }
+    util::fatal("layerKindName: bad kind");
+}
+
+bool
+layerSelected(LayerKind kind, LayerSelect select)
+{
+    switch (select) {
+      case LayerSelect::Conv: return kind == LayerKind::Conv;
+      case LayerSelect::Fc: return kind == LayerKind::FullyConnected;
+      case LayerSelect::All: return true;
+    }
+    util::fatal("layerSelected: bad select");
+}
+
+LayerSpec
+LayerSpec::fullyConnected(std::string name, int inputs, int outputs,
+                          int precision)
+{
+    LayerSpec spec;
+    spec.name = std::move(name);
+    spec.kind = LayerKind::FullyConnected;
+    spec.inputX = 1;
+    spec.inputY = 1;
+    spec.inputChannels = inputs;
+    spec.filterX = 1;
+    spec.filterY = 1;
+    spec.numFilters = outputs;
+    spec.stride = 1;
+    spec.pad = 0;
+    spec.profiledPrecision = precision;
+    return spec;
+}
+
+int
+LayerSpec::outX() const
+{
+    return (inputX + 2 * pad - filterX) / stride + 1;
+}
+
+int
+LayerSpec::outY() const
+{
+    return (inputY + 2 * pad - filterY) / stride + 1;
+}
+
+int64_t
+LayerSpec::windows() const
+{
+    return static_cast<int64_t>(outX()) * outY();
+}
+
+int64_t
+LayerSpec::synapsesPerFilter() const
+{
+    return static_cast<int64_t>(filterX) * filterY * inputChannels;
+}
+
+int64_t
+LayerSpec::synapses() const
+{
+    return synapsesPerFilter() * numFilters;
+}
+
+int64_t
+LayerSpec::products() const
+{
+    return windows() * numFilters * synapsesPerFilter();
+}
+
+int64_t
+LayerSpec::bricksPerWindow() const
+{
+    int64_t channel_bricks = (inputChannels + kBrickSize - 1) / kBrickSize;
+    return static_cast<int64_t>(filterX) * filterY * channel_bricks;
+}
+
+int64_t
+LayerSpec::inputNeurons() const
+{
+    return static_cast<int64_t>(inputX) * inputY * inputChannels;
+}
+
+fixedpoint::PrecisionWindow
+LayerSpec::precisionWindow(int anchor_lsb) const
+{
+    fixedpoint::PrecisionWindow window;
+    window.lsb = anchor_lsb;
+    window.msb = std::min(15, anchor_lsb + profiledPrecision - 1);
+    return window;
+}
+
+bool
+LayerSpec::valid() const
+{
+    if (inputX <= 0 || inputY <= 0 || inputChannels <= 0)
+        return false;
+    if (filterX <= 0 || filterY <= 0 || numFilters <= 0)
+        return false;
+    if (stride <= 0 || pad < 0)
+        return false;
+    // The filter must fit the padded input, checked per axis
+    // symmetrically. Given a fit, outX()/outY() floor semantics
+    // guarantee at least one window per axis; a stride that does not
+    // tile the padded input exactly is legal (the trailing positions
+    // are dropped, see outX()).
+    if (filterX > inputX + 2 * pad || filterY > inputY + 2 * pad)
+        return false;
+    if (profiledPrecision < 1 || profiledPrecision > 16)
+        return false;
+    if (kind == LayerKind::FullyConnected) {
+        // Only the canonical lowered form (see fullyConnected()) is
+        // valid: one window over a 1x1xI column.
+        if (inputX != 1 || inputY != 1 || filterX != 1 || filterY != 1)
+            return false;
+        if (stride != 1 || pad != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace dnn
+} // namespace pra

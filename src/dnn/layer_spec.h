@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Layer geometry (paper Section IV-A), generalized over layer kinds.
+ *
+ * A convolutional layer applies N filters of Fx x Fy x I synapses
+ * over an Nx x Ny x I input with stride S (and optional zero padding,
+ * which the real networks use even though the paper's formula elides
+ * it), producing an Ox x Oy x N output. All cycle and term counts
+ * derive from this geometry plus the neuron bit patterns.
+ *
+ * A fully-connected layer is expressed in the same geometry by the
+ * canonical lowering every unit-level simulator uses (DNNsim models
+ * InnerProduct the same way): its I inputs become a 1 x 1 x I input
+ * column and each of its N output neurons a 1 x 1 x I filter, so the
+ * layer is a convolution with a single window. Because the lowering
+ * is exact, every engine prices FC layers through its existing
+ * schedule/term paths — an FC layer costs bit-for-bit the same as its
+ * hand-built 1x1xI convolutional twin.
+ */
+
+#ifndef PRA_DNN_LAYER_SPEC_H
+#define PRA_DNN_LAYER_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "fixedpoint/precision.h"
+
+namespace pra {
+namespace dnn {
+
+/** What a layer computes; geometry is shared, validation is not. */
+enum class LayerKind
+{
+    Conv,           ///< Spatial convolution.
+    FullyConnected, ///< Inner product, lowered to a 1x1xI window.
+};
+
+/** Human-readable kind name ("conv", "fc"). */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Which layer kinds a workload includes. Conv is the default
+ * everywhere so pre-existing sweeps and figures are unchanged.
+ */
+enum class LayerSelect { Conv, Fc, All };
+
+/** True when @p select includes layers of @p kind. */
+bool layerSelected(LayerKind kind, LayerSelect select);
+
+/** Static description of one layer. */
+struct LayerSpec
+{
+    std::string name;
+
+    LayerKind kind = LayerKind::Conv;
+
+    int inputX = 0;        ///< Nx: input width.
+    int inputY = 0;        ///< Ny: input height.
+    int inputChannels = 0; ///< I: input depth.
+
+    int filterX = 0;       ///< Fx: filter width.
+    int filterY = 0;       ///< Fy: filter height.
+    int numFilters = 0;    ///< N: filter count == output depth.
+
+    int stride = 1;        ///< S: window stride.
+    int pad = 0;           ///< Zero padding on each border.
+
+    /**
+     * Profiled neuron precision in bits for this layer's *input*
+     * neuron stream (paper Table II); drives Stripes' cycle count and
+     * PRA's software-guided trimming.
+     */
+    int profiledPrecision = 16;
+
+    /**
+     * The layer's position in its *unfiltered* network, or -1 when
+     * unknown (hand-built layers). The model zoo assigns it before
+     * applying a layer selection; activation synthesis seeds streams
+     * by it, so the same logical layer gets the same stream no
+     * matter which selection it survived into.
+     */
+    int ordinal = -1;
+
+    /**
+     * Build a fully-connected layer over @p inputs inputs and
+     * @p outputs output neurons in its canonical lowered form:
+     * a 1 x 1 x inputs input, outputs filters of 1 x 1 x inputs,
+     * stride 1, no padding.
+     */
+    static LayerSpec fullyConnected(std::string name, int inputs,
+                                    int outputs, int precision = 16);
+
+    /**
+     * Output width: floor((Nx + 2*pad - Fx) / S) + 1.
+     *
+     * Floor semantics: when the stride does not tile the padded input
+     * exactly, the trailing positions that cannot fit a full window
+     * are dropped (the convention real networks rely on — e.g.
+     * VGG-M conv2: floor((54 + 2 - 5) / 2) + 1 = 26).
+     */
+    int outX() const;
+    /** Output height, with the same floor semantics as outX(). */
+    int outY() const;
+    /** Number of windows == output neurons per filter. */
+    int64_t windows() const;
+    /** Synapses per filter: Fx * Fy * I. */
+    int64_t synapsesPerFilter() const;
+    /** Total synapses (parameters): N * Fx * Fy * I. */
+    int64_t synapses() const;
+    /** Multiply-accumulate count: windows * N * Fx * Fy * I. */
+    int64_t products() const;
+    /** Bricks per window: Fx * Fy * ceil(I / 16). */
+    int64_t bricksPerWindow() const;
+    /** Input neuron count: Nx * Ny * I. */
+    int64_t inputNeurons() const;
+
+    /**
+     * The trimming window implied by the profiled precision: the
+     * retained bits are anchored @p anchor_lsb positions above bit 0
+     * (the synthesis keeps suffix noise below the anchor; see
+     * dnn/activation_synth.h).
+     */
+    fixedpoint::PrecisionWindow precisionWindow(int anchor_lsb) const;
+
+    /**
+     * Sanity-check the geometry; returns false on malformed specs.
+     *
+     * All kinds: positive dimensions, stride >= 1, pad >= 0,
+     * profiled precision in [1, 16], and the filter must fit the
+     * padded input on each axis (checked symmetrically for X and Y);
+     * outX()/outY() floor semantics then guarantee at least one
+     * window per axis, so a non-tiling stride is *accepted* — the
+     * dropped trailing positions are documented behavior, not an
+     * error. FullyConnected additionally requires the canonical
+     * lowered form (1x1 spatial extent, stride 1, no padding).
+     */
+    bool valid() const;
+};
+
+} // namespace dnn
+} // namespace pra
+
+#endif // PRA_DNN_LAYER_SPEC_H

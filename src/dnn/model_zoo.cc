@@ -11,11 +11,11 @@ namespace dnn {
 namespace {
 
 /** Shorthand builder for one conv layer spec. */
-ConvLayerSpec
+LayerSpec
 conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
      int filters, int stride, int pad, int precision)
 {
-    ConvLayerSpec spec;
+    LayerSpec spec;
     spec.name = std::move(name);
     spec.inputX = in_x;
     spec.inputY = in_y;
@@ -32,11 +32,51 @@ conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
 }
 
 /**
+ * Shorthand builder for one fully-connected layer in its canonical
+ * 1x1xI lowered form. The paper's Table II profiles conv layers only;
+ * the FC precisions here are the companion profiled values in the
+ * same style (DNNsim-class simulators carry per-layer InnerProduct
+ * precisions the same way).
+ */
+LayerSpec
+fc(std::string name, int inputs, int outputs, int precision)
+{
+    LayerSpec spec =
+        LayerSpec::fullyConnected(std::move(name), inputs, outputs,
+                                  precision);
+    util::checkInvariant(spec.valid(),
+                         "model_zoo: malformed layer " + spec.name);
+    return spec;
+}
+
+/**
+ * Stamp each layer's ordinal (position in the full network), then
+ * drop the layers the selection excludes (order is preserved).
+ * Ordinals keep synthesized streams selection-invariant — see
+ * LayerSpec::ordinal.
+ */
+Network
+applySelect(Network net, LayerSelect select)
+{
+    for (size_t i = 0; i < net.layers.size(); i++)
+        net.layers[i].ordinal = static_cast<int>(i);
+    if (select == LayerSelect::All)
+        return net;
+    std::vector<LayerSpec> kept;
+    kept.reserve(net.layers.size());
+    for (auto &layer : net.layers)
+        if (layerSelected(layer.kind, select))
+            kept.push_back(std::move(layer));
+    net.layers = std::move(kept);
+    return net;
+}
+
+/**
  * Append the six convolutions of one GoogLeNet inception module.
  * All convs of a module share the module's Table II precision group.
  */
 void
-addInception(std::vector<ConvLayerSpec> &layers, const std::string &name,
+addInception(std::vector<LayerSpec> &layers, const std::string &name,
              int size, int channels, int n1x1, int n3x3red, int n3x3,
              int n5x5red, int n5x5, int pool_proj, int precision)
 {
@@ -57,7 +97,7 @@ addInception(std::vector<ConvLayerSpec> &layers, const std::string &name,
 } // namespace
 
 Network
-makeAlexNet()
+makeAlexNet(LayerSelect select)
 {
     Network net;
     net.name = "AlexNet";
@@ -70,13 +110,21 @@ makeAlexNet()
         conv("conv3", 13, 13, 256, 3, 3, 384, 1, 1, 5),
         conv("conv4", 13, 13, 384, 3, 3, 384, 1, 1, 5),
         conv("conv5", 13, 13, 384, 3, 3, 256, 1, 1, 7),
+        // FC tail: fc6 consumes the 6x6x256 pool5 output.
+        fc("fc6", 6 * 6 * 256, 4096, 10),
+        fc("fc7", 4096, 4096, 9),
+        fc("fc8", 4096, 1000, 9),
     };
-    return net;
+    return applySelect(std::move(net), select);
 }
 
 Network
-makeNiN()
+makeNiN(LayerSelect select)
 {
+    // NiN has no FC tail at all: cccp8's 1000 feature maps feed a
+    // global average pooling layer directly (its "fully-connected"
+    // role is played by the cccp 1x1 convolutions above). Under an
+    // Fc selection it therefore contributes no layers.
     Network net;
     net.name = "NiN";
     net.targets = {0.104, 0.221, 0.271, 0.374, 0.10};
@@ -95,12 +143,16 @@ makeNiN()
         conv("cccp7", 6, 6, 1024, 1, 1, 1024, 1, 0, 8),
         conv("cccp8", 6, 6, 1024, 1, 1, 1000, 1, 0, 8),
     };
-    return net;
+    return applySelect(std::move(net), select);
 }
 
 Network
-makeGoogLeNet()
+makeGoogLeNet(LayerSelect select)
 {
+    // GoogLeNet ends in global average pooling; its only inner
+    // product (loss3/classifier, 1024 -> 1000) is outside the
+    // paper's Table II precision groups, so the zoo omits it and
+    // an Fc selection contributes no layers.
     Network net;
     net.name = "GoogLeNet";
     net.targets = {0.064, 0.190, 0.268, 0.426, 0.18};
@@ -131,11 +183,11 @@ makeGoogLeNet()
                  256, 160, 320, 32, 128, 128, 10);
     addInception(layers, "inception_5b", 7, 832,
                  384, 192, 384, 48, 128, 128, 7);
-    return net;
+    return applySelect(std::move(net), select);
 }
 
 Network
-makeVggM()
+makeVggM(LayerSelect select)
 {
     Network net;
     net.name = "VGG_M";
@@ -147,12 +199,16 @@ makeVggM()
         conv("conv3", 13, 13, 256, 3, 3, 512, 1, 1, 7),
         conv("conv4", 13, 13, 512, 3, 3, 512, 1, 1, 8),
         conv("conv5", 13, 13, 512, 3, 3, 512, 1, 1, 7),
+        // FC tail (Chatfield et al.): full6/7/8 off the 6x6x512 pool5.
+        fc("fc6", 6 * 6 * 512, 4096, 10),
+        fc("fc7", 4096, 4096, 9),
+        fc("fc8", 4096, 1000, 9),
     };
-    return net;
+    return applySelect(std::move(net), select);
 }
 
 Network
-makeVggS()
+makeVggS(LayerSelect select)
 {
     Network net;
     net.name = "VGG_S";
@@ -164,12 +220,16 @@ makeVggS()
         conv("conv3", 17, 17, 256, 3, 3, 512, 1, 1, 9),
         conv("conv4", 17, 17, 512, 3, 3, 512, 1, 1, 7),
         conv("conv5", 17, 17, 512, 3, 3, 512, 1, 1, 9),
+        // FC tail (Chatfield et al.): same shape as VGG-M's.
+        fc("fc6", 6 * 6 * 512, 4096, 10),
+        fc("fc7", 4096, 4096, 9),
+        fc("fc8", 4096, 1000, 9),
     };
-    return net;
+    return applySelect(std::move(net), select);
 }
 
 Network
-makeVgg19()
+makeVgg19(LayerSelect select)
 {
     Network net;
     net.name = "VGG_19";
@@ -198,14 +258,28 @@ makeVgg19()
         }
     }
     util::checkInvariant(idx == 16, "VGG19 precision list mismatch");
-    return net;
+    // FC tail (Simonyan & Zisserman): fc6 off the 7x7x512 pool5.
+    net.layers.push_back(fc("fc6", 7 * 7 * 512, 4096, 11));
+    net.layers.push_back(fc("fc7", 4096, 4096, 10));
+    net.layers.push_back(fc("fc8", 4096, 1000, 10));
+    return applySelect(std::move(net), select);
 }
 
 std::vector<Network>
-makeAllNetworks()
+makeAllNetworks(LayerSelect select)
 {
-    return {makeAlexNet(), makeNiN(), makeGoogLeNet(),
-            makeVggM(), makeVggS(), makeVgg19()};
+    std::vector<Network> all = {makeAlexNet(select), makeNiN(select),
+                                makeGoogLeNet(select), makeVggM(select),
+                                makeVggS(select), makeVgg19(select)};
+    // A selection can leave a network with nothing to contribute
+    // (NiN and GoogLeNet have no FC layers): skip it rather than
+    // hand callers an empty workload mislabeled as that network.
+    std::vector<Network> selected;
+    selected.reserve(all.size());
+    for (auto &net : all)
+        if (!net.layers.empty())
+            selected.push_back(std::move(net));
+    return selected;
 }
 
 std::vector<std::string>
@@ -215,31 +289,54 @@ networkNames()
 }
 
 Network
-makeNetworkByName(const std::string &name)
+makeNetworkByName(const std::string &name, LayerSelect select)
 {
     std::string key;
     for (char ch : name)
         if (ch != '_' && ch != '-' && ch != ' ')
             key += static_cast<char>(std::tolower(ch));
+    Network net;
     if (key == "alexnet")
-        return makeAlexNet();
-    if (key == "nin")
-        return makeNiN();
-    if (key == "googlenet" || key == "google")
-        return makeGoogLeNet();
-    if (key == "vggm")
-        return makeVggM();
-    if (key == "vggs")
-        return makeVggS();
-    if (key == "vgg19")
-        return makeVgg19();
-    if (key == "tiny")
-        return makeTinyNetwork();
-    util::fatal("unknown network '" + name + "'");
+        net = makeAlexNet(select);
+    else if (key == "nin")
+        net = makeNiN(select);
+    else if (key == "googlenet" || key == "google")
+        net = makeGoogLeNet(select);
+    else if (key == "vggm")
+        net = makeVggM(select);
+    else if (key == "vggs")
+        net = makeVggS(select);
+    else if (key == "vgg19")
+        net = makeVgg19(select);
+    else if (key == "tiny")
+        net = makeTinyNetwork(select);
+    else
+        util::fatal("unknown network '" + name + "'");
+    // An explicit request for a network the selection empties out
+    // must fail loudly, not run a zero-layer workload.
+    if (net.layers.empty())
+        util::fatal("network '" + net.name +
+                    "' has no layers under the requested --layers "
+                    "selection (it ends in global pooling, not an FC "
+                    "tail)");
+    return net;
+}
+
+LayerSelect
+parseLayerSelect(const std::string &text)
+{
+    if (text == "conv")
+        return LayerSelect::Conv;
+    if (text == "fc")
+        return LayerSelect::Fc;
+    if (text == "all")
+        return LayerSelect::All;
+    util::fatal("--layers must be conv, fc or all (got '" + text +
+                "')");
 }
 
 Network
-makeTinyNetwork()
+makeTinyNetwork(LayerSelect select)
 {
     Network net;
     net.name = "Tiny";
@@ -247,8 +344,11 @@ makeTinyNetwork()
     net.layers = {
         conv("conv1", 12, 12, 8, 3, 3, 24, 1, 1, 8),
         conv("conv2", 12, 12, 24, 3, 3, 32, 1, 0, 7),
+        // Tiny fc tail off conv2's 10x10x32 output, for --layers
+        // smoke coverage.
+        fc("fc1", 10 * 10 * 32, 16, 7),
     };
-    return net;
+    return applySelect(std::move(net), select);
 }
 
 } // namespace dnn

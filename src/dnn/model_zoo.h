@@ -9,6 +9,16 @@
  * statistics used to calibrate the synthetic activation stream.
  * GoogLeNet's convolutions are grouped into the 11 precision groups of
  * Table II (stem conv, conv2 block, nine inception modules).
+ *
+ * Networks are no longer conv-only: each builder takes a LayerSelect
+ * choosing which layer kinds to include. The default, Conv, returns
+ * exactly the paper's conv-layer workload (byte-identical results to
+ * the historical conv-only zoo); Fc/All add the real fully-connected
+ * tails (AlexNet fc6-fc8, the VGG fc layers) in their canonical
+ * 1x1xI lowered form. NiN and GoogLeNet replace FC tails with global
+ * pooling, so an Fc selection leaves them with no layers: builders
+ * return them empty, makeAllNetworks() skips them, and
+ * makeNetworkByName() rejects the combination loudly.
  */
 
 #ifndef PRA_DNN_MODEL_ZOO_H
@@ -22,28 +32,42 @@
 namespace pra {
 namespace dnn {
 
-Network makeAlexNet();
-Network makeNiN();
-Network makeGoogLeNet();
-Network makeVggM();
-Network makeVggS();
-Network makeVgg19();
+Network makeAlexNet(LayerSelect select = LayerSelect::Conv);
+Network makeNiN(LayerSelect select = LayerSelect::Conv);
+Network makeGoogLeNet(LayerSelect select = LayerSelect::Conv);
+Network makeVggM(LayerSelect select = LayerSelect::Conv);
+Network makeVggS(LayerSelect select = LayerSelect::Conv);
+Network makeVgg19(LayerSelect select = LayerSelect::Conv);
 
-/** All six evaluation networks in the paper's reporting order. */
-std::vector<Network> makeAllNetworks();
+/**
+ * The evaluation networks in the paper's reporting order. Networks
+ * the selection leaves empty (NiN and GoogLeNet under Fc) are
+ * skipped, so every returned network is valid.
+ */
+std::vector<Network> makeAllNetworks(LayerSelect select =
+                                         LayerSelect::Conv);
 
-/** Look a network up by (case-insensitive) name; fatal() if unknown. */
-Network makeNetworkByName(const std::string &name);
+/**
+ * Look a network up by (case-insensitive) name; fatal() if unknown
+ * or if the selection leaves the network with no layers.
+ */
+Network makeNetworkByName(const std::string &name,
+                          LayerSelect select = LayerSelect::Conv);
 
 /** Names accepted by makeNetworkByName(). */
 std::vector<std::string> networkNames();
 
 /**
+ * Parse a --layers= value: "conv", "fc" or "all"; fatal() otherwise.
+ */
+LayerSelect parseLayerSelect(const std::string &text);
+
+/**
  * A deliberately tiny two-layer network for tests and the quickstart
  * example: small enough for exhaustive (unsampled) simulation and
- * functional cross-checking.
+ * functional cross-checking. Fc/All add a tiny fc tail.
  */
-Network makeTinyNetwork();
+Network makeTinyNetwork(LayerSelect select = LayerSelect::Conv);
 
 } // namespace dnn
 } // namespace pra

@@ -1,5 +1,9 @@
 #include "dnn/network.h"
 
+#include <bit>
+
+#include "util/random.h"
+
 namespace pra {
 namespace dnn {
 
@@ -10,6 +14,44 @@ Network::totalProducts() const
     for (const auto &layer : layers)
         total += layer.products();
     return total;
+}
+
+uint64_t
+Network::workloadFingerprint() const
+{
+    // FNV-1a over every field that shapes a synthesized workload.
+    uint64_t h = util::kFnv1aOffset;
+    for (double target :
+         {targets.all16, targets.nz16, targets.all8, targets.nz8,
+          targets.softwareBenefit})
+        h = util::fnv1aMix(h, std::bit_cast<uint64_t>(target));
+    h = util::fnv1aMix(h, layers.size());
+    for (const auto &layer : layers) {
+        h = util::fnv1a(layer.name, h);
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.kind));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.inputX));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.inputY));
+        h = util::fnv1aMix(h,
+                           static_cast<uint64_t>(layer.inputChannels));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.filterX));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.filterY));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.numFilters));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.stride));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.pad));
+        h = util::fnv1aMix(
+            h, static_cast<uint64_t>(layer.profiledPrecision));
+        h = util::fnv1aMix(h, static_cast<uint64_t>(layer.ordinal));
+    }
+    return h;
+}
+
+int
+Network::countLayers(LayerKind kind) const
+{
+    int count = 0;
+    for (const auto &layer : layers)
+        count += layer.kind == kind;
+    return count;
 }
 
 bool

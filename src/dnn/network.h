@@ -1,17 +1,19 @@
 /**
  * @file
- * A network: the ordered convolutional layers the accelerators run,
- * plus the published per-network neuron-stream statistics used to
- * calibrate the synthetic activation generator (see DESIGN.md §3).
+ * A network: the ordered layers the accelerators run — convolutional
+ * and fully-connected, each a LayerSpec with a kind — plus the
+ * published per-network neuron-stream statistics used to calibrate
+ * the synthetic activation generator (see DESIGN.md §3).
  */
 
 #ifndef PRA_DNN_NETWORK_H
 #define PRA_DNN_NETWORK_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 
 namespace pra {
 namespace dnn {
@@ -43,15 +45,28 @@ struct BitStatsTargets
     double zeroFraction8() const { return 1.0 - all8 / nz8; }
 };
 
-/** A named network: conv layers in execution order. */
+/** A named network: layers in execution order. */
 struct Network
 {
     std::string name;
-    std::vector<ConvLayerSpec> layers;
+    std::vector<LayerSpec> layers;
     BitStatsTargets targets;
 
-    /** Total multiply-accumulates over all conv layers. */
+    /** Total multiply-accumulates over all layers. */
     int64_t totalProducts() const;
+
+    /** Number of layers of @p kind. */
+    int countLayers(LayerKind kind) const;
+
+    /**
+     * Order-sensitive hash of everything that shapes this network's
+     * synthesized workloads: the layer list (names, kinds, geometry,
+     * ordinals) and the calibration targets. Two selections of the
+     * same network differ here, as do same-named networks with
+     * different targets, so caches keyed by network name fold this
+     * in to keep "same name, different workload" entries apart.
+     */
+    uint64_t workloadFingerprint() const;
 
     /** True when every layer spec is well formed. */
     bool valid() const;

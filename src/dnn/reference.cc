@@ -6,7 +6,7 @@ namespace pra {
 namespace dnn {
 
 int64_t
-referenceWindowDot(const ConvLayerSpec &layer, const NeuronTensor &input,
+referenceWindowDot(const LayerSpec &layer, const NeuronTensor &input,
                    const FilterTensor &filter, int window_x, int window_y)
 {
     int64_t acc = 0;
@@ -25,7 +25,7 @@ referenceWindowDot(const ConvLayerSpec &layer, const NeuronTensor &input,
 }
 
 OutputTensor
-referenceConvolution(const ConvLayerSpec &layer, const NeuronTensor &input,
+referenceConvolution(const LayerSpec &layer, const NeuronTensor &input,
                      const std::vector<FilterTensor> &filters)
 {
     util::checkInvariant(layer.valid(), "referenceConvolution: bad layer");

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/tensor.h"
 
 namespace pra {
@@ -31,7 +31,7 @@ using OutputTensor = Tensor3D<int64_t>;
  * @param input   the input neuron array.
  * @param filters one FilterTensor per output filter.
  */
-OutputTensor referenceConvolution(const ConvLayerSpec &layer,
+OutputTensor referenceConvolution(const LayerSpec &layer,
                                   const NeuronTensor &input,
                                   const std::vector<FilterTensor> &filters);
 
@@ -39,7 +39,7 @@ OutputTensor referenceConvolution(const ConvLayerSpec &layer,
  * Dot product of one window position against one filter; the quantum
  * of work the inner-product units perform.
  */
-int64_t referenceWindowDot(const ConvLayerSpec &layer,
+int64_t referenceWindowDot(const LayerSpec &layer,
                            const NeuronTensor &input,
                            const FilterTensor &filter,
                            int window_x, int window_y);

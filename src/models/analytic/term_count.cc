@@ -24,7 +24,7 @@ struct WindowStats
  * each of its Fx*Fy*I input neurons is used once per filter.
  */
 WindowStats
-windowStats(const dnn::ConvLayerSpec &layer, const dnn::NeuronTensor &raw,
+windowStats(const dnn::LayerSpec &layer, const dnn::NeuronTensor &raw,
             const dnn::NeuronTensor *trimmed, int wx, int wy)
 {
     WindowStats stats;
@@ -60,7 +60,7 @@ windowStats(const dnn::ConvLayerSpec &layer, const dnn::NeuronTensor &raw,
  * iterations).
  */
 WindowStats
-planeWindowStats(const dnn::ConvLayerSpec &layer,
+planeWindowStats(const dnn::LayerSpec &layer,
                  const sim::BrickPlanes &raw,
                  const sim::BrickPlanes &trimmed, int wx, int wy)
 {
@@ -88,7 +88,7 @@ planeWindowStats(const dnn::ConvLayerSpec &layer,
 
 /** Fold one window's stats into the layer counts. */
 void
-addWindowCounts(LayerTermCounts &counts, const dnn::ConvLayerSpec &layer,
+addWindowCounts(LayerTermCounts &counts, const dnn::LayerSpec &layer,
                 const WindowStats &stats, bool is_first_layer)
 {
     double filters = static_cast<double>(layer.numFilters);
@@ -118,7 +118,7 @@ scaleCounts(LayerTermCounts &counts, double scale)
 } // namespace
 
 LayerTermCounts
-countLayerTerms16(const dnn::ConvLayerSpec &layer,
+countLayerTerms16(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &raw,
                   const dnn::NeuronTensor &trimmed,
                   bool is_first_layer, const sim::SampleSpec &sample)
@@ -139,7 +139,7 @@ countLayerTerms16(const dnn::ConvLayerSpec &layer,
 }
 
 LayerTermCounts
-countLayerTerms16(const dnn::ConvLayerSpec &layer,
+countLayerTerms16(const dnn::LayerSpec &layer,
                   const sim::LayerWorkload &raw,
                   const sim::LayerWorkload &trimmed,
                   bool is_first_layer, const sim::SampleSpec &sample)

@@ -22,7 +22,7 @@
 #define PRA_MODELS_ANALYTIC_TERM_COUNT_H
 
 #include "dnn/activation_synth.h"
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "sim/sampling.h"
@@ -52,7 +52,7 @@ struct LayerTermCounts
  * @param sample   window sampling policy (unit = window).
  */
 LayerTermCounts
-countLayerTerms16(const dnn::ConvLayerSpec &layer,
+countLayerTerms16(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &raw,
                   const dnn::NeuronTensor &trimmed,
                   bool is_first_layer, const sim::SampleSpec &sample);
@@ -63,7 +63,7 @@ countLayerTerms16(const dnn::ConvLayerSpec &layer,
  * by element.
  */
 LayerTermCounts
-countLayerTerms16(const dnn::ConvLayerSpec &layer,
+countLayerTerms16(const dnn::LayerSpec &layer,
                   const sim::LayerWorkload &raw,
                   const sim::LayerWorkload &trimmed,
                   bool is_first_layer, const sim::SampleSpec &sample);

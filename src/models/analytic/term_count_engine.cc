@@ -46,7 +46,7 @@ selectSeries(const LayerTermCounts &counts,
  * calibrateFixed16 uses), matching synthesizeFixed16Trimmed().
  */
 dnn::NeuronTensor
-trimStream(const dnn::ConvLayerSpec &layer,
+trimStream(const dnn::LayerSpec &layer,
            const dnn::NeuronTensor &raw)
 {
     int anchor = std::min(dnn::kNoiseSuffixBits,
@@ -87,7 +87,7 @@ TermCountEngine::name() const
 }
 
 sim::LayerResult
-TermCountEngine::resultFromCounts(const dnn::ConvLayerSpec &layer,
+TermCountEngine::resultFromCounts(const dnn::LayerSpec &layer,
                                   const LayerTermCounts &counts) const
 {
     sim::LayerResult lr;
@@ -99,7 +99,7 @@ TermCountEngine::resultFromCounts(const dnn::ConvLayerSpec &layer,
 }
 
 sim::LayerResult
-TermCountEngine::layerTerms(const dnn::ConvLayerSpec &layer,
+TermCountEngine::layerTerms(const dnn::LayerSpec &layer,
                             const dnn::NeuronTensor &raw,
                             bool is_first_layer,
                             const sim::SampleSpec &sample) const
@@ -110,7 +110,7 @@ TermCountEngine::layerTerms(const dnn::ConvLayerSpec &layer,
 }
 
 sim::LayerResult
-TermCountEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+TermCountEngine::simulateLayer(const dnn::LayerSpec &layer,
                                const dnn::NeuronTensor &input,
                                const sim::AccelConfig &accel,
                                const sim::SampleSpec &sample) const
@@ -141,10 +141,16 @@ TermCountEngine::runNetwork(const dnn::Network &network,
         std::shared_ptr<const sim::LayerWorkload> trimmed =
             source.layer(static_cast<int>(i),
                          sim::InputStream::Fixed16Trimmed);
+        // The first-layer rule (CVN cannot skip the dense image
+        // input, Section II-B) only applies when the network starts
+        // at its convolutional front; an FC-selected network's first
+        // layer consumes pooled ReLU outputs.
+        bool first_layer =
+            i == 0 && network.layers[i].kind == dnn::LayerKind::Conv;
         result.layers.push_back(resultFromCounts(
             network.layers[i],
             countLayerTerms16(network.layers[i], *raw, *trimmed,
-                              i == 0, sample)));
+                              first_layer, sample)));
     }
     return result;
 }

@@ -54,7 +54,7 @@ class TermCountEngine : public sim::Engine
      * layer as non-first; runNetwork() applies the rule.
      */
     sim::LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &input,
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample) const override;
@@ -78,12 +78,12 @@ class TermCountEngine : public sim::Engine
   private:
     Series series_ = Series::PraTrimmed;
 
-    sim::LayerResult layerTerms(const dnn::ConvLayerSpec &layer,
+    sim::LayerResult layerTerms(const dnn::LayerSpec &layer,
                                 const dnn::NeuronTensor &raw,
                                 bool is_first_layer,
                                 const sim::SampleSpec &sample) const;
 
-    sim::LayerResult resultFromCounts(const dnn::ConvLayerSpec &layer,
+    sim::LayerResult resultFromCounts(const dnn::LayerSpec &layer,
                                       const LayerTermCounts &counts) const;
 };
 

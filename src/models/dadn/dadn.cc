@@ -13,7 +13,7 @@ DadnModel::DadnModel(const sim::AccelConfig &config)
 }
 
 double
-DadnModel::layerCycles(const dnn::ConvLayerSpec &layer) const
+DadnModel::layerCycles(const dnn::LayerSpec &layer) const
 {
     sim::LayerTiling tiling(layer, config_);
     // One cycle per (window, synapse set); windows are processed one
@@ -24,7 +24,7 @@ DadnModel::layerCycles(const dnn::ConvLayerSpec &layer) const
 }
 
 sim::LayerResult
-DadnModel::layerResult(const dnn::ConvLayerSpec &layer) const
+DadnModel::layerResult(const dnn::LayerSpec &layer) const
 {
     sim::LayerResult lr;
     lr.layerName = layer.name;
@@ -74,7 +74,7 @@ DadnModel::nfuBrickDot(std::span<const uint16_t> neurons,
 }
 
 int64_t
-DadnModel::computeWindow(const dnn::ConvLayerSpec &layer,
+DadnModel::computeWindow(const dnn::LayerSpec &layer,
                          const dnn::NeuronTensor &input,
                          const dnn::FilterTensor &filter,
                          int window_x, int window_y) const

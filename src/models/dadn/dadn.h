@@ -20,7 +20,7 @@
 #include <span>
 #include <vector>
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "sim/accel_config.h"
@@ -39,10 +39,10 @@ class DadnModel
      * Cycles for one conv layer. DaDN performance does not depend on
      * neuron values, only geometry.
      */
-    double layerCycles(const dnn::ConvLayerSpec &layer) const;
+    double layerCycles(const dnn::LayerSpec &layer) const;
 
     /** Full per-layer result (cycles, terms, SB reads) for one layer. */
-    sim::LayerResult layerResult(const dnn::ConvLayerSpec &layer) const;
+    sim::LayerResult layerResult(const dnn::LayerSpec &layer) const;
 
     /** Per-layer results for a whole network. */
     sim::NetworkResult run(const dnn::Network &network) const;
@@ -60,7 +60,7 @@ class DadnModel
      * sets exactly as the hardware schedule does and accumulates
      * nfuBrickDot() partial sums; equals the reference window dot.
      */
-    int64_t computeWindow(const dnn::ConvLayerSpec &layer,
+    int64_t computeWindow(const dnn::LayerSpec &layer,
                           const dnn::NeuronTensor &input,
                           const dnn::FilterTensor &filter,
                           int window_x, int window_y) const;

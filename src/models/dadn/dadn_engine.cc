@@ -9,7 +9,7 @@ DadnEngine::DadnEngine(const sim::EngineKnobs &knobs)
 }
 
 sim::LayerResult
-DadnEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+DadnEngine::simulateLayer(const dnn::LayerSpec &layer,
                           const dnn::NeuronTensor &input,
                           const sim::AccelConfig &accel,
                           const sim::SampleSpec &sample) const

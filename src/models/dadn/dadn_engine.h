@@ -26,7 +26,7 @@ class DadnEngine : public sim::Engine
     std::string name() const override { return "DaDN"; }
 
     sim::LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &input,
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample) const override;

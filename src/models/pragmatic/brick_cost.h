@@ -64,7 +64,7 @@ class BrickCostModel
     brick(const sim::WindowCoord &w, const sim::SynapseSetCoord &s) const
     {
         if (planes_) {
-            const dnn::ConvLayerSpec &layer = tiling_.layer();
+            const dnn::LayerSpec &layer = tiling_.layer();
             int x = w.x * layer.stride - layer.pad + s.fx;
             int y = w.y * layer.stride - layer.pad + s.fy;
             if (x < 0 || x >= layer.inputX || y < 0 || y >= layer.inputY)

@@ -54,7 +54,7 @@ class SsrPool
 };
 
 sim::LayerResult
-simulateColumnSyncImpl(const dnn::ConvLayerSpec &layer,
+simulateColumnSyncImpl(const dnn::LayerSpec &layer,
                        const dnn::NeuronTensor &input,
                        const sim::BrickPlanes *planes,
                        const sim::AccelConfig &accel,
@@ -175,7 +175,7 @@ simulateColumnSyncImpl(const dnn::ConvLayerSpec &layer,
 } // namespace
 
 sim::LayerResult
-simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+simulateLayerColumnSync(const dnn::LayerSpec &layer,
                         const dnn::NeuronTensor &input,
                         const sim::AccelConfig &accel,
                         const ColumnSyncConfig &config,
@@ -186,7 +186,7 @@ simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
 }
 
 sim::LayerResult
-simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+simulateLayerColumnSync(const dnn::LayerSpec &layer,
                         const sim::LayerWorkload &workload,
                         const sim::AccelConfig &accel,
                         const ColumnSyncConfig &config,

@@ -26,7 +26,7 @@
 #ifndef PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H
 #define PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/tensor.h"
 #include "sim/accel_config.h"
 #include "sim/layer_result.h"
@@ -48,7 +48,7 @@ struct ColumnSyncConfig
 
 /** Simulate one layer under per-column synchronization. */
 sim::LayerResult
-simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+simulateLayerColumnSync(const dnn::LayerSpec &layer,
                         const dnn::NeuronTensor &input,
                         const sim::AccelConfig &accel,
                         const ColumnSyncConfig &config,
@@ -61,7 +61,7 @@ simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
  * not block-split (no InnerExecutor parameter).
  */
 sim::LayerResult
-simulateLayerColumnSync(const dnn::ConvLayerSpec &layer,
+simulateLayerColumnSync(const dnn::LayerSpec &layer,
                         const sim::LayerWorkload &workload,
                         const sim::AccelConfig &accel,
                         const ColumnSyncConfig &config,

@@ -63,7 +63,7 @@ PragmaticEngine::inputStream() const
 }
 
 sim::LayerResult
-PragmaticEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+PragmaticEngine::simulateLayer(const dnn::LayerSpec &layer,
                                const dnn::NeuronTensor &input,
                                const sim::AccelConfig &accel,
                                const sim::SampleSpec &sample) const
@@ -73,7 +73,7 @@ PragmaticEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
 }
 
 sim::LayerResult
-PragmaticEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+PragmaticEngine::simulateLayer(const dnn::LayerSpec &layer,
                                const sim::LayerWorkload &workload,
                                const sim::AccelConfig &accel,
                                const sim::SampleSpec &sample,

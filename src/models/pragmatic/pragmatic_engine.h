@@ -35,7 +35,7 @@ class PragmaticEngine : public sim::Engine
     sim::InputStream inputStream() const override;
 
     sim::LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &input,
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample) const override;
@@ -46,7 +46,7 @@ class PragmaticEngine : public sim::Engine
      * across @p exec. Bit-identical to the tensor overload.
      */
     sim::LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const sim::LayerWorkload &workload,
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample,

@@ -40,7 +40,7 @@ PragmaticSimulator::PragmaticSimulator(const sim::AccelConfig &accel)
 }
 
 sim::LayerResult
-PragmaticSimulator::runLayer(const dnn::ConvLayerSpec &layer,
+PragmaticSimulator::runLayer(const dnn::LayerSpec &layer,
                              const dnn::NeuronTensor &input,
                              const PragmaticConfig &config,
                              const sim::SampleSpec &sample) const

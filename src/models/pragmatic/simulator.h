@@ -65,7 +65,7 @@ class PragmaticSimulator
      * Simulate one layer given explicit input neuron patterns.
      * Dispatches to the pallet-sync or per-column engine.
      */
-    sim::LayerResult runLayer(const dnn::ConvLayerSpec &layer,
+    sim::LayerResult runLayer(const dnn::LayerSpec &layer,
                               const dnn::NeuronTensor &input,
                               const PragmaticConfig &config,
                               const sim::SampleSpec &sample) const;

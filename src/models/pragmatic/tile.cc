@@ -26,7 +26,7 @@ struct PalletPartial
 };
 
 sim::LayerResult
-simulateImpl(const dnn::ConvLayerSpec &layer,
+simulateImpl(const dnn::LayerSpec &layer,
              const dnn::NeuronTensor &input,
              const sim::BrickPlanes *planes,
              const sim::AccelConfig &accel,
@@ -124,7 +124,7 @@ simulateImpl(const dnn::ConvLayerSpec &layer,
 } // namespace
 
 sim::LayerResult
-simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+simulateLayerPalletSync(const dnn::LayerSpec &layer,
                         const dnn::NeuronTensor &input,
                         const sim::AccelConfig &accel,
                         const PragmaticTileConfig &tile,
@@ -135,7 +135,7 @@ simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
 }
 
 sim::LayerResult
-simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+simulateLayerPalletSync(const dnn::LayerSpec &layer,
                         const sim::LayerWorkload &workload,
                         const sim::AccelConfig &accel,
                         const PragmaticTileConfig &tile,

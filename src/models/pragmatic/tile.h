@@ -22,7 +22,7 @@
 #ifndef PRA_MODELS_PRAGMATIC_TILE_H
 #define PRA_MODELS_PRAGMATIC_TILE_H
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/tensor.h"
 #include "sim/accel_config.h"
 #include "sim/layer_result.h"
@@ -51,7 +51,7 @@ struct PragmaticTileConfig
  * @param sample pallet sampling policy.
  */
 sim::LayerResult
-simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+simulateLayerPalletSync(const dnn::LayerSpec &layer,
                         const dnn::NeuronTensor &input,
                         const sim::AccelConfig &accel,
                         const PragmaticTileConfig &tile,
@@ -62,7 +62,7 @@ simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
  * where possible and split across @p exec (see the file comment).
  */
 sim::LayerResult
-simulateLayerPalletSync(const dnn::ConvLayerSpec &layer,
+simulateLayerPalletSync(const dnn::LayerSpec &layer,
                         const sim::LayerWorkload &workload,
                         const sim::AccelConfig &accel,
                         const PragmaticTileConfig &tile,

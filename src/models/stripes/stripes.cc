@@ -13,7 +13,7 @@ StripesModel::StripesModel(const sim::AccelConfig &config)
 }
 
 double
-StripesModel::layerCycles(const dnn::ConvLayerSpec &layer,
+StripesModel::layerCycles(const dnn::LayerSpec &layer,
                           int precision) const
 {
     util::checkInvariant(precision >= 1 && precision <= 16,
@@ -53,7 +53,7 @@ StripesModel::run(const dnn::Network &network,
 }
 
 sim::LayerResult
-StripesModel::layerResult(const dnn::ConvLayerSpec &layer,
+StripesModel::layerResult(const dnn::LayerSpec &layer,
                           int precision) const
 {
     sim::LayerResult lr;

@@ -19,7 +19,7 @@
 #include <cstdint>
 #include <span>
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "fixedpoint/precision.h"
@@ -39,14 +39,14 @@ class StripesModel
      * Cycles for one layer given its serial precision @p precision
      * (defaults to the layer's profiled precision).
      */
-    double layerCycles(const dnn::ConvLayerSpec &layer,
+    double layerCycles(const dnn::LayerSpec &layer,
                        int precision) const;
 
     /**
      * Full per-layer result (cycles, terms, SB reads) for one layer
      * at serial precision @p precision.
      */
-    sim::LayerResult layerResult(const dnn::ConvLayerSpec &layer,
+    sim::LayerResult layerResult(const dnn::LayerSpec &layer,
                                  int precision) const;
 
     /** Run a network with its profiled per-layer precisions. */

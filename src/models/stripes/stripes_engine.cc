@@ -23,7 +23,7 @@ StripesEngine::name() const
 }
 
 sim::LayerResult
-StripesEngine::simulateLayer(const dnn::ConvLayerSpec &layer,
+StripesEngine::simulateLayer(const dnn::LayerSpec &layer,
                              const dnn::NeuronTensor &input,
                              const sim::AccelConfig &accel,
                              const sim::SampleSpec &sample) const

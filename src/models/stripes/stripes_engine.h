@@ -27,7 +27,7 @@ class StripesEngine : public sim::Engine
     std::string name() const override;
 
     sim::LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &input,
                   const sim::AccelConfig &accel,
                   const sim::SampleSpec &sample) const override;

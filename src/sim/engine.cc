@@ -6,7 +6,7 @@ namespace pra {
 namespace sim {
 
 LayerResult
-Engine::simulateLayer(const dnn::ConvLayerSpec &layer,
+Engine::simulateLayer(const dnn::LayerSpec &layer,
                       const LayerWorkload &workload,
                       const AccelConfig &accel, const SampleSpec &sample,
                       const util::InnerExecutor &exec) const

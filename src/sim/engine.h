@@ -26,7 +26,7 @@
 #include <string>
 
 #include "dnn/activation_synth.h"
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/network.h"
 #include "dnn/tensor.h"
 #include "sim/accel_config.h"
@@ -62,7 +62,7 @@ class Engine
      * returned LayerResult has layerName and engineName filled in.
      */
     virtual LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const dnn::NeuronTensor &input,
                   const AccelConfig &accel,
                   const SampleSpec &sample) const = 0;
@@ -76,7 +76,7 @@ class Engine
      * the tensor overload on workload.tensor().
      */
     virtual LayerResult
-    simulateLayer(const dnn::ConvLayerSpec &layer,
+    simulateLayer(const dnn::LayerSpec &layer,
                   const LayerWorkload &workload, const AccelConfig &accel,
                   const SampleSpec &sample,
                   const util::InnerExecutor &exec) const;

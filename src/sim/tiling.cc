@@ -5,7 +5,7 @@
 namespace pra {
 namespace sim {
 
-LayerTiling::LayerTiling(const dnn::ConvLayerSpec &layer,
+LayerTiling::LayerTiling(const dnn::LayerSpec &layer,
                          const AccelConfig &config)
     : layer_(layer), config_(config)
 {

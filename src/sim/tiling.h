@@ -12,6 +12,11 @@
  *
  * The classes here enumerate that structure and gather the neuron
  * bricks each step consumes, including zero padding at the borders.
+ *
+ * A fully-connected layer arrives here in its canonical lowered form
+ * (1 x 1 x I input, 1 x 1 filters — see dnn/layer_spec.h): it tiles
+ * to exactly one window in one partial pallet, with ceil(I / 16)
+ * synapse sets, and needs no special casing anywhere below.
  */
 
 #ifndef PRA_SIM_TILING_H
@@ -22,7 +27,7 @@
 #include <span>
 #include <vector>
 
-#include "dnn/conv_layer.h"
+#include "dnn/layer_spec.h"
 #include "dnn/tensor.h"
 #include "sim/accel_config.h"
 
@@ -55,10 +60,10 @@ struct WindowCoord
 class LayerTiling
 {
   public:
-    LayerTiling(const dnn::ConvLayerSpec &layer,
+    LayerTiling(const dnn::LayerSpec &layer,
                 const AccelConfig &config);
 
-    const dnn::ConvLayerSpec &layer() const { return layer_; }
+    const dnn::LayerSpec &layer() const { return layer_; }
     const AccelConfig &config() const { return config_; }
 
     /** Total pallets: ceil(windows / windowsPerPallet). */
@@ -118,7 +123,7 @@ class LayerTiling
                            const SynapseSetCoord &s) const;
 
   private:
-    dnn::ConvLayerSpec layer_;
+    dnn::LayerSpec layer_;
     AccelConfig config_;
     int64_t numPallets_ = 0;
     int64_t numSets_ = 0;

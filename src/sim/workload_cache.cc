@@ -100,7 +100,7 @@ LayerWorkload::brickPlanes() const
 std::shared_ptr<const dnn::ActivationSynthesizer>
 WorkloadCache::synthesizer(const dnn::Network &network, uint64_t seed)
 {
-    SynthKey key{network.name, seed};
+    SynthKey key{network.name, network.workloadFingerprint(), seed};
     std::shared_future<std::shared_ptr<const dnn::ActivationSynthesizer>>
         future;
     Entry<const dnn::ActivationSynthesizer> *mine = nullptr;
@@ -134,8 +134,9 @@ WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
 {
     if (stream == InputStream::None)
         return emptyWorkload();
-    LayerKey key{synth.network().name, synth.seed(), layer_idx,
-                 static_cast<int>(stream)};
+    LayerKey key{synth.network().name,
+                 synth.network().workloadFingerprint(), synth.seed(),
+                 layer_idx, static_cast<int>(stream)};
     std::shared_future<std::shared_ptr<const LayerWorkload>> future;
     Entry<const LayerWorkload> *mine = nullptr;
     {

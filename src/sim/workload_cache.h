@@ -5,9 +5,13 @@
  * thread-safe cache keyed by (network, representation, trim, seed).
  *
  * Every value-dependent engine in a sweep grid consumes some
- * synthesized stream of each layer. Without sharing, each grid cell
- * re-synthesizes its streams from scratch, so sweep cost grows with
- * the grid size instead of with the number of *distinct* workloads.
+ * synthesized stream of each layer — convolutional or
+ * fully-connected alike (an FC layer's stream is its lowered
+ * 1 x 1 x I input column); cache keys carry the network's workload
+ * fingerprint, so different layer selections of one network never
+ * share entries. Without sharing, each grid cell re-synthesizes its
+ * streams from scratch, so sweep cost grows with the grid size
+ * instead of with the number of *distinct* workloads.
  * The cache synthesizes each (network, stream, seed) workload once
  * and hands every consumer an immutable std::shared_ptr view.
  *
@@ -117,10 +121,15 @@ class LayerWorkload
 
 /**
  * Thread-safe cache of synthesizers and layer workloads, keyed by
- * (network name, seed) and (network name, seed, layer, stream).
- * Networks are assumed uniquely named (the model zoo guarantees it).
- * Concurrent requests for the same key block until the first
- * requester finishes building; everyone shares one immutable object.
+ * (network name, workload fingerprint, seed) and (network name,
+ * workload fingerprint, seed, layer, stream). The fingerprint
+ * (Network::workloadFingerprint()) covers the layer list and the
+ * calibration targets, keeping two selections of the same network —
+ * e.g. AlexNet conv-only vs its FC tail, both named "AlexNet" — or
+ * same-named networks with different targets from silently sharing
+ * each other's streams. Concurrent requests for the same key block
+ * until the first requester finishes building; everyone shares one
+ * immutable object.
  */
 class WorkloadCache
 {
@@ -147,8 +156,11 @@ class WorkloadCache
     int64_t misses() const;
 
   private:
-    using LayerKey = std::tuple<std::string, uint64_t, int, int>;
-    using SynthKey = std::pair<std::string, uint64_t>;
+    /** (name, workload fingerprint, seed, layer index, stream). */
+    using LayerKey =
+        std::tuple<std::string, uint64_t, uint64_t, int, int>;
+    /** (name, workload fingerprint, seed). */
+    using SynthKey = std::tuple<std::string, uint64_t, uint64_t>;
 
     template <typename V> struct Entry
     {

@@ -12,9 +12,34 @@
 #define PRA_UTIL_RANDOM_H
 
 #include <cstdint>
+#include <string_view>
 
 namespace pra {
 namespace util {
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+
+/** Mix one value into an FNV-1a 64-bit hash state. */
+inline constexpr uint64_t
+fnv1aMix(uint64_t h, uint64_t value)
+{
+    h ^= value;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+/**
+ * FNV-1a 64-bit hash of a byte string, for deterministic seed
+ * derivation and cache fingerprints (not cryptographic).
+ */
+inline constexpr uint64_t
+fnv1a(std::string_view text, uint64_t h = kFnv1aOffset)
+{
+    for (char ch : text)
+        h = fnv1aMix(h, static_cast<uint8_t>(ch));
+    return h;
+}
 
 /**
  * xoshiro256** 1.0 by Blackman & Vigna — a small, fast, high-quality

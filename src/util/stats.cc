@@ -21,7 +21,10 @@ RunningStat::add(double x)
     }
     count_++;
     sum_ += x;
-    sumSq_ += x * x;
+    // Welford's update (see the class comment for why not sumSq).
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
 }
 
 double
@@ -29,8 +32,7 @@ RunningStat::variance() const
 {
     if (count_ < 2)
         return 0.0;
-    double m = mean();
-    double var = sumSq_ / count_ - m * m;
+    double var = m2_ / static_cast<double>(count_);
     return var > 0.0 ? var : 0.0;
 }
 
@@ -39,7 +41,8 @@ RunningStat::reset()
 {
     count_ = 0;
     sum_ = 0.0;
-    sumSq_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
     min_ = 0.0;
     max_ = 0.0;
 }

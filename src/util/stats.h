@@ -31,7 +31,15 @@ class Counter
     uint64_t value_ = 0;
 };
 
-/** Running mean/min/max/sum over double-valued samples. */
+/**
+ * Running mean/min/max/sum over double-valued samples.
+ *
+ * Mean and variance use Welford's online algorithm: the naive
+ * sum-of-squares formula (sumSq/n - mean^2) cancels catastrophically
+ * for large-mean, low-variance samples (cycle counts around 1e12
+ * +/- 10 would report a variance of 0), while Welford's update keeps
+ * full precision in the centered second moment.
+ */
 class RunningStat
 {
   public:
@@ -42,7 +50,7 @@ class RunningStat
 
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     /** Population variance (0 for fewer than two samples). */
@@ -52,7 +60,8 @@ class RunningStat
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sumSq_ = 0.0;
+    double mean_ = 0.0; ///< Welford running mean.
+    double m2_ = 0.0;   ///< Welford centered second moment.
     double min_ = 0.0;
     double max_ = 0.0;
 };

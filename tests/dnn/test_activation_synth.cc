@@ -164,6 +164,31 @@ TEST(ActivationSynth, FirstLayerIsImageLike)
     EXPECT_GT(nz, 0.2); // Much denser than the ReLU streams.
 }
 
+TEST(ActivationSynth, FcFrontSkipsImageOverride)
+{
+    // An FC-selected network starts at fc6, whose input is a pooled
+    // ReLU output, not the image: the first-layer density override
+    // must not apply, so the stream keeps the network's Table I zero
+    // fraction.
+    auto net = makeAlexNet(LayerSelect::Fc);
+    ASSERT_EQ(net.layers.front().kind, LayerKind::FullyConnected);
+    ActivationSynthesizer synth(net);
+    EXPECT_NEAR(synth.fixed16Params(0).zeroFraction,
+                net.targets.zeroFraction16(), 1e-12);
+    auto stream = synth.synthesizeFixed16(0);
+    EXPECT_EQ(stream.sizeX(), 1);
+    EXPECT_EQ(stream.sizeY(), 1);
+    EXPECT_EQ(stream.sizeI(), 9216);
+    EXPECT_GT(fixedpoint::zeroFraction(stream.flat()), 0.3);
+
+    // A conv-front network keeps the image-like layer 0 (the
+    // existing behavior, byte-identical to the conv-only zoo).
+    auto conv_net = makeAlexNet(LayerSelect::All);
+    ActivationSynthesizer conv_synth(conv_net);
+    EXPECT_DOUBLE_EQ(conv_synth.fixed16Params(0).zeroFraction,
+                     kImageZeroFraction);
+}
+
 TEST(ActivationSynth, TrimRemovesRoughlyTableVBudget)
 {
     // The essential-bit content removed by trimming should be near

@@ -141,6 +141,146 @@ TEST(ModelZoo, TinyNetworkIsSmallAndValid)
     EXPECT_LT(net.totalProducts(), 10'000'000);
 }
 
+TEST(ModelZoo, DefaultSelectionIsConvOnly)
+{
+    // The historical conv-only workload must be byte-identical: the
+    // default selection and an explicit Conv selection agree, and
+    // neither contains an FC layer.
+    for (const auto &net : makeAllNetworks()) {
+        EXPECT_EQ(net.countLayers(LayerKind::FullyConnected), 0)
+            << net.name;
+    }
+    auto imp = makeAlexNet();
+    auto exp = makeAlexNet(LayerSelect::Conv);
+    ASSERT_EQ(imp.layers.size(), exp.layers.size());
+    for (size_t i = 0; i < imp.layers.size(); i++)
+        EXPECT_EQ(imp.layers[i].name, exp.layers[i].name);
+}
+
+TEST(ModelZoo, FcTailLayerCounts)
+{
+    // AlexNet and the VGGs gain their three-layer FC tails; NiN and
+    // GoogLeNet use global pooling instead of an FC tail, so their
+    // layer lists are selection-independent.
+    EXPECT_EQ(makeAlexNet(LayerSelect::All).layers.size(), 8u);
+    EXPECT_EQ(makeVggM(LayerSelect::All).layers.size(), 8u);
+    EXPECT_EQ(makeVggS(LayerSelect::All).layers.size(), 8u);
+    EXPECT_EQ(makeVgg19(LayerSelect::All).layers.size(), 19u);
+    EXPECT_EQ(makeNiN(LayerSelect::All).layers.size(), 12u);
+    EXPECT_EQ(makeGoogLeNet(LayerSelect::All).layers.size(),
+              3u + 9u * 6u);
+    EXPECT_EQ(makeTinyNetwork(LayerSelect::All).layers.size(), 3u);
+
+    EXPECT_EQ(makeAlexNet(LayerSelect::Fc).layers.size(), 3u);
+    // Global-pooling networks contribute nothing under Fc.
+    EXPECT_TRUE(makeNiN(LayerSelect::Fc).layers.empty());
+    EXPECT_TRUE(makeGoogLeNet(LayerSelect::Fc).layers.empty());
+}
+
+TEST(ModelZoo, FcSelectionSkipsGlobalPoolingNetworks)
+{
+    // makeAllNetworks(Fc) must not hand out empty workloads: NiN and
+    // GoogLeNet are skipped, the four FC-tailed networks remain.
+    auto nets = makeAllNetworks(LayerSelect::Fc);
+    ASSERT_EQ(nets.size(), 4u);
+    EXPECT_EQ(nets[0].name, "AlexNet");
+    EXPECT_EQ(nets[1].name, "VGG_M");
+    EXPECT_EQ(nets[2].name, "VGG_S");
+    EXPECT_EQ(nets[3].name, "VGG_19");
+    for (const auto &net : nets) {
+        EXPECT_TRUE(net.valid()) << net.name;
+        EXPECT_EQ(net.countLayers(LayerKind::Conv), 0) << net.name;
+    }
+    // Conv and All keep all six.
+    EXPECT_EQ(makeAllNetworks(LayerSelect::Conv).size(), 6u);
+    EXPECT_EQ(makeAllNetworks(LayerSelect::All).size(), 6u);
+}
+
+TEST(ModelZoo, FcSelectionOfPoolingNetworkByNameIsFatal)
+{
+    EXPECT_DEATH(makeNetworkByName("nin", LayerSelect::Fc),
+                 "no layers under the requested");
+    EXPECT_DEATH(makeNetworkByName("googlenet", LayerSelect::Fc),
+                 "no layers under the requested");
+}
+
+TEST(ModelZoo, FcParameterCountsMatchPublishedDefinitions)
+{
+    // Published AlexNet FC shapes: fc6 9216 -> 4096, fc7 4096 ->
+    // 4096, fc8 4096 -> 1000. For an FC layer products() ==
+    // synapses() == the parameter count.
+    auto alex = makeAlexNet(LayerSelect::Fc);
+    ASSERT_EQ(alex.layers.size(), 3u);
+    EXPECT_EQ(alex.layers[0].name, "fc6");
+    EXPECT_EQ(alex.layers[0].synapses(), 9216LL * 4096);
+    EXPECT_EQ(alex.layers[1].synapses(), 4096LL * 4096);
+    EXPECT_EQ(alex.layers[2].synapses(), 4096LL * 1000);
+    for (const auto &layer : alex.layers) {
+        EXPECT_EQ(layer.kind, LayerKind::FullyConnected) << layer.name;
+        EXPECT_EQ(layer.products(), layer.synapses()) << layer.name;
+    }
+
+    // VGG-M/S: fc6 consumes the 6x6x512 pool5 output; VGG-19 the
+    // 7x7x512 one.
+    EXPECT_EQ(makeVggM(LayerSelect::Fc).layers[0].synapses(),
+              18432LL * 4096);
+    EXPECT_EQ(makeVggS(LayerSelect::Fc).layers[0].synapses(),
+              18432LL * 4096);
+    auto vgg19 = makeVgg19(LayerSelect::Fc);
+    EXPECT_EQ(vgg19.layers[0].synapses(), 25088LL * 4096);
+    EXPECT_EQ(vgg19.layers[1].synapses(), 4096LL * 4096);
+    EXPECT_EQ(vgg19.layers[2].synapses(), 4096LL * 1000);
+
+    // AlexNet's FC tail dominates its parameter budget (~58.6M vs
+    // ~3.7M conv) — the motivation for pricing FC at all.
+    int64_t fc_params = 0;
+    for (const auto &layer : alex.layers)
+        fc_params += layer.synapses();
+    EXPECT_EQ(fc_params, 9216LL * 4096 + 4096LL * 4096 + 4096LL * 1000);
+    int64_t conv_params = 0;
+    for (const auto &layer : makeAlexNet(LayerSelect::Conv).layers)
+        conv_params += layer.synapses();
+    EXPECT_GT(fc_params, 10 * conv_params);
+}
+
+TEST(ModelZoo, FcSelectionsAreValidNetworks)
+{
+    for (auto select : {LayerSelect::Fc, LayerSelect::All}) {
+        for (const auto &net : makeAllNetworks(select)) {
+            EXPECT_TRUE(net.valid()) << net.name;
+            EXPECT_GT(net.totalProducts(), 0) << net.name;
+        }
+    }
+    // All == Conv + Fc, in execution order with the FC tail last.
+    auto all = makeAlexNet(LayerSelect::All);
+    EXPECT_EQ(all.countLayers(LayerKind::Conv), 5);
+    EXPECT_EQ(all.countLayers(LayerKind::FullyConnected), 3);
+    EXPECT_EQ(all.layers.front().name, "conv1");
+    EXPECT_EQ(all.layers.back().name, "fc8");
+}
+
+TEST(ModelZoo, ParseLayerSelect)
+{
+    EXPECT_EQ(parseLayerSelect("conv"), LayerSelect::Conv);
+    EXPECT_EQ(parseLayerSelect("fc"), LayerSelect::Fc);
+    EXPECT_EQ(parseLayerSelect("all"), LayerSelect::All);
+}
+
+TEST(ModelZoo, ParseLayerSelectRejectsUnknown)
+{
+    EXPECT_DEATH(parseLayerSelect("convs"), "conv, fc or all");
+}
+
+TEST(ModelZoo, LookupByNameForwardsSelection)
+{
+    EXPECT_EQ(makeNetworkByName("alexnet", LayerSelect::All)
+                  .layers.size(),
+              8u);
+    EXPECT_EQ(makeNetworkByName("tiny", LayerSelect::Fc)
+                  .layers.size(),
+              1u);
+}
+
 } // namespace
 } // namespace dnn
 } // namespace pra

@@ -13,10 +13,10 @@ namespace pra {
 namespace dnn {
 namespace {
 
-ConvLayerSpec
+LayerSpec
 smallLayer()
 {
-    ConvLayerSpec spec;
+    LayerSpec spec;
     spec.name = "small";
     spec.inputX = 4;
     spec.inputY = 4;
@@ -32,7 +32,7 @@ smallLayer()
 
 TEST(Reference, HandComputedOnesFilter)
 {
-    ConvLayerSpec spec = smallLayer();
+    LayerSpec spec = smallLayer();
     NeuronTensor input(4, 4, 2);
     int v = 1;
     for (int y = 0; y < 4; y++)
@@ -53,7 +53,7 @@ TEST(Reference, HandComputedOnesFilter)
 
 TEST(Reference, StrideSkipsWindows)
 {
-    ConvLayerSpec spec = smallLayer();
+    LayerSpec spec = smallLayer();
     spec.stride = 2;
     NeuronTensor input(4, 4, 2);
     input.at(0, 0, 0) = 7;
@@ -69,7 +69,7 @@ TEST(Reference, StrideSkipsWindows)
 
 TEST(Reference, PaddingReadsZero)
 {
-    ConvLayerSpec spec = smallLayer();
+    LayerSpec spec = smallLayer();
     spec.pad = 1;
     NeuronTensor input(4, 4, 2);
     input.at(0, 0, 0) = 5;
@@ -85,7 +85,7 @@ TEST(Reference, PaddingReadsZero)
 
 TEST(Reference, NegativeWeights)
 {
-    ConvLayerSpec spec = smallLayer();
+    LayerSpec spec = smallLayer();
     NeuronTensor input(4, 4, 2);
     input.at(0, 0, 0) = 10;
     input.at(1, 0, 0) = 4;
@@ -118,7 +118,7 @@ TEST(Reference, WindowDotMatchesFullConvolution)
 
 TEST(Reference, ShapeMismatchPanics)
 {
-    ConvLayerSpec spec = smallLayer();
+    LayerSpec spec = smallLayer();
     NeuronTensor wrong(3, 4, 2);
     std::vector<FilterTensor> filters(2, FilterTensor(2, 2, 2));
     EXPECT_DEATH(referenceConvolution(spec, wrong, filters),

@@ -27,7 +27,7 @@ namespace {
  * partial sums.
  */
 int64_t
-pragmaticWindow(const dnn::ConvLayerSpec &layer,
+pragmaticWindow(const dnn::LayerSpec &layer,
                 const dnn::NeuronTensor &input,
                 const dnn::FilterTensor &filter, int wx, int wy, int l)
 {
@@ -51,7 +51,7 @@ pragmaticWindow(const dnn::ConvLayerSpec &layer,
 
 /** Compute one window with Stripes serial-parallel units. */
 int64_t
-stripesWindow(const dnn::ConvLayerSpec &layer,
+stripesWindow(const dnn::LayerSpec &layer,
               const dnn::NeuronTensor &input,
               const dnn::FilterTensor &filter, int wx, int wy)
 {

@@ -17,10 +17,10 @@ namespace pra {
 namespace models {
 namespace {
 
-dnn::ConvLayerSpec
+dnn::LayerSpec
 evenLayer()
 {
-    dnn::ConvLayerSpec spec;
+    dnn::LayerSpec spec;
     spec.name = "even";
     spec.inputX = 18;
     spec.inputY = 18;
@@ -35,7 +35,7 @@ evenLayer()
 }
 
 dnn::NeuronTensor
-randomInput(const dnn::ConvLayerSpec &layer, uint64_t seed,
+randomInput(const dnn::LayerSpec &layer, uint64_t seed,
             double zero_prob = 0.5, uint32_t bound = 4096)
 {
     dnn::NeuronTensor t(layer.inputX, layer.inputY,

@@ -16,11 +16,11 @@ namespace pra {
 namespace models {
 namespace {
 
-dnn::ConvLayerSpec
+dnn::LayerSpec
 evenLayer()
 {
     // 16x16 windows: exactly 16 pallets, no partial edges.
-    dnn::ConvLayerSpec spec;
+    dnn::LayerSpec spec;
     spec.name = "even";
     spec.inputX = 18;
     spec.inputY = 18;
@@ -35,7 +35,7 @@ evenLayer()
 }
 
 dnn::NeuronTensor
-constantInput(const dnn::ConvLayerSpec &layer, uint16_t value)
+constantInput(const dnn::LayerSpec &layer, uint16_t value)
 {
     dnn::NeuronTensor t(layer.inputX, layer.inputY,
                         layer.inputChannels);

@@ -65,7 +65,7 @@ TEST(Stripes, IdealSpeedupSixteenOverP)
 {
     // For a layer whose window count is a multiple of 16, speedup
     // over DaDN is exactly 16/p (Section I).
-    dnn::ConvLayerSpec layer;
+    dnn::LayerSpec layer;
     layer.name = "even";
     layer.inputX = 19;
     layer.inputY = 19;

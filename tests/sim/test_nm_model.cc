@@ -11,10 +11,10 @@ namespace pra {
 namespace sim {
 namespace {
 
-dnn::ConvLayerSpec
+dnn::LayerSpec
 strideLayer(int stride)
 {
-    dnn::ConvLayerSpec spec;
+    dnn::LayerSpec spec;
     spec.name = "s";
     spec.inputX = 64;
     spec.inputY = 64;
@@ -58,7 +58,7 @@ TEST(NmModel, LargerStrideSpreadsRows)
 TEST(NmModel, PaddingOnlyStepCostsOneCycle)
 {
     AccelConfig accel;
-    dnn::ConvLayerSpec spec = strideLayer(1);
+    dnn::LayerSpec spec = strideLayer(1);
     spec.pad = 2;
     LayerTiling tiling(spec, accel);
     // First pallet, set (fy=0,fx=0): windows 0..15 read row -2 ->

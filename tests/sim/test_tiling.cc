@@ -14,10 +14,10 @@ namespace pra {
 namespace sim {
 namespace {
 
-dnn::ConvLayerSpec
+dnn::LayerSpec
 layer13x13()
 {
-    dnn::ConvLayerSpec spec;
+    dnn::LayerSpec spec;
     spec.name = "l";
     spec.inputX = 13;
     spec.inputY = 13;
@@ -138,7 +138,7 @@ TEST(Tiling, GatherBrickPaddingIsZero)
 TEST(Tiling, GatherBrickShortChannels)
 {
     AccelConfig accel;
-    dnn::ConvLayerSpec spec = layer13x13();
+    dnn::LayerSpec spec = layer13x13();
     spec.inputChannels = 20; // Second brick has only 4 lanes.
     LayerTiling tiling(spec, accel);
     dnn::NeuronTensor input(13, 13, 20);
@@ -178,7 +178,7 @@ TEST(Tiling, SmallFilterCountSinglePass)
 TEST(Tiling, RejectsInvalidLayer)
 {
     AccelConfig accel;
-    dnn::ConvLayerSpec bad;
+    dnn::LayerSpec bad;
     EXPECT_DEATH(LayerTiling(bad, accel), "invalid layer");
 }
 

@@ -130,6 +130,35 @@ TEST(WorkloadCache, SharesOneWorkloadPerKey)
     EXPECT_EQ(cache.misses(), 3);
 }
 
+TEST(WorkloadCache, DistinguishesLayerSelectionsOfSameNetwork)
+{
+    // Two selections of one network share the name "Tiny" but not a
+    // layer list: the cache keys carry the layer fingerprint, so
+    // neither the synthesizer nor any layer workload may be shared
+    // (layer 0 is conv1's 12x12x8 stream in one and fc1's 1x1x3200
+    // column in the other).
+    auto all_net = dnn::makeTinyNetwork(dnn::LayerSelect::All);
+    auto fc_net = dnn::makeTinyNetwork(dnn::LayerSelect::Fc);
+    ASSERT_EQ(all_net.name, fc_net.name);
+    EXPECT_NE(all_net.workloadFingerprint(),
+              fc_net.workloadFingerprint());
+
+    WorkloadCache cache;
+    auto all_synth = cache.synthesizer(all_net, 0x5eed);
+    auto fc_synth = cache.synthesizer(fc_net, 0x5eed);
+    EXPECT_NE(all_synth.get(), fc_synth.get());
+
+    auto all_l0 =
+        cache.layer(*all_synth, 0, InputStream::Fixed16Trimmed);
+    auto fc_l0 =
+        cache.layer(*fc_synth, 0, InputStream::Fixed16Trimmed);
+    EXPECT_NE(all_l0.get(), fc_l0.get());
+    EXPECT_EQ(all_l0->tensor().sizeI(), 8);
+    EXPECT_EQ(fc_l0->tensor().sizeI(), 3200);
+    EXPECT_EQ(cache.misses(), 2);
+    EXPECT_EQ(cache.hits(), 0);
+}
+
 TEST(WorkloadCache, CachedEqualsFreshSynthesis)
 {
     auto net = dnn::makeTinyNetwork();

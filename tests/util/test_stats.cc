@@ -50,6 +50,56 @@ TEST(RunningStat, SingleSampleVarianceZero)
     EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStat, WelfordSurvivesLargeMeanSmallVariance)
+{
+    // The naive sumSq/n - mean^2 formula cancels catastrophically
+    // here: sumSq ~ 3e24 has an ulp around 4e8, so the true spread
+    // (variance 200/3) vanishes entirely and the old implementation
+    // reported 0. Welford's algorithm keeps full precision.
+    RunningStat s;
+    s.add(1e12 - 10.0);
+    s.add(1e12);
+    s.add(1e12 + 10.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_NEAR(s.mean(), 1e12, 1e-3);
+    EXPECT_NEAR(s.variance(), 200.0 / 3.0, 1e-6);
+    EXPECT_EQ(s.min(), 1e12 - 10.0);
+    EXPECT_EQ(s.max(), 1e12 + 10.0);
+}
+
+TEST(RunningStat, WelfordMatchesDirectFormulaOnBenignData)
+{
+    RunningStat s;
+    double values[] = {1.5, -2.25, 7.0, 3.5, 0.0, -1.0};
+    double sum = 0.0;
+    for (double v : values) {
+        s.add(v);
+        sum += v;
+    }
+    double mean = sum / 6.0;
+    double direct = 0.0;
+    for (double v : values)
+        direct += (v - mean) * (v - mean);
+    direct /= 6.0;
+    EXPECT_NEAR(s.variance(), direct, 1e-12);
+    EXPECT_DOUBLE_EQ(s.sum(), sum);
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+}
+
+TEST(RunningStat, ResetClearsWelfordState)
+{
+    RunningStat s;
+    s.add(1e12);
+    s.add(2e12);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.variance(), 0.0);
+    s.add(3.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-12);
+}
+
 TEST(Histogram, CountsBucketsAndOverflow)
 {
     Histogram h(4);

@@ -3,8 +3,8 @@
  * pra_sweep: run the (network x engine x config) grid in one shot.
  *
  *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
- *             [--threads N] [--inner-threads N] [--cache on|off]
- *             [--units N | --full] [--seed S]
+ *             [--layers conv|fc|all] [--threads N] [--inner-threads N]
+ *             [--cache on|off] [--units N | --full] [--seed S]
  *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
  *
  * An engine spec is "kind[:key=value]*", e.g. "pragmatic:bits=2" or
@@ -14,6 +14,11 @@
  * registered kind. Results stream as CSV to --csv (default stdout),
  * with a speedup-vs-DaDN summary table on stderr when DaDN is in the
  * grid.
+ *
+ * "--layers" selects which layer kinds each network contributes:
+ * "conv" (default, the paper's conv-only workload — output is
+ * byte-identical to the historical conv-only tool), "fc" (the
+ * fully-connected tails alone) or "all".
  *
  * "--cache off" rebuilds every cell's workload from scratch instead
  * of sharing one synthesis per (network, stream, seed) — only useful
@@ -61,13 +66,13 @@ splitList(const std::string &list)
 }
 
 std::vector<dnn::Network>
-parseNetworks(const std::string &list)
+parseNetworks(const std::string &list, dnn::LayerSelect select)
 {
     if (list == "all")
-        return dnn::makeAllNetworks();
+        return dnn::makeAllNetworks(select);
     std::vector<dnn::Network> networks;
     for (const auto &name : splitList(list))
-        networks.push_back(dnn::makeNetworkByName(name));
+        networks.push_back(dnn::makeNetworkByName(name, select));
     if (networks.empty())
         util::fatal("no networks selected");
     return networks;
@@ -135,7 +140,7 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
-    args.checkUnknown({"networks", "engines", "threads",
+    args.checkUnknown({"networks", "engines", "layers", "threads",
                        "inner-threads", "cache", "units", "full",
                        "seed", "csv", "per-layer", "smoke",
                        "list-engines"});
@@ -149,8 +154,10 @@ main(int argc, char **argv)
     }
 
     bool smoke = args.getBool("smoke");
+    dnn::LayerSelect select =
+        dnn::parseLayerSelect(args.getString("layers", "conv"));
     std::vector<dnn::Network> networks = parseNetworks(
-        args.getString("networks", smoke ? "tiny" : "all"));
+        args.getString("networks", smoke ? "tiny" : "all"), select);
     std::vector<sim::EngineSelection> engines =
         parseEngines(args.getString("engines", "paper"));
 
