@@ -23,7 +23,8 @@ using namespace pra;
 int
 main(int argc, char **argv)
 {
-    auto opt = bench::BenchOptions::parse(argc, argv, 48);
+    auto opt = bench::BenchOptions::parse(
+        argc, argv, 48, {}, /*supports_activations=*/true);
     bench::banner("Relative energy efficiency vs DaDN", "Figure 11");
 
     double p_base = energy::dadnAreaPower().chipPower;
@@ -49,6 +50,7 @@ main(int argc, char **argv)
     sweep.cache = opt.cache;
     sweep.sample = opt.sample;
     sweep.seed = opt.seed;
+    sweep.activations = opt.activations;
     auto results = sim::runSweep(opt.networks, engines,
                                  models::builtinEngines(), sweep);
 

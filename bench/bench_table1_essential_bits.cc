@@ -32,6 +32,8 @@ measure(const dnn::ActivationSynthesizer &synth, bool quantized)
     int width = quantized ? 8 : 16;
     const auto &net = synth.network();
     for (size_t i = 0; i < net.layers.size(); i++) {
+        if (!net.layers[i].priced())
+            continue; // Structural pools carry no priced stream.
         dnn::NeuronTensor t =
             quantized ? synth.synthesizeQuant8(static_cast<int>(i))
                       : synth.synthesizeFixed16(static_cast<int>(i));

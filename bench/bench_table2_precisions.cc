@@ -27,6 +27,8 @@ main(int argc, char **argv)
         std::string published;
         std::string profiled;
         for (size_t i = 0; i < net.layers.size(); i++) {
+            if (!net.layers[i].priced())
+                continue; // Pools carry no Table II precision.
             auto raw = synth.synthesizeFixed16(static_cast<int>(i));
             // Tolerance mirrors the accuracy-preserving profiling:
             // the suffix noise carries ~ the software-benefit share

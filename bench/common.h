@@ -4,10 +4,16 @@
  *
  * Every bench accepts:
  *   --full            simulate every pallet/window (no sampling)
- *   --units=N         sampling cap per layer (pallets or windows)
- *   --seed=S          workload seed
+ *   --units=N         sampling cap per layer (pallets or windows);
+ *                     must be positive — 0 is rejected (only --full
+ *                     disables sampling)
+ *   --seed=S          workload seed (non-negative)
  *   --networks=a,b    comma-separated subset (default: all six)
  *   --layers=K        layer kinds: conv (default) | fc | all
+ *   --activations=M   workload class: synthetic (default) |
+ *                     propagated (real forward-pass streams; implies
+ *                     --layers=all; only benches that price through
+ *                     the sweep path support it)
  *   --threads=N       worker threads for sweep-based benches
  *   --inner-threads=N per-cell layer-splitting cap (0 = automatic)
  *   --cache=on|off    share synthesized workloads across the grid
@@ -15,7 +21,10 @@
  *
  * Unknown flags fail loudly (a typo like --smke must not run the
  * full bench); benches with extra flags declare them via the
- * extra_flags argument of parse().
+ * extra_flags argument of parse(). Benches that cannot honor
+ * --activations=propagated (they price synthetic streams directly
+ * rather than through a WorkloadSource) leave supports_activations
+ * false and reject the flag instead of silently ignoring it.
  */
 
 #ifndef PRA_BENCH_COMMON_H
@@ -27,7 +36,9 @@
 
 #include "dnn/model_zoo.h"
 #include "sim/sampling.h"
+#include "sim/workload_cache.h"
 #include "util/args.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace pra {
@@ -40,6 +51,7 @@ struct BenchOptions
     uint64_t seed = 0x5eed;
     std::vector<dnn::Network> networks;
     dnn::LayerSelect select = dnn::LayerSelect::Conv;
+    sim::ActivationMode activations = sim::ActivationMode::Synthetic;
     int threads = 1;
     int innerThreads = 0;
     bool cache = true;
@@ -47,26 +59,55 @@ struct BenchOptions
 
     static BenchOptions
     parse(int argc, const char *const *argv, int64_t default_units = 64,
-          const std::vector<std::string> &extra_flags = {})
+          const std::vector<std::string> &extra_flags = {},
+          bool supports_activations = false)
     {
         util::ArgParser args(argc, argv);
         std::vector<std::string> known = {
-            "full", "units",   "seed",         "networks",
-            "layers", "threads", "smoke", "inner-threads", "cache"};
+            "full", "units", "seed", "networks", "layers",
+            "activations", "threads", "smoke", "inner-threads",
+            "cache"};
         known.insert(known.end(), extra_flags.begin(),
                      extra_flags.end());
         args.checkUnknown(known);
         BenchOptions opt;
         opt.smoke = args.getBool("smoke");
-        opt.select =
-            dnn::parseLayerSelect(args.getString("layers", "conv"));
+        opt.activations = sim::parseActivationMode(
+            args.getString("activations", "synthetic"));
+        if (opt.activations == sim::ActivationMode::Propagated &&
+            !supports_activations)
+            util::fatal("this bench prices synthetic streams only; "
+                        "--activations=propagated is supported by the "
+                        "sweep-path benches (fig9, fig11, fig12) and "
+                        "pra_sweep");
+        if (opt.activations == sim::ActivationMode::Propagated) {
+            // Propagation needs the full pipeline (pools included);
+            // a filtered selection cannot chain.
+            if (args.has("layers") && args.getString("layers") != "all")
+                util::fatal("--activations=propagated propagates the "
+                            "full layer pipeline; --layers must be "
+                            "'all' (or omitted)");
+            opt.select = dnn::LayerSelect::All;
+        } else {
+            opt.select = dnn::parseLayerSelect(
+                args.getString("layers", "conv"));
+        }
         if (opt.smoke)
             default_units = 2; // A few pallets: exercise every code
                                // path in seconds, accuracy is moot.
-        opt.sample.maxUnits =
-            args.getBool("full") ? 0
-                                 : args.getInt("units", default_units);
-        opt.seed = static_cast<uint64_t>(args.getInt("seed", 0x5eed));
+        // --units=0 must not silently mean "simulate everything"
+        // (that is --full's job): reject non-positive caps loudly.
+        int64_t units = args.getInt("units", default_units);
+        if (args.has("units") && units <= 0)
+            util::fatal("--units must be a positive sampling cap "
+                        "(got " + std::to_string(units) +
+                        "); use --full for an exhaustive run");
+        opt.sample.maxUnits = args.getBool("full") ? 0 : units;
+        int64_t seed = args.getInt("seed", 0x5eed);
+        if (seed < 0)
+            util::fatal("--seed must be non-negative (got " +
+                        std::to_string(seed) + ")");
+        opt.seed = static_cast<uint64_t>(seed);
         opt.threads = static_cast<int>(args.getInt(
             "threads", util::ThreadPool::hardwareThreads()));
         opt.innerThreads =

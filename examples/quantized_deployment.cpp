@@ -48,10 +48,14 @@ main(int argc, char **argv)
         worst = std::max(worst, err);
     }
     std::printf("Affine quantization of a ReLU stream:\n"
-                "  range [%.3f, %.3f], scale %.5f, worst "
-                "reconstruction error %.5f (bound %.5f)\n\n",
-                params.minValue, params.maxValue, params.scale(),
-                worst, fixedpoint::maxRoundingError(params));
+                "  range [%.3f, %.3f], scale %.5f, zero point %d, "
+                "worst\n  reconstruction error %.5f (bound %.5f); "
+                "0.0 round-trips to %.17g\n\n",
+                params.minValue(), params.maxValue(), params.scale,
+                params.zeroPoint, worst,
+                fixedpoint::maxRoundingError(params),
+                fixedpoint::dequantize(
+                    fixedpoint::quantize(0.0, params), params));
 
     // 2. Essential-bit content of the calibrated 8-bit code streams.
     dnn::ActivationSynthesizer synth(net);

@@ -108,8 +108,7 @@ calibrateFixed16(const LayerSpec &layer, const BitStatsTargets &targets)
     SynthParams params;
     params.zeroFraction = targets.zeroFraction16();
     params.precisionBits = layer.profiledPrecision;
-    params.anchorLsb = std::min(kNoiseSuffixBits,
-                                16 - layer.profiledPrecision);
+    params.anchorLsb = synthesisAnchor(layer);
 
     double raw_target = targets.nz16 * fixedpoint::kNeuronBits;
     // Split the raw essential-bit budget: a softwareBenefit fraction
@@ -195,9 +194,17 @@ ActivationSynthesizer::ActivationSynthesizer(const Network &network,
     util::checkInvariant(network_.valid(),
                          "ActivationSynthesizer: invalid network");
     fixed16Params_.reserve(network_.layers.size());
-    for (const auto &layer : network_.layers)
+    for (const auto &layer : network_.layers) {
+        // Pool layers carry no priced stream (propagation computes
+        // their tensors); skip the (expensive) calibration and keep a
+        // placeholder so indices stay aligned.
+        if (!layer.priced()) {
+            fixed16Params_.push_back(SynthParams{});
+            continue;
+        }
         fixed16Params_.push_back(calibrateFixed16(layer,
                                                   network_.targets));
+    }
     quant8Params_ = calibrateQuant8(network_.targets);
 
     // The first layer's input is the image, not a ReLU output: it is
@@ -222,6 +229,9 @@ NeuronTensor
 ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
 {
     const auto &layer = network_.layers.at(layer_idx);
+    util::checkInvariant(layer.priced(),
+                         "synthesizeRaw: pool layers have no "
+                         "synthetic stream (they are never priced)");
     SynthParams params =
         quantized ? quant8Params_ : fixed16Params_.at(layer_idx);
     if (quantized && layer_idx == 0 && layer.kind == LayerKind::Conv) {
@@ -234,12 +244,16 @@ ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
         params.noiseLight = 0.0;
     }
 
-    // Seed by the layer's ordinal (its position in the unfiltered
-    // network) rather than its index in this selection, so the same
-    // logical layer synthesizes the same stream under --layers=fc
-    // and --layers=all. Hand-built layers without an ordinal fall
-    // back to the index; under Conv/All selections ordinal == index,
-    // so pre-selection streams are bit-identical.
+    // Seed by the layer's ordinal (its position among the priced
+    // layers of the unfiltered network) rather than its index in
+    // this selection, so the same logical layer synthesizes the same
+    // stream under --layers=fc and --layers=all, and structural pool
+    // layers never reshuffle priced streams. Hand-built layers
+    // without an ordinal fall back to the index; for pool-free lists
+    // (Conv selections, hand-built nets) ordinal == index, so
+    // pre-selection streams are bit-identical — under All the pools
+    // make index and ordinal diverge, which is exactly why seeding
+    // must use the ordinal.
     uint64_t position = static_cast<uint64_t>(
         layer.ordinal >= 0 ? layer.ordinal : layer_idx);
     uint64_t layer_seed = seed_ ^ util::fnv1a(network_.name) ^

@@ -46,6 +46,21 @@ namespace dnn {
 inline constexpr int kNoiseSuffixBits = 4;
 
 /**
+ * The synthesis anchor of @p layer's precision window — the single
+ * definition every consumer (calibration, trimming, term counting,
+ * propagation/requantization) must share: if the copies diverged,
+ * trimmed streams would silently stop matching the calibrated
+ * window.
+ */
+inline int
+synthesisAnchor(const LayerSpec &layer)
+{
+    return kNoiseSuffixBits < 16 - layer.profiledPrecision
+               ? kNoiseSuffixBits
+               : 16 - layer.profiledPrecision;
+}
+
+/**
  * A discrete distribution over [1, maxValue] with P(v) proportional to
  * exp(-lambda * v / maxValue); lambda == 0 degenerates to uniform.
  * Scale-normalizing the exponent keeps lambda comparable across

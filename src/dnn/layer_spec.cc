@@ -12,6 +12,7 @@ layerKindName(LayerKind kind)
     switch (kind) {
       case LayerKind::Conv: return "conv";
       case LayerKind::FullyConnected: return "fc";
+      case LayerKind::Pool: return "pool";
     }
     util::fatal("layerKindName: bad kind");
 }
@@ -46,16 +47,60 @@ LayerSpec::fullyConnected(std::string name, int inputs, int outputs,
     return spec;
 }
 
+LayerSpec
+LayerSpec::pool(std::string name, int in_x, int in_y, int channels,
+                int window, int stride, PoolOp op, int pad,
+                bool ceil_mode)
+{
+    LayerSpec spec;
+    spec.name = std::move(name);
+    spec.kind = LayerKind::Pool;
+    spec.inputX = in_x;
+    spec.inputY = in_y;
+    spec.inputChannels = channels;
+    spec.filterX = window;
+    spec.filterY = window;
+    spec.numFilters = channels; // Depth-preserving.
+    spec.stride = stride;
+    spec.pad = pad;
+    spec.poolOp = op;
+    spec.poolCeil = ceil_mode;
+    spec.profiledPrecision = 16; // Unused: pools are never priced.
+    return spec;
+}
+
+namespace {
+
+/** Shared output-extent rule for one axis; see LayerSpec::outX(). */
+int
+outExtent(int input, int pad, int filter, int stride, bool ceil_mode)
+{
+    int span = input + 2 * pad - filter;
+    if (ceil_mode) {
+        int out = (span + stride - 1) / stride + 1;
+        // Caffe's clamp: the last window must start inside the input
+        // (plus left padding) or it would cover no elements at all.
+        if ((out - 1) * stride >= input + pad)
+            out--;
+        return out;
+    }
+    return span / stride + 1;
+}
+
+} // namespace
+
 int
 LayerSpec::outX() const
 {
-    return (inputX + 2 * pad - filterX) / stride + 1;
+    return outExtent(inputX, pad, filterX, stride,
+                     kind == LayerKind::Pool && poolCeil);
 }
 
 int
 LayerSpec::outY() const
 {
-    return (inputY + 2 * pad - filterY) / stride + 1;
+    return outExtent(inputY, pad, filterY, stride,
+                     kind == LayerKind::Pool && poolCeil);
 }
 
 int64_t
@@ -95,6 +140,12 @@ LayerSpec::inputNeurons() const
     return static_cast<int64_t>(inputX) * inputY * inputChannels;
 }
 
+int64_t
+LayerSpec::outputNeurons() const
+{
+    return windows() * numFilters;
+}
+
 fixedpoint::PrecisionWindow
 LayerSpec::precisionWindow(int anchor_lsb) const
 {
@@ -117,17 +168,29 @@ LayerSpec::valid() const
     // symmetrically. Given a fit, outX()/outY() floor semantics
     // guarantee at least one window per axis; a stride that does not
     // tile the padded input exactly is legal (the trailing positions
-    // are dropped, see outX()).
+    // are dropped — or, for ceil-mode pools, clamped — see outX()).
     if (filterX > inputX + 2 * pad || filterY > inputY + 2 * pad)
         return false;
     if (profiledPrecision < 1 || profiledPrecision > 16)
         return false;
+    for (int producer : producers)
+        if (producer < 0)
+            return false;
     if (kind == LayerKind::FullyConnected) {
         // Only the canonical lowered form (see fullyConnected()) is
         // valid: one window over a 1x1xI column.
         if (inputX != 1 || inputY != 1 || filterX != 1 || filterY != 1)
             return false;
         if (stride != 1 || pad != 0)
+            return false;
+    }
+    if (kind == LayerKind::Pool) {
+        // Pooling preserves depth; padding at least the window wide
+        // would let a floor-mode window land entirely in padding
+        // (Caffe enforces pad < kernel the same way).
+        if (numFilters != inputChannels)
+            return false;
+        if (pad >= filterX || pad >= filterY)
             return false;
     }
     return true;

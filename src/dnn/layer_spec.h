@@ -16,6 +16,15 @@
  * is exact, every engine prices FC layers through its existing
  * schedule/term paths — an FC layer costs bit-for-bit the same as its
  * hand-built 1x1xI convolutional twin.
+ *
+ * A pooling layer (max or average) is *structural*: the accelerators
+ * never price it (pooling is a trivial reduction next to the NFU
+ * work), but the propagated-activation pipeline needs it to bridge
+ * shapes between priced layers — e.g. AlexNet pool5 turns conv5's
+ * 13x13x256 output into the 6x6x256 tensor fc6 consumes. Pool layers
+ * reuse the filter fields for the pooling window, preserve depth
+ * (numFilters == inputChannels), and may use ceil output rounding
+ * (Caffe-style) where the published network shapes require it.
  */
 
 #ifndef PRA_DNN_LAYER_SPEC_H
@@ -23,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fixedpoint/precision.h"
 
@@ -34,14 +44,21 @@ enum class LayerKind
 {
     Conv,           ///< Spatial convolution.
     FullyConnected, ///< Inner product, lowered to a 1x1xI window.
+    Pool,           ///< Spatial pooling: shape bridging, never priced.
 };
 
-/** Human-readable kind name ("conv", "fc"). */
+/** Pooling reduction for LayerKind::Pool. */
+enum class PoolOp { Max, Avg };
+
+/** Human-readable kind name ("conv", "fc", "pool"). */
 const char *layerKindName(LayerKind kind);
 
 /**
  * Which layer kinds a workload includes. Conv is the default
  * everywhere so pre-existing sweeps and figures are unchanged.
+ * Pool layers ride along only under All (they are priced by no
+ * engine, but the propagated-activation pipeline needs the full
+ * chain); Conv and Fc selections drop them.
  */
 enum class LayerSelect { Conv, Fc, All };
 
@@ -59,12 +76,25 @@ struct LayerSpec
     int inputY = 0;        ///< Ny: input height.
     int inputChannels = 0; ///< I: input depth.
 
-    int filterX = 0;       ///< Fx: filter width.
-    int filterY = 0;       ///< Fy: filter height.
+    int filterX = 0;       ///< Fx: filter width (pool window width).
+    int filterY = 0;       ///< Fy: filter height (pool window height).
     int numFilters = 0;    ///< N: filter count == output depth.
 
     int stride = 1;        ///< S: window stride.
     int pad = 0;           ///< Zero padding on each border.
+
+    /** Pool layers only: the pooling reduction. */
+    PoolOp poolOp = PoolOp::Max;
+
+    /**
+     * Pool layers only: Caffe-style ceil output rounding. The
+     * published networks mix conventions (VGG-M pool2 needs
+     * ceil((26-3)/2)+1 == 13 while VGG-S pool1 needs
+     * floor((109-3)/3)+1 == 36), so each pool carries its own.
+     * A ceil pool's last window may overhang the input; the pooling
+     * reduction clamps it to in-range elements.
+     */
+    bool poolCeil = false;
 
     /**
      * Profiled neuron precision in bits for this layer's *input*
@@ -74,13 +104,34 @@ struct LayerSpec
     int profiledPrecision = 16;
 
     /**
-     * The layer's position in its *unfiltered* network, or -1 when
-     * unknown (hand-built layers). The model zoo assigns it before
-     * applying a layer selection; activation synthesis seeds streams
-     * by it, so the same logical layer gets the same stream no
-     * matter which selection it survived into.
+     * The layer's position among the *priced* (non-pool) layers of
+     * its unfiltered network, or -1 when unknown (hand-built layers
+     * and pool layers). The model zoo assigns it before applying a
+     * layer selection; activation synthesis seeds streams by it, so
+     * the same logical layer gets the same stream no matter which
+     * selection it survived into — and adding or removing structural
+     * pool layers never reshuffles the streams of priced layers.
      */
     int ordinal = -1;
+
+    /**
+     * Indices (into the unfiltered layer list) of the layers whose
+     * outputs this layer consumes. Empty means "the previous layer"
+     * — the only form linear networks need. More than one producer
+     * means the inputs are concatenated along the channel dimension
+     * in list order (GoogLeNet's inception modules: the four branch
+     * outputs concatenate into the next consumer's input). Only the
+     * chain-consistency check and the propagated-activation pipeline
+     * interpret producers; selections other than All clear them
+     * (filtering invalidates the indices).
+     */
+    std::vector<int> producers;
+
+    /** True for layers the engines price (everything but Pool). */
+    bool priced() const { return kind != LayerKind::Pool; }
+
+    /** Output depth: numFilters (pools preserve inputChannels). */
+    int outChannels() const { return numFilters; }
 
     /**
      * Build a fully-connected layer over @p inputs inputs and
@@ -92,7 +143,19 @@ struct LayerSpec
                                     int outputs, int precision = 16);
 
     /**
-     * Output width: floor((Nx + 2*pad - Fx) / S) + 1.
+     * Build a pooling layer: a @p window x @p window reduction with
+     * stride @p stride over an @p in_x x @p in_y x @p channels input,
+     * depth-preserving. @p ceil_mode selects Caffe-style ceil output
+     * rounding (see poolCeil).
+     */
+    static LayerSpec pool(std::string name, int in_x, int in_y,
+                          int channels, int window, int stride,
+                          PoolOp op, int pad = 0,
+                          bool ceil_mode = false);
+
+    /**
+     * Output width: floor((Nx + 2*pad - Fx) / S) + 1, or the ceil of
+     * the division for pool layers with poolCeil set.
      *
      * Floor semantics: when the stride does not tile the padded input
      * exactly, the trailing positions that cannot fit a full window
@@ -100,7 +163,7 @@ struct LayerSpec
      * VGG-M conv2: floor((54 + 2 - 5) / 2) + 1 = 26).
      */
     int outX() const;
-    /** Output height, with the same floor semantics as outX(). */
+    /** Output height, with the same rounding semantics as outX(). */
     int outY() const;
     /** Number of windows == output neurons per filter. */
     int64_t windows() const;
@@ -114,6 +177,8 @@ struct LayerSpec
     int64_t bricksPerWindow() const;
     /** Input neuron count: Nx * Ny * I. */
     int64_t inputNeurons() const;
+    /** Output neuron count: Ox * Oy * N. */
+    int64_t outputNeurons() const;
 
     /**
      * The trimming window implied by the profiled precision: the
@@ -133,7 +198,8 @@ struct LayerSpec
      * window per axis, so a non-tiling stride is *accepted* — the
      * dropped trailing positions are documented behavior, not an
      * error. FullyConnected additionally requires the canonical
-     * lowered form (1x1 spatial extent, stride 1, no padding).
+     * lowered form (1x1 spatial extent, stride 1, no padding); Pool
+     * requires depth preservation (numFilters == inputChannels).
      */
     bool valid() const;
 };

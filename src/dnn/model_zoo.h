@@ -19,6 +19,18 @@
  * pooling, so an Fc selection leaves them with no layers: builders
  * return them empty, makeAllNetworks() skips them, and
  * makeNetworkByName() rejects the combination loudly.
+ *
+ * Under All, each network additionally carries its published
+ * interstitial (and, for NiN/GoogLeNet, terminal global-average)
+ * pooling layers. Pools are structural: no engine prices them, but
+ * they make the layer list a shape-consistent pipeline
+ * (Network::chainConsistent()) the propagated-activation mode can
+ * run end-to-end — e.g. AlexNet conv1 .. pool5 .. fc8. GoogLeNet's
+ * inception branches are expressed through explicit per-layer
+ * producer lists (LayerSpec::producers), with the four branch
+ * outputs of each module concatenating channel-wise into the next
+ * consumer. Priced layers' synthesized streams are invariant to the
+ * pools: stream seeding uses priced-only ordinals.
  */
 
 #ifndef PRA_DNN_MODEL_ZOO_H

@@ -52,11 +52,34 @@ struct Network
     std::vector<LayerSpec> layers;
     BitStatsTargets targets;
 
-    /** Total multiply-accumulates over all layers. */
+    /**
+     * Total multiply-accumulates over the *priced* layers (pool
+     * layers bridge shapes; their reductions are not MACs).
+     */
     int64_t totalProducts() const;
 
     /** Number of layers of @p kind. */
     int countLayers(LayerKind kind) const;
+
+    /**
+     * True when every layer's input shape matches the output of its
+     * producers: each layer consumes the previous layer's output (or
+     * the channel-concatenation of its explicit producers), with
+     * fully-connected layers flattening the producer output into
+     * their 1 x 1 x I column. Layer 0 must have no producers (it
+     * consumes the image). On failure, @p why (when non-null)
+     * receives a one-line description of the first mismatch.
+     *
+     * Synthetic-stream workloads don't need this (each layer's
+     * stream is synthesized independently), so filtered selections —
+     * e.g. the conv-only paper workload, whose conv2 consumes a
+     * pooled conv1 output that is not in the list — legitimately
+     * fail it. Propagation, however, is impossible without it:
+     * propagateChain() requires it, and valid() enforces it for
+     * pipeline-shaped networks (any pool layer or explicit producer
+     * present), where a shape break is a construction bug.
+     */
+    bool chainConsistent(std::string *why = nullptr) const;
 
     /**
      * Order-sensitive hash of everything that shapes this network's
@@ -68,7 +91,14 @@ struct Network
      */
     uint64_t workloadFingerprint() const;
 
-    /** True when every layer spec is well formed. */
+    /**
+     * True when every layer spec is well formed — and, for
+     * pipeline-shaped networks (any pool layer or explicit producer
+     * list present), when the layers chain shape-consistently (see
+     * chainConsistent()). Hand-built single-layer or filtered
+     * networks carry neither pools nor producers, so the chain check
+     * does not apply to them.
+     */
     bool valid() const;
 };
 

@@ -1,27 +1,60 @@
 #include "dnn/reference.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace pra {
 namespace dnn {
 
+namespace {
+
+/**
+ * The dot product of one window against one filter, walking the
+ * channel-major storage directly: for each in-range filter row
+ * segment the input channels are contiguous, so the inner loop is a
+ * plain span product instead of a per-element bounds-checked at()
+ * (which a whole-network forward pass cannot afford). Out-of-range
+ * coordinates contribute zero (padding), exactly like atPadded().
+ */
 int64_t
-referenceWindowDot(const LayerSpec &layer, const NeuronTensor &input,
-                   const FilterTensor &filter, int window_x, int window_y)
+windowDotFast(const LayerSpec &layer, const NeuronTensor &input,
+              const FilterTensor &filter, int window_x, int window_y)
 {
+    const uint16_t *in = input.flat().data();
+    const int16_t *fl = filter.flat().data();
+    const int channels = layer.inputChannels;
     int64_t acc = 0;
     int base_x = window_x * layer.stride - layer.pad;
     int base_y = window_y * layer.stride - layer.pad;
     for (int fy = 0; fy < layer.filterY; fy++) {
-        for (int fx = 0; fx < layer.filterX; fx++) {
-            for (int i = 0; i < layer.inputChannels; i++) {
-                uint16_t n = input.atPadded(base_x + fx, base_y + fy, i);
-                int16_t s = filter.at(fx, fy, i);
-                acc += static_cast<int64_t>(s) * n;
-            }
+        int y = base_y + fy;
+        if (y < 0 || y >= layer.inputY)
+            continue;
+        int x_lo = std::max(0, -base_x);
+        int x_hi = std::min(layer.filterX, layer.inputX - base_x);
+        for (int fx = x_lo; fx < x_hi; fx++) {
+            int x = base_x + fx;
+            const uint16_t *in_col =
+                in + (static_cast<size_t>(y) * layer.inputX + x) *
+                         channels;
+            const int16_t *fl_col =
+                fl + (static_cast<size_t>(fy) * layer.filterX + fx) *
+                         channels;
+            for (int i = 0; i < channels; i++)
+                acc += static_cast<int64_t>(fl_col[i]) * in_col[i];
         }
     }
     return acc;
+}
+
+} // namespace
+
+int64_t
+referenceWindowDot(const LayerSpec &layer, const NeuronTensor &input,
+                   const FilterTensor &filter, int window_x, int window_y)
+{
+    return windowDotFast(layer, input, filter, window_x, window_y);
 }
 
 OutputTensor
@@ -38,16 +71,21 @@ referenceConvolution(const LayerSpec &layer, const NeuronTensor &input,
                          "referenceConvolution: filter count mismatch");
 
     OutputTensor output(layer.outX(), layer.outY(), layer.numFilters);
-    for (int f = 0; f < layer.numFilters; f++) {
+    int64_t *out = output.flat().data();
+    const int out_x = layer.outX();
+    const int out_y = layer.outY();
+    const int num_filters = layer.numFilters;
+    for (int f = 0; f < num_filters; f++) {
         const FilterTensor &filter = filters[f];
         util::checkInvariant(filter.sizeX() == layer.filterX &&
                                  filter.sizeY() == layer.filterY &&
                                  filter.sizeI() == layer.inputChannels,
                              "referenceConvolution: filter shape mismatch");
-        for (int wy = 0; wy < layer.outY(); wy++)
-            for (int wx = 0; wx < layer.outX(); wx++)
-                output.at(wx, wy, f) =
-                    referenceWindowDot(layer, input, filter, wx, wy);
+        for (int wy = 0; wy < out_y; wy++)
+            for (int wx = 0; wx < out_x; wx++)
+                out[(static_cast<size_t>(wy) * out_x + wx) *
+                        num_filters +
+                    f] = windowDotFast(layer, input, filter, wx, wy);
     }
     return output;
 }

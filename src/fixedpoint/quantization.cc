@@ -9,36 +9,57 @@ namespace pra {
 namespace fixedpoint {
 
 double
-QuantParams::scale() const
+QuantParams::minValue() const
 {
-    return (maxValue - minValue) / 255.0;
+    return dequantize(0, *this);
+}
+
+double
+QuantParams::maxValue() const
+{
+    return dequantize(255, *this);
+}
+
+QuantParams
+QuantParams::fromRange(double lo, double hi)
+{
+    if (hi <= lo)
+        hi = lo + 1.0; // Degenerate layer: keep the scale positive.
+    // An affine scheme must represent 0.0 exactly (ReLU zeros and
+    // padding); extend the range to cover it before placing the zero
+    // point.
+    lo = std::min(lo, 0.0);
+    hi = std::max(hi, 0.0);
+    QuantParams params;
+    params.scale = (hi - lo) / 255.0;
+    util::checkInvariant(params.scale > 0.0,
+                         "fromRange: non-positive scale");
+    double zp = std::floor(-lo / params.scale + 0.5);
+    params.zeroPoint =
+        static_cast<int>(std::clamp(zp, 0.0, 255.0));
+    return params;
 }
 
 QuantParams
 chooseQuantParams(std::span<const double> values)
 {
-    QuantParams params;
     if (values.empty())
-        return params;
+        return QuantParams{};
     double lo = values[0];
     double hi = values[0];
     for (double v : values) {
         lo = std::min(lo, v);
         hi = std::max(hi, v);
     }
-    if (hi <= lo)
-        hi = lo + 1.0; // Degenerate layer: keep the scale positive.
-    params.minValue = lo;
-    params.maxValue = hi;
-    return params;
+    return QuantParams::fromRange(lo, hi);
 }
 
 uint8_t
 quantize(double value, const QuantParams &params)
 {
-    double s = params.scale();
-    util::checkInvariant(s > 0.0, "quantize: non-positive scale");
-    double code = (value - params.minValue) / s;
+    util::checkInvariant(params.scale > 0.0,
+                         "quantize: non-positive scale");
+    double code = value / params.scale + params.zeroPoint;
     double rounded = std::floor(code + 0.5);
     rounded = std::clamp(rounded, 0.0, 255.0);
     return static_cast<uint8_t>(rounded);
@@ -47,7 +68,8 @@ quantize(double value, const QuantParams &params)
 double
 dequantize(uint8_t code, const QuantParams &params)
 {
-    return params.minValue + static_cast<double>(code) * params.scale();
+    return (static_cast<double>(code) - params.zeroPoint) *
+           params.scale;
 }
 
 std::vector<uint8_t>
@@ -63,7 +85,7 @@ quantizeAll(std::span<const double> values, const QuantParams &params)
 double
 maxRoundingError(const QuantParams &params)
 {
-    return params.scale() / 2.0;
+    return params.scale / 2.0;
 }
 
 } // namespace fixedpoint

@@ -2,11 +2,21 @@
  * @file
  * TensorFlow-style 8-bit affine quantization (paper Section VI-F).
  *
- * The quantization maps a real interval [min, max] linearly onto the
- * 256 available 8-bit codes. The paper sets the limits to the per-layer
- * minimum and maximum neuron values; with ReLU outputs min == 0, so a
- * zero neuron quantizes to code 0 and PRA's zero-skipping semantics
- * carry over unchanged.
+ * The quantization maps a real interval onto the 256 available 8-bit
+ * codes. The paper sets the limits to the per-layer minimum and
+ * maximum neuron values; with ReLU outputs min == 0, so a zero neuron
+ * quantizes to code 0 and PRA's zero-skipping semantics carry over
+ * unchanged.
+ *
+ * Parameters are stored as (scale, zeroPoint) — the TF representation
+ * — rather than (min, max): dequantize(code) is (code - zeroPoint) *
+ * scale, so the real value 0.0 round-trips to *exactly* 0.0 by
+ * construction (zeroPoint is the code for 0.0, and (zp - zp) * scale
+ * is exact in floating point). A raw [min, max] range is converted by
+ * fromRange(), which nudges the range so that 0.0 lands on an integer
+ * code; without the nudge a ReLU zero would quantize to a fractional
+ * code, dequantize to a small non-zero value, and silently break every
+ * zero-skip count downstream.
  */
 
 #ifndef PRA_FIXEDPOINT_QUANTIZATION_H
@@ -25,11 +35,24 @@ inline constexpr int kQuantBits = 8;
 /** Affine quantization parameters for one layer. */
 struct QuantParams
 {
-    double minValue = 0.0;  ///< Real value mapping to code 0.
-    double maxValue = 1.0;  ///< Real value mapping to code 255.
+    double scale = 1.0 / 255.0; ///< Real-value step between codes.
+    int zeroPoint = 0;          ///< Code representing real 0.0.
 
-    /** Real-value step between adjacent codes. */
-    double scale() const;
+    /** Real value mapping to code 0. */
+    double minValue() const;
+    /** Real value mapping to code 255. */
+    double maxValue() const;
+
+    /**
+     * Build parameters covering [lo, hi] with 0.0 on an exact code:
+     * the range is first extended to include 0 (an affine scheme must
+     * represent the zero used for padding and ReLU), then the zero
+     * point round(-lo / scale) is clamped to a valid code. The scale
+     * is preserved, so the represented range is the requested one
+     * shifted by less than one step. Degenerate ranges (hi <= lo) are
+     * widened to a unit span above lo so the scale stays positive.
+     */
+    static QuantParams fromRange(double lo, double hi);
 
     bool operator==(const QuantParams &other) const = default;
 };
@@ -37,8 +60,7 @@ struct QuantParams
 /**
  * Derive per-layer parameters from observed values, as the paper does
  * ("the limit values are set to the maximum and the minimum neuron
- * values for each layer"). Degenerate all-equal inputs get a unit
- * range so that scale() stays positive.
+ * values for each layer"), zero-nudged via fromRange().
  */
 QuantParams chooseQuantParams(std::span<const double> values);
 

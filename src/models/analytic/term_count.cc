@@ -169,6 +169,8 @@ countNetworkTerms16(const dnn::Network &network,
 {
     LayerTermCounts totals;
     for (size_t i = 0; i < network.layers.size(); i++) {
+        if (!network.layers[i].priced())
+            continue; // Structural pools contribute no terms.
         dnn::NeuronTensor raw =
             synth.synthesizeFixed16(static_cast<int>(i));
         dnn::NeuronTensor trimmed =
@@ -203,6 +205,8 @@ countNetworkTerms8(const dnn::Network &network,
     double pra = 0.0;
     for (size_t i = 0; i < network.layers.size(); i++) {
         const auto &layer = network.layers[i];
+        if (!layer.priced())
+            continue; // Structural pools contribute no terms.
         dnn::NeuronTensor codes =
             synth.synthesizeQuant8(static_cast<int>(i));
         sim::SamplePlan plan = sim::planSample(layer.windows(), sample);

@@ -49,9 +49,8 @@ dnn::NeuronTensor
 trimStream(const dnn::LayerSpec &layer,
            const dnn::NeuronTensor &raw)
 {
-    int anchor = std::min(dnn::kNoiseSuffixBits,
-                          16 - layer.profiledPrecision);
-    uint16_t mask = layer.precisionWindow(anchor).mask();
+    uint16_t mask =
+        layer.precisionWindow(dnn::synthesisAnchor(layer)).mask();
     dnn::NeuronTensor trimmed = raw;
     for (auto &value : trimmed.flat())
         value = static_cast<uint16_t>(value & mask);
@@ -133,6 +132,9 @@ TermCountEngine::runNetwork(const dnn::Network &network,
     result.engineName = name();
     result.layers.reserve(network.layers.size());
     for (size_t i = 0; i < network.layers.size(); i++) {
+        // Pool layers are structural; nothing to count.
+        if (!network.layers[i].priced())
+            continue;
         // The trimmed view is the synthesizer's own trimmed stream —
         // bit-identical to masking the raw one (see layerTerms) and
         // shared with every other consumer through the cache.

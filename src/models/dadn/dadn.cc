@@ -44,8 +44,11 @@ DadnModel::run(const dnn::Network &network) const
     sim::NetworkResult result;
     result.networkName = network.name;
     result.engineName = "DaDN";
-    for (const auto &layer : network.layers)
+    for (const auto &layer : network.layers) {
+        if (!layer.priced())
+            continue; // Structural pools cost no NFU cycles.
         result.layers.push_back(layerResult(layer));
+    }
     return result;
 }
 

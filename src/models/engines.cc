@@ -17,7 +17,9 @@ registerBuiltinEngines(sim::EngineRegistry &registry)
             return std::make_unique<DadnEngine>(knobs);
         });
     registry.registerEngine(
-        "stripes", "bit-serial Stripes baseline [precision=0..16]",
+        "stripes",
+        "bit-serial Stripes baseline [precision=0..16 "
+        "repr=fixed16|quant8]",
         [](const sim::EngineKnobs &knobs) {
             return std::make_unique<StripesEngine>(knobs);
         });

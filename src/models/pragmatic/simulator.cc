@@ -74,6 +74,8 @@ PragmaticSimulator::run(const dnn::Network &network,
     result.networkName = network.name;
     result.engineName = config.label();
     for (size_t i = 0; i < network.layers.size(); i++) {
+        if (!network.layers[i].priced())
+            continue; // Structural pools are never priced.
         dnn::NeuronTensor input;
         switch (config.representation) {
           case Representation::Fixed16:
@@ -99,6 +101,12 @@ quantizedPrecisions(const dnn::ActivationSynthesizer &synth)
     const auto &layers = synth.network().layers;
     precisions.reserve(layers.size());
     for (size_t i = 0; i < layers.size(); i++) {
+        if (!layers[i].priced()) {
+            // Keep the list aligned with the layer indices; pool
+            // slots are never read (pools are not priced).
+            precisions.push_back(0);
+            continue;
+        }
         dnn::NeuronTensor codes =
             synth.synthesizeQuant8(static_cast<int>(i));
         uint16_t max_code = 0;

@@ -46,9 +46,14 @@ StripesModel::run(const dnn::Network &network,
     sim::NetworkResult result;
     result.networkName = network.name;
     result.engineName = "Stripes";
-    for (size_t i = 0; i < network.layers.size(); i++)
+    for (size_t i = 0; i < network.layers.size(); i++) {
+        // Structural pool layers are never priced; their slot in the
+        // precision list is ignored.
+        if (!network.layers[i].priced())
+            continue;
         result.layers.push_back(
             layerResult(network.layers[i], precisions[i]));
+    }
     return result;
 }
 

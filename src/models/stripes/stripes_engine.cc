@@ -1,5 +1,8 @@
 #include "models/stripes/stripes_engine.h"
 
+#include <algorithm>
+
+#include "fixedpoint/fixed_point.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -7,19 +10,38 @@ namespace models {
 
 StripesEngine::StripesEngine(const sim::EngineKnobs &knobs)
 {
-    sim::requireKnownKnobs("stripes", knobs, {"precision"});
+    sim::requireKnownKnobs("stripes", knobs, {"precision", "repr"});
     precisionOverride_ =
         static_cast<int>(sim::knobInt(knobs, "precision", 0));
     if (precisionOverride_ < 0 || precisionOverride_ > 16)
         util::fatal("stripes: precision must be in 0..16");
+    std::string repr = sim::knobString(knobs, "repr", "fixed16");
+    if (repr == "quant8")
+        quant8_ = true;
+    else if (repr != "fixed16")
+        util::fatal("stripes: repr must be fixed16 or quant8");
+    if (quant8_ && precisionOverride_ != 0)
+        util::fatal("stripes: repr=quant8 derives per-layer "
+                    "precisions from the code stream; a fixed "
+                    "precision override contradicts it");
 }
 
 std::string
 StripesEngine::name() const
 {
+    if (quant8_)
+        return "Stripes-q8";
     if (precisionOverride_ == 0)
         return "Stripes";
     return "Stripes-p" + std::to_string(precisionOverride_);
+}
+
+sim::InputStream
+StripesEngine::inputStream() const
+{
+    // Only the quantized variant is value-dependent: it reads the
+    // code stream to find the precision each layer actually needs.
+    return quant8_ ? sim::InputStream::Quant8 : sim::InputStream::None;
 }
 
 sim::LayerResult
@@ -28,10 +50,19 @@ StripesEngine::simulateLayer(const dnn::LayerSpec &layer,
                              const sim::AccelConfig &accel,
                              const sim::SampleSpec &sample) const
 {
-    (void)input;
     (void)sample; // Stripes cycle counts are exact; nothing to sample.
-    int precision = precisionOverride_ == 0 ? layer.profiledPrecision
+    int precision;
+    if (quant8_) {
+        // The bits needed by the layer's largest activation code —
+        // the quantized analogue of profiled precision (Figure 12).
+        uint16_t max_code = 0;
+        for (uint16_t code : input.flat())
+            max_code = std::max(max_code, code);
+        precision = std::max(1, fixedpoint::significantBits(max_code));
+    } else {
+        precision = precisionOverride_ == 0 ? layer.profiledPrecision
                                             : precisionOverride_;
+    }
     sim::LayerResult lr =
         StripesModel(accel).layerResult(layer, precision);
     lr.engineName = name();

@@ -5,6 +5,15 @@
  * Knobs:
  *   precision=N  fixed serial precision for every layer (1..16);
  *                0 (default) uses each layer's profiled precision.
+ *   repr=fixed16|quant8
+ *                fixed16 (default): value-independent, per-layer
+ *                profiled (or overridden) precisions. quant8: the
+ *                paper's Figure 12 configuration — Stripes runs the
+ *                8-bit code stream at the per-layer precision its
+ *                largest code actually needs, so the engine consumes
+ *                the Quant8 input stream (synthetic or propagated)
+ *                and derives the precision from it. Incompatible
+ *                with a precision override.
  */
 
 #ifndef PRA_MODELS_STRIPES_STRIPES_ENGINE_H
@@ -25,6 +34,7 @@ class StripesEngine : public sim::Engine
 
     std::string kind() const override { return "stripes"; }
     std::string name() const override;
+    sim::InputStream inputStream() const override;
 
     sim::LayerResult
     simulateLayer(const dnn::LayerSpec &layer,
@@ -34,6 +44,7 @@ class StripesEngine : public sim::Engine
 
   private:
     int precisionOverride_ = 0; ///< 0 = per-layer profiled precision.
+    bool quant8_ = false;       ///< Price the 8-bit code stream.
 };
 
 } // namespace models

@@ -84,9 +84,11 @@ class Engine
     /**
      * Simulate a whole network on the workloads of @p source. The
      * default loops simulateLayer over the layers in order, pulling
-     * each layer's inputStream() view from the source; engines
-     * needing extra per-layer context (e.g. the analytic model's
-     * first-layer CVN rule) override this.
+     * each layer's inputStream() view from the source; structural
+     * pool layers (never priced by any engine) are skipped, so
+     * results contain one entry per *priced* layer. Engines needing
+     * extra per-layer context (e.g. the analytic model's
+     * first-layer CVN rule) override this and apply the same skip.
      */
     virtual NetworkResult
     runNetwork(const dnn::Network &network, const WorkloadSource &source,

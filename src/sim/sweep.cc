@@ -75,8 +75,9 @@ runSweep(const std::vector<dnn::Network> &networks,
                    : std::make_shared<const dnn::ActivationSynthesizer>(
                          network, options.seed);
         WorkloadSource source =
-            shared ? WorkloadSource(*synth, *shared)
-                   : WorkloadSource(*synth);
+            shared ? WorkloadSource(*synth, *shared,
+                                    options.activations)
+                   : WorkloadSource(*synth, options.activations);
         results[net_idx * engines.size() + eng_idx] =
             engine->runNetwork(network, source, options.accel,
                                options.sample, exec);

@@ -34,6 +34,7 @@
 #include "sim/engine_registry.h"
 #include "sim/layer_result.h"
 #include "sim/sampling.h"
+#include "sim/workload_cache.h"
 
 namespace pra {
 namespace sim {
@@ -53,6 +54,13 @@ struct SweepOptions
     AccelConfig accel;        ///< Machine configuration.
     SampleSpec sample{64};    ///< Per-layer sampling cap.
     uint64_t seed = 0x5eed;   ///< Activation-synthesis seed.
+    /**
+     * Synthetic (default: calibrated independent streams, the
+     * committed-golden workload) or Propagated (streams from one
+     * reference forward pass; networks must be full pipelines —
+     * LayerSelect::All with pools). See sim/workload_cache.h.
+     */
+    ActivationMode activations = ActivationMode::Synthetic;
 };
 
 /**

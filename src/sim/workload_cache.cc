@@ -70,7 +70,39 @@ buildBrickPlanes(const dnn::NeuronTensor &tensor)
     return planes;
 }
 
+/**
+ * Fold (stream, mode) into the int slot of LayerKey: synthetic and
+ * propagated views of the same layer must never alias.
+ */
+int
+streamModeTag(InputStream stream, ActivationMode mode)
+{
+    return static_cast<int>(stream) |
+           (static_cast<int>(mode) << 8);
+}
+
 } // namespace
+
+const char *
+activationModeName(ActivationMode mode)
+{
+    switch (mode) {
+      case ActivationMode::Synthetic: return "synthetic";
+      case ActivationMode::Propagated: return "propagated";
+    }
+    util::fatal("activationModeName: bad mode");
+}
+
+ActivationMode
+parseActivationMode(const std::string &text)
+{
+    if (text == "synthetic")
+        return ActivationMode::Synthetic;
+    if (text == "propagated")
+        return ActivationMode::Propagated;
+    util::fatal("--activations must be synthetic or propagated (got '" +
+                text + "')");
+}
 
 dnn::NeuronTensor
 synthesizeStream(const dnn::ActivationSynthesizer &activations,
@@ -87,6 +119,31 @@ synthesizeStream(const dnn::ActivationSynthesizer &activations,
         return activations.synthesizeQuant8(layer_idx);
     }
     util::fatal("synthesizeStream: bad stream");
+}
+
+dnn::NeuronTensor
+propagatedStream(const dnn::PropagatedChain &chain,
+                 const dnn::Network &network, int layer_idx,
+                 InputStream stream)
+{
+    const dnn::LayerSpec &layer =
+        network.layers.at(static_cast<size_t>(layer_idx));
+    util::checkInvariant(layer.priced(),
+                         "propagatedStream: pools carry no priced "
+                         "stream");
+    const dnn::NeuronTensor &raw =
+        chain.inputs.at(static_cast<size_t>(layer_idx));
+    switch (stream) {
+      case InputStream::None:
+        return dnn::NeuronTensor();
+      case InputStream::Fixed16Raw:
+        return raw;
+      case InputStream::Fixed16Trimmed:
+        return dnn::trimToPrecision(layer, raw);
+      case InputStream::Quant8:
+        return dnn::quantizeStream(raw);
+    }
+    util::fatal("propagatedStream: bad stream");
 }
 
 const BrickPlanes &
@@ -130,13 +187,21 @@ WorkloadCache::synthesizer(const dnn::Network &network, uint64_t seed)
 
 std::shared_ptr<const LayerWorkload>
 WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
-                     int layer_idx, InputStream stream)
+                     int layer_idx, InputStream stream,
+                     ActivationMode mode)
 {
     if (stream == InputStream::None)
         return emptyWorkload();
+    // Propagated codes already live inside the profiled window, so
+    // trimming is the identity (see dnn/propagate.h): serve the
+    // trimmed view from the raw entry instead of storing a
+    // bit-identical duplicate (and rebuilding its brick planes).
+    if (mode == ActivationMode::Propagated &&
+        stream == InputStream::Fixed16Trimmed)
+        stream = InputStream::Fixed16Raw;
     LayerKey key{synth.network().name,
                  synth.network().workloadFingerprint(), synth.seed(),
-                 layer_idx, static_cast<int>(stream)};
+                 layer_idx, streamModeTag(stream, mode)};
     std::shared_future<std::shared_ptr<const LayerWorkload>> future;
     Entry<const LayerWorkload> *mine = nullptr;
     {
@@ -153,9 +218,50 @@ WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
     }
     if (mine) {
         try {
+            dnn::NeuronTensor tensor;
+            if (mode == ActivationMode::Propagated) {
+                // chain() takes the mutex only briefly; building the
+                // chain itself happens outside it, so this nested
+                // call cannot deadlock.
+                std::shared_ptr<const dnn::PropagatedChain> shared =
+                    chain(synth);
+                tensor = propagatedStream(*shared, synth.network(),
+                                          layer_idx, stream);
+            } else {
+                tensor = synthesizeStream(synth, layer_idx, stream);
+            }
             mine->promise.set_value(
                 std::make_shared<const LayerWorkload>(
-                    synthesizeStream(synth, layer_idx, stream)));
+                    std::move(tensor)));
+        } catch (...) {
+            mine->promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const dnn::PropagatedChain>
+WorkloadCache::chain(const dnn::ActivationSynthesizer &synth)
+{
+    SynthKey key{synth.network().name,
+                 synth.network().workloadFingerprint(), synth.seed()};
+    std::shared_future<std::shared_ptr<const dnn::PropagatedChain>>
+        future;
+    Entry<const dnn::PropagatedChain> *mine = nullptr;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto [it, inserted] = chains_.try_emplace(key);
+        if (inserted) {
+            it->second.future = it->second.promise.get_future().share();
+            mine = &it->second;
+        }
+        future = it->second.future;
+    }
+    if (mine) {
+        try {
+            mine->promise.set_value(
+                std::make_shared<const dnn::PropagatedChain>(
+                    dnn::propagateChain(synth)));
         } catch (...) {
             mine->promise.set_exception(std::current_exception());
         }
@@ -183,9 +289,31 @@ WorkloadSource::layer(int layer_idx, InputStream stream) const
     if (stream == InputStream::None)
         return emptyWorkload();
     if (cache_)
-        return cache_->layer(synth_, layer_idx, stream);
+        return cache_->layer(synth_, layer_idx, stream, mode_);
+    if (mode_ == ActivationMode::Propagated) {
+        // Trimmed == raw on propagated streams (identity by
+        // construction); the cached path makes the same alias.
+        if (stream == InputStream::Fixed16Trimmed)
+            stream = InputStream::Fixed16Raw;
+        return std::make_shared<const LayerWorkload>(propagatedStream(
+            *chain(), synth_.network(), layer_idx, stream));
+    }
     return std::make_shared<const LayerWorkload>(
         synthesizeStream(synth_, layer_idx, stream));
+}
+
+std::shared_ptr<const dnn::PropagatedChain>
+WorkloadSource::chain() const
+{
+    if (mode_ != ActivationMode::Propagated)
+        util::fatal("WorkloadSource::chain: synthetic sources have "
+                    "no propagated chain");
+    if (cache_)
+        return cache_->chain(synth_);
+    if (!localChain_)
+        localChain_ = std::make_shared<const dnn::PropagatedChain>(
+            dnn::propagateChain(synth_));
+    return localChain_;
 }
 
 } // namespace sim

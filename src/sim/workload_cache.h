@@ -1,8 +1,14 @@
 /**
  * @file
- * Shared workload substrate for sweeps: synthesized neuron streams,
- * packed per-brick term-count/oneffset-bound planes, and a
- * thread-safe cache keyed by (network, representation, trim, seed).
+ * Shared workload substrate for sweeps: synthesized or propagated
+ * neuron streams, packed per-brick term-count/oneffset-bound planes,
+ * and a thread-safe cache keyed by (network, representation, trim,
+ * seed, activation mode). Propagated workloads additionally share
+ * one reference forward pass (dnn/propagate.h) per (network, seed):
+ * the chain is built exactly once per cache no matter how many
+ * engines and layers consume it, and an uncached source memoizes its
+ * own — so results are identical across thread counts and with the
+ * cache on or off.
  *
  * Every value-dependent engine in a sweep grid consumes some
  * synthesized stream of each layer — convolutional or
@@ -48,6 +54,7 @@
 
 #include "dnn/activation_synth.h"
 #include "dnn/network.h"
+#include "dnn/propagate.h"
 #include "dnn/tensor.h"
 
 namespace pra {
@@ -60,10 +67,45 @@ namespace sim {
  */
 enum class InputStream { None, Fixed16Raw, Fixed16Trimmed, Quant8 };
 
+/**
+ * Where layer input streams come from.
+ *
+ * Synthetic: each layer's stream is synthesized independently,
+ * calibrated to the paper's Table I/V statistics (the historical
+ * default; all committed goldens are synthetic).
+ *
+ * Propagated: the streams come from one reference forward pass of
+ * the whole network (dnn/propagate.h) — each layer's input is the
+ * previous layer's actual output through ReLU, pooling, and
+ * requantization into the layer's profiled window, so inter-layer
+ * correlation is real. Requires a chain-consistent pipeline network
+ * (LayerSelect::All with its pool layers). The trimmed view equals
+ * the raw one (requantized codes carry no sub-window noise) and the
+ * quantized view applies per-layer zero-nudged affine quantization
+ * to the propagated codes.
+ */
+enum class ActivationMode { Synthetic, Propagated };
+
+/** Mode name as accepted by --activations ("synthetic"/"propagated"). */
+const char *activationModeName(ActivationMode mode);
+
+/** Parse an --activations= value; fatal() on anything else. */
+ActivationMode parseActivationMode(const std::string &text);
+
 /** Synthesize the stream @p stream of layer @p layer_idx. */
 dnn::NeuronTensor
 synthesizeStream(const dnn::ActivationSynthesizer &activations,
                  int layer_idx, InputStream stream);
+
+/**
+ * Derive the stream @p stream of layer @p layer_idx from a
+ * propagated chain (raw = the chain input itself, trimmed = masked,
+ * quant8 = per-layer affine quantization of the codes).
+ */
+dnn::NeuronTensor
+propagatedStream(const dnn::PropagatedChain &chain,
+                 const dnn::Network &network, int layer_idx,
+                 InputStream stream);
 
 /**
  * Packed per-brick planes of one layer stream (see file comment).
@@ -145,18 +187,33 @@ class WorkloadCache
 
     /**
      * The shared workload of layer @p layer_idx's @p stream under
-     * @p synth. InputStream::None returns the shared empty view.
+     * @p synth, drawn from synthesis or from the shared propagated
+     * chain per @p mode. InputStream::None returns the shared empty
+     * view.
      */
     std::shared_ptr<const LayerWorkload>
     layer(const dnn::ActivationSynthesizer &synth, int layer_idx,
-          InputStream stream);
+          InputStream stream,
+          ActivationMode mode = ActivationMode::Synthetic);
+
+    /**
+     * The shared propagated chain for @p synth's (network, seed):
+     * one reference forward pass, built once and handed to every
+     * consumer.
+     */
+    std::shared_ptr<const dnn::PropagatedChain>
+    chain(const dnn::ActivationSynthesizer &synth);
 
     /** Workload requests served from / added to the cache so far. */
     int64_t hits() const;
     int64_t misses() const;
 
   private:
-    /** (name, workload fingerprint, seed, layer index, stream). */
+    /**
+     * (name, workload fingerprint, seed, layer index,
+     * stream | mode tag): synthetic and propagated workloads of the
+     * same layer are distinct entries.
+     */
     using LayerKey =
         std::tuple<std::string, uint64_t, uint64_t, int, int>;
     /** (name, workload fingerprint, seed). */
@@ -170,31 +227,39 @@ class WorkloadCache
 
     mutable std::mutex mutex_;
     std::map<SynthKey, Entry<const dnn::ActivationSynthesizer>> synths_;
+    std::map<SynthKey, Entry<const dnn::PropagatedChain>> chains_;
     std::map<LayerKey, Entry<const LayerWorkload>> layers_;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
 };
 
 /**
- * Where one simulation run's workloads come from: a synthesizer,
- * optionally backed by a shared cache. Uncached sources synthesize
- * (and build planes) on every request — exactly the same values, just
- * not shared — so results are byte-identical with the cache on or
- * off.
+ * Where one simulation run's workloads come from: a synthesizer (and
+ * activation mode), optionally backed by a shared cache. Uncached
+ * sources rebuild workloads on every request — exactly the same
+ * values, just not shared — so results are byte-identical with the
+ * cache on or off; an uncached propagated source memoizes its own
+ * forward pass (one chain per source, not per layer request).
+ *
+ * A source is consumed from the one thread driving its grid cell;
+ * the chain memo is not synchronized (the shared cache is).
  */
 class WorkloadSource
 {
   public:
-    /** Uncached: every layer() call synthesizes afresh. */
-    explicit WorkloadSource(const dnn::ActivationSynthesizer &synth)
-        : synth_(synth)
+    /** Uncached: every layer() call rebuilds its workload. */
+    explicit WorkloadSource(
+        const dnn::ActivationSynthesizer &synth,
+        ActivationMode mode = ActivationMode::Synthetic)
+        : synth_(synth), mode_(mode)
     {
     }
 
     /** Cached: layer() shares workloads through @p cache. */
     WorkloadSource(const dnn::ActivationSynthesizer &synth,
-                   WorkloadCache &cache)
-        : synth_(synth), cache_(&cache)
+                   WorkloadCache &cache,
+                   ActivationMode mode = ActivationMode::Synthetic)
+        : synth_(synth), cache_(&cache), mode_(mode)
     {
     }
 
@@ -203,13 +268,23 @@ class WorkloadSource
         return synth_;
     }
 
+    ActivationMode mode() const { return mode_; }
+
     /** The workload view of layer @p layer_idx's @p stream. */
     std::shared_ptr<const LayerWorkload>
     layer(int layer_idx, InputStream stream) const;
 
+    /**
+     * The propagated chain backing this source (shared or memoized
+     * locally); fatal() in synthetic mode.
+     */
+    std::shared_ptr<const dnn::PropagatedChain> chain() const;
+
   private:
     const dnn::ActivationSynthesizer &synth_;
     WorkloadCache *cache_ = nullptr;
+    ActivationMode mode_ = ActivationMode::Synthetic;
+    mutable std::shared_ptr<const dnn::PropagatedChain> localChain_;
 };
 
 } // namespace sim

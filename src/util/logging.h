@@ -65,6 +65,18 @@ checkInvariant(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Literal-message overload: hot paths (per-element tensor accesses,
+ * inner simulation loops) must not pay a std::string construction
+ * per check — the message is materialized only on failure.
+ */
+inline void
+checkInvariant(bool cond, const char *msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
 } // namespace util
 } // namespace pra
 

@@ -159,17 +159,20 @@ TEST(ModelZoo, DefaultSelectionIsConvOnly)
 
 TEST(ModelZoo, FcTailLayerCounts)
 {
-    // AlexNet and the VGGs gain their three-layer FC tails; NiN and
-    // GoogLeNet use global pooling instead of an FC tail, so their
-    // layer lists are selection-independent.
-    EXPECT_EQ(makeAlexNet(LayerSelect::All).layers.size(), 8u);
-    EXPECT_EQ(makeVggM(LayerSelect::All).layers.size(), 8u);
-    EXPECT_EQ(makeVggS(LayerSelect::All).layers.size(), 8u);
-    EXPECT_EQ(makeVgg19(LayerSelect::All).layers.size(), 19u);
-    EXPECT_EQ(makeNiN(LayerSelect::All).layers.size(), 12u);
+    // AlexNet and the VGGs gain their three-layer FC tails plus
+    // their interstitial pools; NiN and GoogLeNet use global pooling
+    // instead of an FC tail (NiN: 3 interstitial + 1 global pool;
+    // GoogLeNet: stem pool1/pool2, one 3x3/1 pool inside each of the
+    // 9 inception modules, pool3/pool4 between module groups, and
+    // the terminal global average pool).
+    EXPECT_EQ(makeAlexNet(LayerSelect::All).layers.size(), 11u);
+    EXPECT_EQ(makeVggM(LayerSelect::All).layers.size(), 11u);
+    EXPECT_EQ(makeVggS(LayerSelect::All).layers.size(), 11u);
+    EXPECT_EQ(makeVgg19(LayerSelect::All).layers.size(), 24u);
+    EXPECT_EQ(makeNiN(LayerSelect::All).layers.size(), 16u);
     EXPECT_EQ(makeGoogLeNet(LayerSelect::All).layers.size(),
-              3u + 9u * 6u);
-    EXPECT_EQ(makeTinyNetwork(LayerSelect::All).layers.size(), 3u);
+              3u + 9u * 7u + 2u + 2u + 1u);
+    EXPECT_EQ(makeTinyNetwork(LayerSelect::All).layers.size(), 4u);
 
     EXPECT_EQ(makeAlexNet(LayerSelect::Fc).layers.size(), 3u);
     // Global-pooling networks contribute nothing under Fc.
@@ -271,11 +274,110 @@ TEST(ModelZoo, ParseLayerSelectRejectsUnknown)
     EXPECT_DEATH(parseLayerSelect("convs"), "conv, fc or all");
 }
 
+TEST(ModelZoo, AllSelectionsArePoolBridgedPipelines)
+{
+    // Satellite: propagated shapes must chain. Every network's All
+    // selection — pools included — must be a shape-consistent
+    // pipeline end to end (each layer's input is its producers'
+    // output, FC flattening included).
+    for (const auto &net : makeAllNetworks(LayerSelect::All)) {
+        std::string why;
+        EXPECT_TRUE(net.chainConsistent(&why)) << net.name << ": "
+                                               << why;
+        EXPECT_GT(net.countLayers(LayerKind::Pool), 0) << net.name;
+    }
+    auto tiny = makeTinyNetwork(LayerSelect::All);
+    std::string why;
+    EXPECT_TRUE(tiny.chainConsistent(&why)) << why;
+}
+
+TEST(ModelZoo, PoolShapesBridgeThePublishedGeometry)
+{
+    // AlexNet pool5: 13x13x256 -> the 6x6x256 fc6 consumes.
+    auto alex = makeAlexNet(LayerSelect::All);
+    const auto &pool5 = alex.layers[7];
+    ASSERT_EQ(pool5.name, "pool5");
+    EXPECT_EQ(pool5.kind, LayerKind::Pool);
+    EXPECT_EQ(pool5.outX(), 6);
+    EXPECT_EQ(pool5.outY(), 6);
+    EXPECT_EQ(pool5.outChannels(), 256);
+
+    // The published networks mix pooling-rounding conventions:
+    // GoogLeNet pool1 needs ceil (112 -> 56), VGG-M pool2 needs ceil
+    // (26 -> 13), while VGG-S pool1 needs floor (109/3 -> 36) and
+    // its pool5 ceil (17/3 -> 6).
+    auto google = makeGoogLeNet(LayerSelect::All);
+    ASSERT_EQ(google.layers[1].name, "pool1/3x3_s2");
+    EXPECT_EQ(google.layers[1].outX(), 56);
+    auto vggm = makeVggM(LayerSelect::All);
+    ASSERT_EQ(vggm.layers[3].name, "pool2");
+    EXPECT_EQ(vggm.layers[3].outX(), 13);
+    auto vggs = makeVggS(LayerSelect::All);
+    ASSERT_EQ(vggs.layers[1].name, "pool1");
+    EXPECT_EQ(vggs.layers[1].outX(), 36);
+    ASSERT_EQ(vggs.layers[7].name, "pool5");
+    EXPECT_EQ(vggs.layers[7].outX(), 6);
+
+    // NiN and GoogLeNet end in global pooling: one spatial output.
+    auto nin = makeNiN(LayerSelect::All);
+    const auto &nin_tail = nin.layers.back();
+    EXPECT_EQ(nin_tail.kind, LayerKind::Pool);
+    EXPECT_EQ(nin_tail.poolOp, PoolOp::Avg);
+    EXPECT_EQ(nin_tail.outX(), 1);
+    EXPECT_EQ(nin_tail.outY(), 1);
+    const auto &google_tail = google.layers.back();
+    EXPECT_EQ(google_tail.kind, LayerKind::Pool);
+    EXPECT_EQ(google_tail.poolOp, PoolOp::Avg);
+    EXPECT_EQ(google_tail.outX(), 1);
+    EXPECT_EQ(google_tail.outChannels(), 1024);
+}
+
+TEST(ModelZoo, PoolsNeverReshuffleThePricedStreams)
+{
+    // Priced-layer ordinals ignore pools, so conv/fc streams are
+    // invariant to the structural pool layers: conv-only lists are
+    // unchanged and All-selection ordinals match them layer by
+    // layer.
+    auto conv_only = makeAlexNet(LayerSelect::Conv);
+    ASSERT_EQ(conv_only.layers.size(), 5u);
+    for (size_t i = 0; i < conv_only.layers.size(); i++)
+        EXPECT_EQ(conv_only.layers[i].ordinal,
+                  static_cast<int>(i));
+    auto all = makeAlexNet(LayerSelect::All);
+    int expected = 0;
+    for (const auto &layer : all.layers) {
+        if (!layer.priced()) {
+            EXPECT_EQ(layer.ordinal, -1) << layer.name;
+            continue;
+        }
+        EXPECT_EQ(layer.ordinal, expected++) << layer.name;
+    }
+    EXPECT_EQ(expected, 8);
+}
+
+TEST(ModelZoo, ChainCheckCatchesShapeBreaks)
+{
+    // The gate: a network with a pool (pipeline-shaped) whose shapes
+    // do not chain must fail valid(); the same broken geometry
+    // without pools/producers is exempt (synthetic workloads price
+    // layers independently — the conv-only zoo relies on that).
+    Network broken = makeTinyNetwork(LayerSelect::All);
+    broken.layers[3] =
+        LayerSpec::fullyConnected("fc1", 999, 16, 7); // Wrong width.
+    broken.layers[3].ordinal = 2;
+    EXPECT_FALSE(broken.chainConsistent());
+    EXPECT_FALSE(broken.valid());
+
+    Network exempt = makeAlexNet(LayerSelect::Conv); // Gaps, no pools.
+    EXPECT_FALSE(exempt.chainConsistent());
+    EXPECT_TRUE(exempt.valid());
+}
+
 TEST(ModelZoo, LookupByNameForwardsSelection)
 {
     EXPECT_EQ(makeNetworkByName("alexnet", LayerSelect::All)
                   .layers.size(),
-              8u);
+              11u);
     EXPECT_EQ(makeNetworkByName("tiny", LayerSelect::Fc)
                   .layers.size(),
               1u);

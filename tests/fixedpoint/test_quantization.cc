@@ -8,6 +8,8 @@
 #include <cmath>
 #include <vector>
 
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
 #include "fixedpoint/quantization.h"
 #include "util/random.h"
 
@@ -17,37 +19,49 @@ namespace {
 
 TEST(QuantParams, ScaleOfUnitRange)
 {
-    QuantParams p{0.0, 255.0};
-    EXPECT_DOUBLE_EQ(p.scale(), 1.0);
+    QuantParams p = QuantParams::fromRange(0.0, 255.0);
+    EXPECT_DOUBLE_EQ(p.scale, 1.0);
+    EXPECT_EQ(p.zeroPoint, 0);
 }
 
 TEST(ChooseQuantParams, UsesMinAndMax)
 {
     std::vector<double> values = {0.0, 0.5, 3.0, 1.25};
     QuantParams p = chooseQuantParams(values);
-    EXPECT_DOUBLE_EQ(p.minValue, 0.0);
-    EXPECT_DOUBLE_EQ(p.maxValue, 3.0);
+    EXPECT_DOUBLE_EQ(p.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(p.maxValue(), 3.0);
 }
 
 TEST(ChooseQuantParams, DegenerateInputGetsPositiveScale)
 {
     std::vector<double> values = {2.0, 2.0};
     QuantParams p = chooseQuantParams(values);
-    EXPECT_GT(p.scale(), 0.0);
+    EXPECT_GT(p.scale, 0.0);
     std::vector<double> empty;
-    EXPECT_GT(chooseQuantParams(empty).scale(), 0.0);
+    EXPECT_GT(chooseQuantParams(empty).scale, 0.0);
+}
+
+TEST(ChooseQuantParams, RangeIsExtendedToCoverZero)
+{
+    // An all-positive stream (no ReLU zeros observed) must still
+    // represent 0.0: code 0 anchors at zero, not at the observed min.
+    std::vector<double> values = {2.0, 5.0, 9.0};
+    QuantParams p = chooseQuantParams(values);
+    EXPECT_EQ(p.zeroPoint, 0);
+    EXPECT_DOUBLE_EQ(p.minValue(), 0.0);
+    EXPECT_GE(p.maxValue(), 9.0 - maxRoundingError(p));
 }
 
 TEST(Quantize, EndpointsMapToExtremeCodes)
 {
-    QuantParams p{0.0, 10.0};
+    QuantParams p = QuantParams::fromRange(0.0, 10.0);
     EXPECT_EQ(quantize(0.0, p), 0);
     EXPECT_EQ(quantize(10.0, p), 255);
 }
 
 TEST(Quantize, ClampsOutOfRange)
 {
-    QuantParams p{0.0, 1.0};
+    QuantParams p = QuantParams::fromRange(0.0, 1.0);
     EXPECT_EQ(quantize(-5.0, p), 0);
     EXPECT_EQ(quantize(7.0, p), 255);
 }
@@ -56,16 +70,67 @@ TEST(Quantize, ReluZeroMapsToCodeZero)
 {
     // The paper's zero-skipping semantics require ReLU zeros to be
     // code 0 when the layer minimum is 0.
-    QuantParams p{0.0, 6.0};
+    QuantParams p = QuantParams::fromRange(0.0, 6.0);
+    EXPECT_EQ(p.zeroPoint, 0);
     EXPECT_EQ(quantize(0.0, p), 0);
 }
 
 TEST(Quantize, RoundingHalfAway)
 {
-    QuantParams p{0.0, 255.0}; // scale == 1
+    QuantParams p = QuantParams::fromRange(0.0, 255.0); // scale == 1
     EXPECT_EQ(quantize(0.4, p), 0);
     EXPECT_EQ(quantize(0.5, p), 1);
     EXPECT_EQ(quantize(1.49, p), 1);
+}
+
+TEST(Quantize, ZeroRoundTripsExactly)
+{
+    // The zero-point nudge: 0.0 must land on an integer code and
+    // reconstruct to exactly 0.0 — a fractional zero code would turn
+    // every ReLU zero into a small non-zero 8-bit value and corrupt
+    // zero-skip counts. Exercise ranges that straddle zero at awkward
+    // offsets, where the un-nudged [min, max] mapping fails.
+    util::Xoshiro256 rng(0xfeed);
+    for (int i = 0; i < 200; i++) {
+        double lo = -rng.nextDouble() * 13.7 - 1e-4;
+        double hi = rng.nextDouble() * 29.3 + 1e-4;
+        QuantParams p = QuantParams::fromRange(lo, hi);
+        uint8_t zero_code = quantize(0.0, p);
+        EXPECT_EQ(zero_code, p.zeroPoint);
+        EXPECT_EQ(dequantize(zero_code, p), 0.0)
+            << "range [" << lo << ", " << hi << "]";
+    }
+    // All-positive and all-negative observed ranges too.
+    for (auto [lo, hi] : {std::pair{0.3, 7.0}, std::pair{-9.0, -0.2}}) {
+        QuantParams p = QuantParams::fromRange(lo, hi);
+        EXPECT_EQ(dequantize(quantize(0.0, p), p), 0.0);
+    }
+}
+
+TEST(Quantize, ZeroRoundTripsForEveryZooLayer)
+{
+    // Acceptance check: dequantize(quantize(0.0)) == 0.0 for the
+    // quantization params of every zoo layer, derived (as a
+    // deployment would) from the layer's synthesized activation
+    // stream.
+    for (const auto &net :
+         dnn::makeAllNetworks(dnn::LayerSelect::All)) {
+        dnn::ActivationSynthesizer synth(net, 0x5eed);
+        for (size_t i = 0; i < net.layers.size(); i++) {
+            if (net.layers[i].kind == dnn::LayerKind::Pool)
+                continue; // Pools bridge shapes; no priced stream.
+            auto stream = synth.synthesizeFixed16(static_cast<int>(i));
+            std::vector<double> values;
+            values.reserve(stream.size());
+            for (uint16_t v : stream.flat())
+                values.push_back(static_cast<double>(v));
+            QuantParams p = chooseQuantParams(values);
+            EXPECT_EQ(dequantize(quantize(0.0, p), p), 0.0)
+                << net.name << " " << net.layers[i].name;
+            EXPECT_EQ(p.zeroPoint, 0)
+                << net.name << " " << net.layers[i].name;
+        }
+    }
 }
 
 TEST(Dequantize, RoundTripErrorBounded)
@@ -84,7 +149,7 @@ TEST(Dequantize, RoundTripErrorBounded)
 
 TEST(Dequantize, CodesAreMonotonic)
 {
-    QuantParams p{-1.0, 1.0};
+    QuantParams p = QuantParams::fromRange(-1.0, 1.0);
     double prev = dequantize(0, p);
     for (int code = 1; code <= 255; code++) {
         double cur = dequantize(static_cast<uint8_t>(code), p);
@@ -96,7 +161,7 @@ TEST(Dequantize, CodesAreMonotonic)
 TEST(QuantizeAll, MatchesElementwise)
 {
     std::vector<double> values = {0.0, 0.3, 0.7, 1.0};
-    QuantParams p{0.0, 1.0};
+    QuantParams p = QuantParams::fromRange(0.0, 1.0);
     auto codes = quantizeAll(values, p);
     ASSERT_EQ(codes.size(), values.size());
     for (size_t i = 0; i < values.size(); i++)
@@ -113,7 +178,7 @@ class QuantRanges
 TEST_P(QuantRanges, RoundTripWithinHalfStep)
 {
     auto [lo, hi] = GetParam();
-    QuantParams p{lo, hi};
+    QuantParams p = QuantParams::fromRange(lo, hi);
     util::Xoshiro256 rng(17);
     for (int i = 0; i < 500; i++) {
         double v = lo + rng.nextDouble() * (hi - lo);

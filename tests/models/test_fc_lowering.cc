@@ -161,17 +161,19 @@ TEST(FcLowering, StreamsAreSelectionInvariant)
     // The same logical layer must synthesize the same stream no
     // matter which selection it survived into: streams are seeded by
     // the layer's ordinal in the unfiltered network, not by its
-    // index in the filtered list (Tiny fc1 is index 2 under All but
-    // index 0 under Fc).
+    // index in the filtered list (Tiny fc1 is list index 3 under All
+    // — behind the structural pool — but index 0 under Fc; its
+    // priced ordinal is 2 either way).
     auto all_net = dnn::makeTinyNetwork(dnn::LayerSelect::All);
     auto fc_net = dnn::makeTinyNetwork(dnn::LayerSelect::Fc);
     ASSERT_EQ(fc_net.layers[0].name, "fc1");
-    ASSERT_EQ(all_net.layers[2].name, "fc1");
+    ASSERT_EQ(all_net.layers[3].name, "fc1");
     EXPECT_EQ(fc_net.layers[0].ordinal, 2);
+    EXPECT_EQ(all_net.layers[3].ordinal, 2);
 
     dnn::ActivationSynthesizer all_synth(all_net, 0x5eed);
     dnn::ActivationSynthesizer fc_synth(fc_net, 0x5eed);
-    dnn::NeuronTensor a = all_synth.synthesizeFixed16(2);
+    dnn::NeuronTensor a = all_synth.synthesizeFixed16(3);
     dnn::NeuronTensor b = fc_synth.synthesizeFixed16(0);
     ASSERT_EQ(a.size(), b.size());
     auto lhs = a.flat();
@@ -180,7 +182,9 @@ TEST(FcLowering, StreamsAreSelectionInvariant)
         ASSERT_EQ(lhs[i], rhs[i]);
 
     // And therefore identical pricing: PRA-2b on fc1 costs the same
-    // whether the conv layers were swept alongside it or not.
+    // whether the conv layers were swept alongside it or not. (The
+    // structural pool is skipped by runNetwork, so fc1 is priced row
+    // 2 under both selections.)
     std::unique_ptr<sim::Engine> engine =
         builtinEngines().create("pragmatic", {});
     sim::AccelConfig accel;

@@ -235,6 +235,75 @@ TEST(Sweep, CacheOnAndOffBitIdentical)
     expectSameResults(with, without_par, "cache=off threads=4");
 }
 
+TEST(Sweep, PropagatedModeDeterministicAcrossThreadsAndCache)
+{
+    // Propagated-mode invariants: the forward-pass workloads must be
+    // bit-identical whether the chain is built once in the shared
+    // cache, rebuilt per cell with the cache off, or raced by four
+    // workers. The network must be the full pipeline (pools + fc).
+    std::vector<dnn::Network> networks = {
+        dnn::makeTinyNetwork(dnn::LayerSelect::All)};
+    auto grid = allKindsGrid();
+    SweepOptions base = tinyOptions(1);
+    base.activations = ActivationMode::Propagated;
+    auto seq = runSweep(networks, grid, models::builtinEngines(),
+                        base);
+
+    SweepOptions par = base;
+    par.threads = 4;
+    expectSameResults(seq,
+                      runSweep(networks, grid,
+                               models::builtinEngines(), par),
+                      "propagated threads=4");
+
+    SweepOptions uncached = base;
+    uncached.cache = false;
+    expectSameResults(seq,
+                      runSweep(networks, grid,
+                               models::builtinEngines(), uncached),
+                      "propagated cache=off");
+
+    SweepOptions inner = par;
+    inner.innerThreads = 4;
+    expectSameResults(seq,
+                      runSweep(networks, grid,
+                               models::builtinEngines(), inner),
+                      "propagated inner-threads=4");
+}
+
+TEST(Sweep, PropagatedModeDiffersFromSyntheticDownstream)
+{
+    // The two modes share only the image input: layer 0 results
+    // agree for value-dependent engines, downstream layers see
+    // different (correlated) streams. DaDN is value-independent and
+    // must agree everywhere.
+    std::vector<dnn::Network> networks = {
+        dnn::makeTinyNetwork(dnn::LayerSelect::All)};
+    std::vector<EngineSelection> grid = {
+        {"dadn", {}},
+        {"pragmatic", {{"bits", "2"}, {"trim", "0"}}},
+    };
+    SweepOptions synthetic = tinyOptions(1);
+    SweepOptions propagated = tinyOptions(1);
+    propagated.activations = ActivationMode::Propagated;
+    auto s = runSweep(networks, grid, models::builtinEngines(),
+                      synthetic);
+    auto p = runSweep(networks, grid, models::builtinEngines(),
+                      propagated);
+    // DaDN: identical rows (geometry only).
+    ASSERT_EQ(s[0].layers.size(), p[0].layers.size());
+    for (size_t l = 0; l < s[0].layers.size(); l++)
+        EXPECT_EQ(s[0].layers[l].cycles, p[0].layers[l].cycles);
+    // PRA (untrimmed raw stream): layer 0 is the shared image.
+    EXPECT_EQ(s[1].layers[0].cycles, p[1].layers[0].cycles);
+    EXPECT_EQ(s[1].layers[0].effectualTerms,
+              p[1].layers[0].effectualTerms);
+    // Downstream, the propagated stream is the real conv1 output —
+    // not the independently synthesized conv2 stream.
+    EXPECT_NE(s[1].layers[1].effectualTerms,
+              p[1].layers[1].effectualTerms);
+}
+
 TEST(Sweep, InvariantAcrossInnerThreadCounts)
 {
     // Pallet-block splitting inside a cell must not change a bit:

@@ -154,7 +154,7 @@ TEST(WorkloadCache, DistinguishesLayerSelectionsOfSameNetwork)
         cache.layer(*fc_synth, 0, InputStream::Fixed16Trimmed);
     EXPECT_NE(all_l0.get(), fc_l0.get());
     EXPECT_EQ(all_l0->tensor().sizeI(), 8);
-    EXPECT_EQ(fc_l0->tensor().sizeI(), 3200);
+    EXPECT_EQ(fc_l0->tensor().sizeI(), 800);
     EXPECT_EQ(cache.misses(), 2);
     EXPECT_EQ(cache.hits(), 0);
 }
@@ -177,6 +177,79 @@ TEST(WorkloadCache, CachedEqualsFreshSynthesis)
                 ASSERT_EQ(lhs[k], rhs[k]);
         }
     }
+}
+
+TEST(WorkloadCache, ChainIsBuiltOnceAndShared)
+{
+    auto net = dnn::makeTinyNetwork(dnn::LayerSelect::All);
+    dnn::ActivationSynthesizer synth(net, 0x5eed);
+    WorkloadCache cache;
+    auto first = cache.chain(synth);
+    auto again = cache.chain(synth);
+    EXPECT_EQ(first.get(), again.get()); // One forward pass, shared.
+    // Another seed is another chain.
+    dnn::ActivationSynthesizer other(net, 0xbeef);
+    EXPECT_NE(cache.chain(other).get(), first.get());
+}
+
+TEST(WorkloadCache, PropagatedWorkloadsAreModeKeyed)
+{
+    // The synthetic and propagated views of the same (layer, stream)
+    // must never alias: conv2's synthetic stream is independent
+    // noise, its propagated stream is conv1's actual output.
+    auto net = dnn::makeTinyNetwork(dnn::LayerSelect::All);
+    dnn::ActivationSynthesizer synth(net, 0x5eed);
+    WorkloadCache cache;
+    auto synthetic = cache.layer(synth, 1, InputStream::Fixed16Raw,
+                                 ActivationMode::Synthetic);
+    auto propagated = cache.layer(synth, 1, InputStream::Fixed16Raw,
+                                  ActivationMode::Propagated);
+    EXPECT_NE(synthetic.get(), propagated.get());
+    EXPECT_EQ(cache.misses(), 2); // Two distinct entries.
+    bool differ = false;
+    auto lhs = synthetic->tensor().flat();
+    auto rhs = propagated->tensor().flat();
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t k = 0; k < rhs.size(); k++)
+        differ |= lhs[k] != rhs[k];
+    EXPECT_TRUE(differ);
+
+    // Layer 0 is the shared image: same bits under either mode
+    // (still separate cache entries).
+    auto s0 = cache.layer(synth, 0, InputStream::Fixed16Raw,
+                          ActivationMode::Synthetic);
+    auto p0 = cache.layer(synth, 0, InputStream::Fixed16Raw,
+                          ActivationMode::Propagated);
+    auto l0 = s0->tensor().flat();
+    auto r0 = p0->tensor().flat();
+    ASSERT_EQ(l0.size(), r0.size());
+    for (size_t k = 0; k < r0.size(); k++)
+        ASSERT_EQ(l0[k], r0[k]);
+}
+
+TEST(WorkloadCache, PropagatedCachedEqualsUncachedSource)
+{
+    auto net = dnn::makeTinyNetwork(dnn::LayerSelect::All);
+    dnn::ActivationSynthesizer synth(net, 0x5eed);
+    WorkloadCache cache;
+    WorkloadSource cached(synth, cache, ActivationMode::Propagated);
+    WorkloadSource uncached(synth, ActivationMode::Propagated);
+    for (InputStream stream : kStreams) {
+        for (size_t i = 0; i < net.layers.size(); i++) {
+            if (!net.layers[i].priced())
+                continue;
+            auto a = cached.layer(static_cast<int>(i), stream);
+            auto b = uncached.layer(static_cast<int>(i), stream);
+            ASSERT_EQ(a->tensor().size(), b->tensor().size());
+            auto lhs = a->tensor().flat();
+            auto rhs = b->tensor().flat();
+            for (size_t k = 0; k < rhs.size(); k++)
+                ASSERT_EQ(lhs[k], rhs[k]);
+        }
+    }
+    // The uncached source memoized one local chain rather than
+    // re-propagating per request.
+    EXPECT_EQ(uncached.chain().get(), uncached.chain().get());
 }
 
 TEST(WorkloadCache, NoneStreamIsSharedEmptyView)

@@ -3,7 +3,8 @@
  * pra_sweep: run the (network x engine x config) grid in one shot.
  *
  *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
- *             [--layers conv|fc|all] [--threads N] [--inner-threads N]
+ *             [--layers conv|fc|all] [--activations synthetic|propagated]
+ *             [--threads N] [--inner-threads N]
  *             [--cache on|off] [--units N | --full] [--seed S]
  *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
  *
@@ -19,6 +20,14 @@
  * "conv" (default, the paper's conv-only workload — output is
  * byte-identical to the historical conv-only tool), "fc" (the
  * fully-connected tails alone) or "all".
+ *
+ * "--activations" selects the workload class: "synthetic" (default,
+ * independent calibrated per-layer streams — output byte-identical
+ * to the committed goldens) or "propagated" (each layer's input is
+ * the previous layer's actual output through the reference forward
+ * pass, ReLU, pooling, and requantization; see dnn/propagate.h).
+ * Propagated mode prices the full pipeline, so it implies
+ * --layers=all; any other explicit --layers value is rejected.
  *
  * "--cache off" rebuilds every cell's workload from scratch instead
  * of sharing one synthesis per (network, stream, seed) — only useful
@@ -140,9 +149,9 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
-    args.checkUnknown({"networks", "engines", "layers", "threads",
-                       "inner-threads", "cache", "units", "full",
-                       "seed", "csv", "per-layer", "smoke",
+    args.checkUnknown({"networks", "engines", "layers", "activations",
+                       "threads", "inner-threads", "cache", "units",
+                       "full", "seed", "csv", "per-layer", "smoke",
                        "list-engines"});
 
     if (args.getBool("list-engines")) {
@@ -154,8 +163,21 @@ main(int argc, char **argv)
     }
 
     bool smoke = args.getBool("smoke");
-    dnn::LayerSelect select =
-        dnn::parseLayerSelect(args.getString("layers", "conv"));
+    sim::ActivationMode activations = sim::parseActivationMode(
+        args.getString("activations", "synthetic"));
+    dnn::LayerSelect select;
+    if (activations == sim::ActivationMode::Propagated) {
+        // Propagation runs the whole pipeline; a filtered selection
+        // cannot chain (conv2 would miss pool1, fc6 the conv trunk).
+        if (args.has("layers") && args.getString("layers") != "all")
+            util::fatal("--activations=propagated propagates the "
+                        "full layer pipeline; --layers must be 'all' "
+                        "(or omitted)");
+        select = dnn::LayerSelect::All;
+    } else {
+        select = dnn::parseLayerSelect(args.getString("layers",
+                                                      "conv"));
+    }
     std::vector<dnn::Network> networks = parseNetworks(
         args.getString("networks", smoke ? "tiny" : "all"), select);
     std::vector<sim::EngineSelection> engines =
@@ -167,10 +189,22 @@ main(int argc, char **argv)
     options.innerThreads =
         static_cast<int>(args.getInt("inner-threads", 0));
     options.cache = args.getBool("cache", true);
+    options.activations = activations;
     int64_t default_units = smoke ? 4 : 64;
-    options.sample.maxUnits =
-        args.getBool("full") ? 0 : args.getInt("units", default_units);
-    options.seed = static_cast<uint64_t>(args.getInt("seed", 0x5eed));
+    // A sampling cap of zero would silently mean "simulate
+    // everything" (the --full semantics); a user asking for zero or
+    // negative units gets an error, not the opposite of the request.
+    int64_t units = args.getInt("units", default_units);
+    if (args.has("units") && units <= 0)
+        util::fatal("--units must be a positive sampling cap (got " +
+                    std::to_string(units) +
+                    "); use --full for an exhaustive run");
+    options.sample.maxUnits = args.getBool("full") ? 0 : units;
+    int64_t seed = args.getInt("seed", 0x5eed);
+    if (seed < 0)
+        util::fatal("--seed must be non-negative (got " +
+                    std::to_string(seed) + ")");
+    options.seed = static_cast<uint64_t>(seed);
 
     std::vector<sim::NetworkResult> results = sim::runSweep(
         networks, engines, models::builtinEngines(), options);
