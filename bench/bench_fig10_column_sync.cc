@@ -4,15 +4,21 @@
  * synchronization as a function of the SSR count (1, 4, 16 registers
  * and the ideal infinite-register design), relative to DaDN, with
  * Stripes as the reference first bar.
+ *
+ * Runs through the Engine/sweep subsystem: the whole
+ * (network x engine) grid fans out across --threads workers, every
+ * SSR variant shares one workload (and its memoized schedule-cycle
+ * planes) per network, and the output is byte-identical to the
+ * direct-simulator harness this bench replaced.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
-#include "models/dadn/dadn.h"
-#include "models/pragmatic/simulator.h"
-#include "models/stripes/stripes.h"
+#include "models/engines.h"
 #include "sim/layer_result.h"
+#include "sim/sweep.h"
 #include "util/table.h"
 
 using namespace pra;
@@ -20,45 +26,59 @@ using namespace pra;
 int
 main(int argc, char **argv)
 {
-    auto opt = bench::BenchOptions::parse(argc, argv, 48);
+    auto opt = bench::BenchOptions::parse(
+        argc, argv, 48, {}, /*supports_activations=*/true,
+        /*supports_json=*/true);
+    bench::BenchReport report("fig10_column_sync", opt.jsonPath);
     bench::banner("Per-column synchronization vs SSR count (PRA-2b)",
                   "Figure 10");
 
-    models::DadnModel dadn;
-    models::StripesModel stripes;
-    models::PragmaticSimulator prag;
-    models::SimOptions sim_opt;
-    sim_opt.sample = opt.sample;
-    sim_opt.seed = opt.seed;
+    // Engine grid: DaDN baseline and the Stripes reference bar first,
+    // then PRA-2b across the SSR counts (0 == ideal).
+    std::vector<sim::EngineSelection> engines = {{"dadn", {}},
+                                                 {"stripes", {}}};
+    const int ssr_counts[] = {1, 4, 16, 0};
+    for (int ssr : ssr_counts)
+        engines.push_back({"pragmatic-col",
+                           {{"bits", "2"},
+                            {"ssr", std::to_string(ssr)}}});
 
-    const int ssr_counts[] = {1, 4, 16, 0}; // 0 == ideal.
+    report.phase("sweep");
+    sim::SweepOptions sweep;
+    sweep.threads = opt.threads;
+    sweep.innerThreads = opt.innerThreads;
+    sweep.cache = opt.cache;
+    sweep.sample = opt.sample;
+    sweep.seed = opt.seed;
+    sweep.activations = opt.activations;
+    auto results = sim::runSweep(opt.networks, engines,
+                                 models::builtinEngines(), sweep);
+
+    report.phase("render");
     util::TextTable table({"network", "Stripes", "1-reg", "4-regs",
                            "16-regs", "perCol-ideal"});
-    std::vector<std::vector<double>> speedups(5);
-    for (const auto &net : opt.networks) {
-        double base = dadn.run(net).totalCycles();
-        std::vector<std::string> row = {net.name};
-        double str = base / stripes.run(net).totalCycles();
-        speedups[0].push_back(str);
-        row.push_back(util::formatDouble(str));
-        for (int i = 0; i < 4; i++) {
-            models::PragmaticConfig config;
-            config.firstStageBits = 2;
-            config.sync = models::SyncScheme::PerColumn;
-            config.ssrCount = ssr_counts[i];
+    const size_t series = engines.size() - 1; // All but the baseline.
+    std::vector<std::vector<double>> speedups(series);
+    for (size_t n = 0; n < opt.networks.size(); n++) {
+        const auto &base = results[n * engines.size()];
+        std::vector<std::string> row = {opt.networks[n].name};
+        for (size_t e = 0; e < series; e++) {
             double s =
-                base / prag.run(net, config, sim_opt).totalCycles();
-            speedups[i + 1].push_back(s);
+                results[n * engines.size() + e + 1].speedupOver(base);
+            speedups[e].push_back(s);
             row.push_back(util::formatDouble(s));
         }
         table.addRow(row);
     }
     std::vector<std::string> geo = {"geo"};
-    for (const auto &series : speedups)
-        geo.push_back(util::formatDouble(sim::geometricMean(series)));
+    for (const auto &column : speedups)
+        geo.push_back(util::formatDouble(sim::geometricMean(column)));
     table.addRow(geo);
-    std::printf("%s\n", table.render().c_str());
+    std::string rendered = table.render();
+    std::printf("%s\n", rendered.c_str());
     std::printf("Paper (geo): PRA-2b-1R 3.1x, ideal (infinite SSRs) "
                 "3.45x — one SSR\ncaptures most of the benefit.\n");
+    report.digest(rendered);
+    report.write();
     return 0;
 }

@@ -24,7 +24,9 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::BenchOptions::parse(
-        argc, argv, 48, {}, /*supports_activations=*/true);
+        argc, argv, 48, {}, /*supports_activations=*/true,
+        /*supports_json=*/true);
+    bench::BenchReport report("fig11_efficiency", opt.jsonPath);
     bench::banner("Relative energy efficiency vs DaDN", "Figure 11");
 
     double p_base = energy::dadnAreaPower().chipPower;
@@ -44,6 +46,7 @@ main(int argc, char **argv)
         energy::pragmaticColumnAreaPower(2, 1).chipPower,
     };
 
+    report.phase("sweep");
     sim::SweepOptions sweep;
     sweep.threads = opt.threads;
     sweep.innerThreads = opt.innerThreads;
@@ -54,6 +57,7 @@ main(int argc, char **argv)
     auto results = sim::runSweep(opt.networks, engines,
                                  models::builtinEngines(), sweep);
 
+    report.phase("render");
     util::TextTable table({"network", "Stripes", "PRA-4b", "PRA-2b",
                            "PRA-2b-1R"});
     std::vector<std::vector<double>> effs(4);
@@ -74,10 +78,13 @@ main(int argc, char **argv)
     for (const auto &series : effs)
         geo.push_back(util::formatDouble(sim::geometricMean(series)));
     table.addRow(geo);
-    std::printf("%s\n", table.render().c_str());
+    std::string rendered = table.render();
+    std::printf("%s\n", rendered.c_str());
     std::printf("Paper (avg): Stripes 1.16x, PRA-4b 0.95x (5%% LESS "
                 "efficient than DaDN),\nPRA-2b 1.28x, PRA-2b-1R 1.48x. "
                 "The crossover — single-stage below\nbreak-even, "
                 "2-stage above — is the claim to check.\n");
+    report.digest(rendered);
+    report.write();
     return 0;
 }

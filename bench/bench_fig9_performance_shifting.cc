@@ -24,7 +24,10 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::BenchOptions::parse(
-        argc, argv, 48, {}, /*supports_activations=*/true);
+        argc, argv, 48, {}, /*supports_activations=*/true,
+        /*supports_json=*/true);
+    bench::BenchReport report("fig9_performance_shifting",
+                              opt.jsonPath);
     bench::banner(
         "Pragmatic performance vs DaDN, 2-stage shifting, pallet sync",
         "Figure 9");
@@ -36,6 +39,7 @@ main(int argc, char **argv)
         engines.push_back(
             {"pragmatic", {{"bits", std::to_string(l)}}});
 
+    report.phase("sweep");
     sim::SweepOptions sweep;
     sweep.threads = opt.threads;
     sweep.innerThreads = opt.innerThreads;
@@ -46,6 +50,7 @@ main(int argc, char **argv)
     auto results = sim::runSweep(opt.networks, engines,
                                  models::builtinEngines(), sweep);
 
+    report.phase("render");
     util::TextTable table({"network", "Stripes", "0-bit", "1-bit",
                            "2-bit", "3-bit", "4-bit"});
     const size_t series = engines.size() - 1; // All but the baseline.
@@ -65,9 +70,12 @@ main(int argc, char **argv)
     for (const auto &column : speedups)
         geo.push_back(util::formatDouble(sim::geometricMean(column)));
     table.addRow(geo);
-    std::printf("%s\n", table.render().c_str());
+    std::string rendered = table.render();
+    std::printf("%s\n", rendered.c_str());
     std::printf("Paper (geo): Stripes 1.85x; PRA-single (4-bit) 2.59x;"
                 "\n2- and 3-bit within 0.2%% of single-stage; 0-bit "
                 "still ~20%% over Stripes.\n");
+    report.digest(rendered);
+    report.write();
     return 0;
 }

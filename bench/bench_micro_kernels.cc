@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dnn/activation_synth.h"
@@ -78,6 +81,66 @@ BM_BrickSchedule(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BrickSchedule)->DenseRange(0, 4);
+
+/**
+ * The batched row schedule kernel against the per-brick serial kernel
+ * on real AlexNet conv2 input bricks (27 x 27 x 96: six bricks per
+ * column), across the intermediate first-stage widths the cycle
+ * planes memoize. One row-kernel iteration schedules every brick of
+ * one tensor y-row; the serial twin walks the same row brick by
+ * brick. items_per_second is bricks scheduled per second for both.
+ */
+void
+BM_ScheduleCyclesRow(benchmark::State &state)
+{
+    int l = static_cast<int>(state.range(0));
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    auto tensor = synth.synthesizeFixed16Trimmed(1);
+    const int columns = tensor.sizeX();
+    const int channels = tensor.sizeI();
+    const int bricks = (channels + 15) / 16;
+    const size_t row_len = static_cast<size_t>(columns) * channels;
+    std::vector<uint8_t> out(static_cast<size_t>(columns) * bricks);
+    size_t y = 0;
+    for (auto _ : state) {
+        models::scheduleCyclesRow(
+            tensor.flat().subspan(y * row_len, row_len), columns,
+            channels, l, out);
+        benchmark::DoNotOptimize(out.data());
+        y = (y + 1) % tensor.sizeY();
+    }
+    state.SetItemsProcessed(state.iterations() * columns * bricks);
+}
+BENCHMARK(BM_ScheduleCyclesRow)->DenseRange(1, 3);
+
+void
+BM_ScheduleCyclesPerBrickSerial(benchmark::State &state)
+{
+    int l = static_cast<int>(state.range(0));
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    auto tensor = synth.synthesizeFixed16Trimmed(1);
+    const int columns = tensor.sizeX();
+    const int channels = tensor.sizeI();
+    const int bricks = (channels + 15) / 16;
+    size_t y = 0;
+    for (auto _ : state) {
+        for (int x = 0; x < columns; x++) {
+            for (int b = 0; b < bricks; b++) {
+                int lanes = std::min(16, channels - b * 16);
+                std::span<const uint16_t> brick(
+                    &tensor.at(x, static_cast<int>(y), b * 16),
+                    static_cast<size_t>(lanes));
+                benchmark::DoNotOptimize(
+                    models::brickScheduleCycles(brick, l));
+            }
+        }
+        y = (y + 1) % tensor.sizeY();
+    }
+    state.SetItemsProcessed(state.iterations() * columns * bricks);
+}
+BENCHMARK(BM_ScheduleCyclesPerBrickSerial)->DenseRange(1, 3);
 
 void
 BM_PipProcessBrick(benchmark::State &state)

@@ -17,6 +17,10 @@
  *   --threads=N       worker threads for sweep-based benches
  *   --inner-threads=N per-cell layer-splitting cap (0 = automatic)
  *   --cache=on|off    share synthesized workloads across the grid
+ *   --planes=on|off   serve L=1..3 schedule lengths from the memoized
+ *                     cycle planes (results identical either way)
+ *   --json=PATH       write wall-clock per phase + a digest of the
+ *                     rendered result as JSON (perf trajectory)
  *   --smoke           CI smoke mode: tiny network, tiny sampling cap
  *
  * Unknown flags fail loudly (a typo like --smke must not run the
@@ -24,14 +28,21 @@
  * extra_flags argument of parse(). Benches that cannot honor
  * --activations=propagated (they price synthetic streams directly
  * rather than through a WorkloadSource) leave supports_activations
- * false and reject the flag instead of silently ignoring it.
+ * false and reject the flag instead of silently ignoring it; the
+ * same contract applies to --json through supports_json (only
+ * benches that instrument their phases through BenchReport accept
+ * it).
  */
 
 #ifndef PRA_BENCH_COMMON_H
 #define PRA_BENCH_COMMON_H
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dnn/model_zoo.h"
@@ -39,10 +50,113 @@
 #include "sim/workload_cache.h"
 #include "util/args.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace pra {
 namespace bench {
+
+/**
+ * Per-phase wall-clock timing plus a digest of the rendered result,
+ * emitted as a small JSON file (--json=PATH) so CI can record the
+ * bench's perf trajectory alongside a fingerprint proving the output
+ * did not drift. With an empty path every call is a cheap no-op, so
+ * benches instrument unconditionally.
+ *
+ * Usage: construct, call phase("name") at each phase boundary,
+ * digest() on the final rendered text, then write() once at the end.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string bench, std::string path)
+        : bench_(std::move(bench)), path_(std::move(path)),
+          start_(Clock::now()), phaseStart_(start_)
+    {
+    }
+
+    /** Close the running phase (if any) and start @p name. */
+    void
+    phase(const std::string &name)
+    {
+        closePhase();
+        phaseName_ = name;
+        phaseStart_ = Clock::now();
+    }
+
+    /** Record the digest (util::fnv1a) of the rendered output. */
+    void
+    digest(std::string_view rendered)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "fnv1a64:%016llx",
+                      static_cast<unsigned long long>(
+                          util::fnv1a(rendered)));
+        digest_ = buf;
+    }
+
+    /** Close the last phase and write the JSON (no-op when no path). */
+    void
+    write()
+    {
+        closePhase();
+        if (path_.empty())
+            return;
+        std::ofstream out(path_);
+        if (!out)
+            util::fatal("cannot open '" + path_ + "'");
+        out << "{\n  \"bench\": \"" << bench_ << "\",\n";
+        out << "  \"digest\": \"" << digest_ << "\",\n";
+        out << "  \"phases\": [";
+        for (size_t i = 0; i < phases_.size(); i++) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.6f",
+                          phases_[i].seconds);
+            out << (i ? ", " : "") << "{\"name\": \""
+                << phases_[i].name << "\", \"seconds\": " << buf
+                << "}";
+        }
+        char total[64];
+        std::snprintf(total, sizeof total, "%.6f",
+                      seconds(start_, Clock::now()));
+        out << "],\n  \"total_seconds\": " << total << "\n}\n";
+        std::fprintf(stderr, "wrote bench report to %s\n",
+                     path_.c_str());
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Phase
+    {
+        std::string name;
+        double seconds = 0.0;
+    };
+
+    static double
+    seconds(Clock::time_point from, Clock::time_point to)
+    {
+        return std::chrono::duration<double>(to - from).count();
+    }
+
+    void
+    closePhase()
+    {
+        if (phaseName_.empty())
+            return;
+        phases_.push_back(
+            {phaseName_, seconds(phaseStart_, Clock::now())});
+        phaseName_.clear();
+    }
+
+    std::string bench_;
+    std::string path_;
+    std::string digest_;
+    Clock::time_point start_;
+    Clock::time_point phaseStart_;
+    std::string phaseName_;
+    std::vector<Phase> phases_;
+};
 
 /** Parsed common bench options. */
 struct BenchOptions
@@ -56,22 +170,30 @@ struct BenchOptions
     int innerThreads = 0;
     bool cache = true;
     bool smoke = false;
+    std::string jsonPath; ///< --json target; empty = no report file.
 
     static BenchOptions
     parse(int argc, const char *const *argv, int64_t default_units = 64,
           const std::vector<std::string> &extra_flags = {},
-          bool supports_activations = false)
+          bool supports_activations = false,
+          bool supports_json = false)
     {
         util::ArgParser args(argc, argv);
         std::vector<std::string> known = {
             "full", "units", "seed", "networks", "layers",
             "activations", "threads", "smoke", "inner-threads",
-            "cache"};
+            "cache", "planes"};
+        if (supports_json)
+            known.push_back("json");
         known.insert(known.end(), extra_flags.begin(),
                      extra_flags.end());
         args.checkUnknown(known);
         BenchOptions opt;
         opt.smoke = args.getBool("smoke");
+        opt.jsonPath = supports_json ? args.getString("json", "") : "";
+        // The cycle planes are an exact memoization; the switch only
+        // exists for A/B timing and equivalence checks.
+        sim::setCyclePlanesEnabled(args.getBool("planes", true));
         opt.activations = sim::parseActivationMode(
             args.getString("activations", "synthetic"));
         if (opt.activations == sim::ActivationMode::Propagated &&

@@ -7,16 +7,28 @@
  * brick's PIP schedule length and its effectual-term (set-bit) count.
  * When the workload's packed brick planes apply (brick size == the
  * machine's neuron lanes), the term count is a single plane lookup
- * and the schedule length short-circuits through the exact plane
- * identities:
+ * and the schedule length resolves from tables for *every*
+ * first-stage width:
  *
  *   cycles(L=0) == orPop   (distinct oneffset positions),
  *   cycles(L=4) == maxPop  (busiest lane), and
- *   orPop == maxPop  =>  cycles(L) == maxPop for every L
+ *   cycles(L=1..3)         from the workload's memoized cycle plane
+ *                          (exact brickScheduleCycles per brick,
+ *                          built once per (workload, L) by the
+ *                          batched scheduleCyclesRow kernel)
  *
- * (monotonicity of the schedule in L; asserted by the schedule test
- * suite). Only bricks where the bounds disagree run the cycle-by-
- * cycle schedule, on a zero-copy view of the input tensor.
+ * so brick() is a pure table lookup on the hot path. When the cycle
+ * planes are force-disabled (sim::setCyclePlanesEnabled) the
+ * intermediate widths fall back to the orPop == maxPop monotonicity
+ * short-circuit and, only where the bounds disagree, the cycle-by-
+ * cycle schedule on a zero-copy view of the input tensor — the
+ * identities and the monotonicity are asserted by the schedule test
+ * suite, and both paths are bit-identical by construction.
+ *
+ * BrickCostContext is the per-layer setup both engines previously
+ * duplicated: it builds the cost model (resolving plane eligibility
+ * and the memoized cycle plane once per layer) and materializes the
+ * pallet-independent synapse-set coordinates.
  */
 
 #ifndef PRA_MODELS_PRAGMATIC_BRICK_COST_H
@@ -24,6 +36,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "dnn/tensor.h"
 #include "models/pragmatic/schedule.h"
@@ -50,13 +63,19 @@ class BrickCostModel
      * @param planes  packed brick planes of @p input, or nullptr to
      *                resolve every brick from the tensor; only valid
      *                when the machine's neuronLanes == kBrickSize.
+     * @param cycles  the memoized schedule-cycle plane for
+     *                @p first_stage_bits (same indexing as
+     *                @p planes), or nullptr to fall back to the
+     *                bounds short-circuit + serial schedule; only
+     *                meaningful alongside @p planes for L in 1..3.
      * @param first_stage_bits  L, the PIP first-stage shifter width.
      */
     BrickCostModel(const sim::LayerTiling &tiling,
                    const dnn::NeuronTensor &input,
-                   const sim::BrickPlanes *planes, int first_stage_bits)
+                   const sim::BrickPlanes *planes,
+                   const uint8_t *cycles, int first_stage_bits)
         : tiling_(tiling), input_(input), planes_(planes),
-          bits_(first_stage_bits)
+          cycles_(cycles), bits_(first_stage_bits)
     {
     }
 
@@ -76,8 +95,11 @@ class BrickCostModel
             int max_pop = planes_->maxPop[idx];
             if (bits_ == 0)
                 cost.cycles = planes_->orPop[idx];
-            else if (bits_ >= kMaxFirstStageBits ||
-                     planes_->orPop[idx] == max_pop)
+            else if (bits_ >= kMaxFirstStageBits)
+                cost.cycles = max_pop;
+            else if (cycles_)
+                cost.cycles = cycles_[idx];
+            else if (planes_->orPop[idx] == max_pop)
                 cost.cycles = max_pop;
             else
                 cost.cycles = brickScheduleCycles(
@@ -96,7 +118,75 @@ class BrickCostModel
     const sim::LayerTiling &tiling_;
     const dnn::NeuronTensor &input_;
     const sim::BrickPlanes *planes_;
+    const uint8_t *cycles_;
     int bits_;
+};
+
+/**
+ * The per-layer setup shared by the pallet- and column-sync engines:
+ * resolves plane eligibility and the memoized cycle plane once,
+ * builds the BrickCostModel, and materializes the pallet-independent
+ * synapse-set coordinates (setCoord is pure index arithmetic, but
+ * both engines visit every set once per pallet — resolve them once
+ * per layer instead).
+ *
+ * @p workload may be nullptr (tensor path: every brick resolved from
+ * @p input); when given, its tensor must be @p input. The context
+ * must not outlive the tiling, input, or workload it was built from.
+ */
+class BrickCostContext
+{
+  public:
+    BrickCostContext(const sim::LayerTiling &tiling,
+                     const dnn::NeuronTensor &input,
+                     const sim::LayerWorkload *workload,
+                     int first_stage_bits)
+        : costs_(tiling, input, resolvePlanes(tiling, workload),
+                 resolveCycles(tiling, workload, first_stage_bits),
+                 first_stage_bits)
+    {
+        const int64_t num_sets = tiling.numSynapseSets();
+        setCoords_.reserve(static_cast<size_t>(num_sets));
+        for (int64_t s = 0; s < num_sets; s++)
+            setCoords_.push_back(tiling.setCoord(s));
+    }
+
+    const BrickCostModel &costs() const { return costs_; }
+
+    /** Coordinate of set s, for all s in [0, numSynapseSets). */
+    const std::vector<sim::SynapseSetCoord> &setCoords() const
+    {
+        return setCoords_;
+    }
+
+  private:
+    static const sim::BrickPlanes *
+    resolvePlanes(const sim::LayerTiling &tiling,
+                  const sim::LayerWorkload *workload)
+    {
+        // The packed planes summarize kBrickSize-channel bricks; a
+        // reshaped machine gathers narrower bricks straight from the
+        // tensor instead.
+        if (!workload ||
+            tiling.config().neuronLanes != dnn::kBrickSize)
+            return nullptr;
+        return &workload->brickPlanes();
+    }
+
+    static const uint8_t *
+    resolveCycles(const sim::LayerTiling &tiling,
+                  const sim::LayerWorkload *workload,
+                  int first_stage_bits)
+    {
+        if (!resolvePlanes(tiling, workload) || first_stage_bits < 1 ||
+            first_stage_bits >= kMaxFirstStageBits ||
+            !sim::cyclePlanesEnabled())
+            return nullptr;
+        return workload->cyclePlane(first_stage_bits).data();
+    }
+
+    BrickCostModel costs_;
+    std::vector<sim::SynapseSetCoord> setCoords_;
 };
 
 } // namespace models

@@ -56,7 +56,7 @@ class SsrPool
 sim::LayerResult
 simulateColumnSyncImpl(const dnn::LayerSpec &layer,
                        const dnn::NeuronTensor &input,
-                       const sim::BrickPlanes *planes,
+                       const sim::LayerWorkload *workload,
                        const sim::AccelConfig &accel,
                        const ColumnSyncConfig &config,
                        const sim::SampleSpec &sample)
@@ -68,12 +68,19 @@ simulateColumnSyncImpl(const dnn::LayerSpec &layer,
 
     const int columns = accel.windowsPerPallet;
     const int64_t num_sets = tiling.numSynapseSets();
-    BrickCostModel costs(tiling, input, planes, config.firstStageBits);
+    BrickCostContext ctx(tiling, input, workload,
+                         config.firstStageBits);
+    const BrickCostModel &costs = ctx.costs();
+    const std::vector<sim::SynapseSetCoord> &set_coords =
+        ctx.setCoords();
 
     // Per-column clocks: when the column finished its previous set.
     std::vector<int64_t> col_time(columns, 0);
     // Per-column schedule cost of the set being placed.
     std::vector<int> set_cost(columns, 0);
+    // Window coordinates of the current pallet's active columns.
+    std::vector<sim::WindowCoord> col_coords(
+        static_cast<size_t>(columns));
 
     SsrPool ssrs(config.ideal() ? 0 : config.ssrCount);
     int64_t last_read_done = 0;
@@ -88,6 +95,14 @@ simulateColumnSyncImpl(const dnn::LayerSpec &layer,
 
     for (size_t pi = 0; pi < plan.indices.size(); pi++) {
         int64_t pallet = plan.indices[pi];
+
+        // Window coordinates are set-independent; resolve the
+        // pallet's active columns once (the contiguous prefix — only
+        // the layer's last pallet is partial).
+        const int active = tiling.windowsInPallet(pallet);
+        for (int c = 0; c < active; c++)
+            col_coords[static_cast<size_t>(c)] =
+                tiling.windowCoord(tiling.windowIndex(pallet, c));
 
         int64_t neurons_ready = 0;
         if (config.modelNmStalls) {
@@ -112,13 +127,13 @@ simulateColumnSyncImpl(const dnn::LayerSpec &layer,
 
             // Resolve this set's schedule cost for every column.
             for (int c = 0; c < columns; c++) {
-                int64_t w = tiling.windowIndex(pallet, c);
-                if (w < 0) {
+                if (c >= active) {
                     set_cost[c] = 1; // Idle column tracks the stream.
                     continue;
                 }
                 BrickCostModel::Cost cost = costs.brick(
-                    tiling.windowCoord(w), tiling.setCoord(s));
+                    col_coords[static_cast<size_t>(c)],
+                    set_coords[static_cast<size_t>(s)]);
                 set_cost[c] = std::max(1, cost.cycles);
                 terms += cost.terms;
                 stall_reference += set_cost[c];
@@ -192,10 +207,7 @@ simulateLayerColumnSync(const dnn::LayerSpec &layer,
                         const ColumnSyncConfig &config,
                         const sim::SampleSpec &sample)
 {
-    const sim::BrickPlanes *planes =
-        accel.neuronLanes == dnn::kBrickSize ? &workload.brickPlanes()
-                                             : nullptr;
-    return simulateColumnSyncImpl(layer, workload.tensor(), planes,
+    return simulateColumnSyncImpl(layer, workload.tensor(), &workload,
                                   accel, config, sample);
 }
 

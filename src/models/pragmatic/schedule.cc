@@ -1,5 +1,6 @@
 #include "models/pragmatic/schedule.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.h"
@@ -63,6 +64,67 @@ brickScheduleCycles(std::span<const uint16_t> neurons,
     util::checkInvariant(cycles <= 16,
                          "brick schedule exceeded 16 cycles");
     return cycles;
+}
+
+void
+scheduleCyclesRow(std::span<const uint16_t> row, int columns,
+                  int channels, int first_stage_bits,
+                  std::span<uint8_t> out)
+{
+    util::checkInvariant(columns > 0 && channels > 0,
+                         "schedule row: empty row");
+    util::checkInvariant(first_stage_bits >= 0 &&
+                             first_stage_bits <= kMaxFirstStageBits,
+                         "schedule row: bad first-stage width");
+    util::checkInvariant(row.size() == static_cast<size_t>(columns) *
+                                           channels,
+                         "schedule row: row extent mismatch");
+    const int bricks = (channels + 15) / 16;
+    util::checkInvariant(out.size() == static_cast<size_t>(columns) *
+                                           bricks,
+                         "schedule row: output extent mismatch");
+
+    // Bits reachable above the second-stage minimum: positions
+    // [min, min + 2^L) — as a mask, kReach ones shifted up by min.
+    const uint32_t reach_ones = (1u << (1 << first_stage_bits)) - 1;
+    size_t pos = 0;
+    for (int column = 0; column < columns; column++) {
+        const uint16_t *lane = row.data() +
+                               static_cast<size_t>(column) * channels;
+        for (int base = 0; base < channels; base += 16) {
+            const int lanes = std::min(16, channels - base);
+            // Fixed 16-lane working set; missing lanes stay zero and
+            // never fire, matching the zero padding of gatherBrick().
+            uint16_t pending[16] = {};
+            uint32_t any = 0;
+            for (int i = 0; i < lanes; i++) {
+                pending[i] = lane[base + i];
+                any |= pending[i];
+            }
+            int cycles = 0;
+            while (any != 0) {
+                // The second stage drives the global minimum offset;
+                // a lane consumes its lowest pending oneffset iff it
+                // lies inside the first-stage window. w & -w isolates
+                // that bit and the masked subtract clears it only
+                // when in reach — no per-lane branch.
+                const uint32_t window = reach_ones
+                                        << std::countr_zero(any);
+                cycles++;
+                any = 0;
+                for (int i = 0; i < 16; i++) {
+                    uint32_t w = pending[i];
+                    uint32_t fire = (w & (0u - w)) & window;
+                    w -= fire;
+                    pending[i] = static_cast<uint16_t>(w);
+                    any |= w;
+                }
+            }
+            util::checkInvariant(cycles <= 16,
+                                 "schedule row exceeded 16 cycles");
+            out[pos++] = static_cast<uint8_t>(cycles);
+        }
+    }
 }
 
 ScheduleTrace

@@ -47,6 +47,28 @@ inline constexpr int kMaxFirstStageBits = 4;
 int brickScheduleCycles(std::span<const uint16_t> neurons,
                         int first_stage_bits);
 
+/**
+ * Batched schedule kernel: cycles for every brick of one channel-major
+ * row of neurons in a single call.
+ *
+ * @p row is @p columns consecutive (x) positions of @p channels
+ * contiguous channel values each — exactly one y-row of a
+ * NeuronTensor — and each position carves into ceil(channels / 16)
+ * bricks (the last one partial when channels is not a multiple of 16;
+ * missing lanes count as zero, as gathers pad them). @p out receives
+ * columns * ceil(channels / 16) cycle counts in (x, brick) order.
+ *
+ * Exactly equivalent to brickScheduleCycles() per brick — the drain
+ * loop is the same policy expressed branchlessly over a fixed 16-lane
+ * array (a lane fires iff its lowest pending oneffset falls inside
+ * the reach window above the global minimum) — but without the
+ * per-brick span setup, so plane builders can walk a whole tensor at
+ * memory speed. Property-tested against the serial kernel.
+ */
+void scheduleCyclesRow(std::span<const uint16_t> row, int columns,
+                       int channels, int first_stage_bits,
+                       std::span<uint8_t> out);
+
 /** One cycle of a schedule trace (for validation and visualization). */
 struct ScheduleCycle
 {

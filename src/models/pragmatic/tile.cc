@@ -28,7 +28,7 @@ struct PalletPartial
 sim::LayerResult
 simulateImpl(const dnn::LayerSpec &layer,
              const dnn::NeuronTensor &input,
-             const sim::BrickPlanes *planes,
+             const sim::LayerWorkload *workload,
              const sim::AccelConfig &accel,
              const PragmaticTileConfig &tile,
              const sim::SampleSpec &sample,
@@ -40,13 +40,11 @@ simulateImpl(const dnn::LayerSpec &layer,
                          "pallet sync: layer has no pallets");
 
     const int64_t num_sets = tiling.numSynapseSets();
-    BrickCostModel costs(tiling, input, planes, tile.firstStageBits);
-
-    // Set coordinates are pallet-independent; resolve them once.
-    std::vector<sim::SynapseSetCoord> set_coords;
-    set_coords.reserve(static_cast<size_t>(num_sets));
-    for (int64_t s = 0; s < num_sets; s++)
-        set_coords.push_back(tiling.setCoord(s));
+    BrickCostContext ctx(tiling, input, workload,
+                         tile.firstStageBits);
+    const BrickCostModel &costs = ctx.costs();
+    const std::vector<sim::SynapseSetCoord> &set_coords =
+        ctx.setCoords();
 
     const int64_t num_units = static_cast<int64_t>(plan.indices.size());
     const int blocks = exec.blockCount(num_units);
@@ -61,20 +59,26 @@ simulateImpl(const dnn::LayerSpec &layer,
                                                         blocks, block);
         PalletPartial acc;
         sim::NmOverlapTracker nm;
+        std::vector<sim::WindowCoord> col_coords(
+            static_cast<size_t>(accel.windowsPerPallet));
         for (int64_t pi = lo; pi < hi; pi++) {
             int64_t pallet = plan.indices[static_cast<size_t>(pi)];
+            // Window coordinates are set-independent; resolve the
+            // pallet's active columns once (they are the contiguous
+            // prefix — only the layer's last pallet is partial).
+            const int active = tiling.windowsInPallet(pallet);
+            for (int c = 0; c < active; c++)
+                col_coords[static_cast<size_t>(c)] = tiling.windowCoord(
+                    tiling.windowIndex(pallet, c));
             // Fetch of step (p, s+1) overlaps processing of (p, s);
             // the previous step's processing time hides the current
             // fetch.
             int64_t prev_process = 0;
             for (int64_t s = 0; s < num_sets; s++) {
                 int max_cycles = 0;
-                for (int c = 0; c < accel.windowsPerPallet; c++) {
-                    int64_t w = tiling.windowIndex(pallet, c);
-                    if (w < 0)
-                        continue;
+                for (int c = 0; c < active; c++) {
                     BrickCostModel::Cost cost = costs.brick(
-                        tiling.windowCoord(w),
+                        col_coords[static_cast<size_t>(c)],
                         set_coords[static_cast<size_t>(s)]);
                     max_cycles = std::max(max_cycles, cost.cycles);
                     acc.terms += cost.terms;
@@ -142,11 +146,8 @@ simulateLayerPalletSync(const dnn::LayerSpec &layer,
                         const sim::SampleSpec &sample,
                         const util::InnerExecutor &exec)
 {
-    const sim::BrickPlanes *planes =
-        accel.neuronLanes == dnn::kBrickSize ? &workload.brickPlanes()
-                                             : nullptr;
-    return simulateImpl(layer, workload.tensor(), planes, accel, tile,
-                        sample, exec);
+    return simulateImpl(layer, workload.tensor(), &workload, accel,
+                        tile, sample, exec);
 }
 
 } // namespace models

@@ -1,8 +1,13 @@
 #include "sim/workload_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
+// The cycle planes memoize the Pragmatic brick schedule, so this one
+// sim/ file reaches up into models/pragmatic for the batched kernel;
+// everything builds into the single pra_core library.
+#include "models/pragmatic/schedule.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -70,6 +75,8 @@ buildBrickPlanes(const dnn::NeuronTensor &tensor)
     return planes;
 }
 
+std::atomic<bool> g_cyclePlanesEnabled{true};
+
 /**
  * Fold (stream, mode) into the int slot of LayerKey: synthetic and
  * propagated views of the same layer must never alias.
@@ -82,6 +89,18 @@ streamModeTag(InputStream stream, ActivationMode mode)
 }
 
 } // namespace
+
+void
+setCyclePlanesEnabled(bool enabled)
+{
+    g_cyclePlanesEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+cyclePlanesEnabled()
+{
+    return g_cyclePlanesEnabled.load(std::memory_order_relaxed);
+}
 
 const char *
 activationModeName(ActivationMode mode)
@@ -152,6 +171,38 @@ LayerWorkload::brickPlanes() const
     std::call_once(planesOnce_,
                    [this] { planes_ = buildBrickPlanes(tensor_); });
     return planes_;
+}
+
+std::span<const uint8_t>
+LayerWorkload::cyclePlane(int first_stage_bits) const
+{
+    util::checkInvariant(first_stage_bits >= 1 && first_stage_bits <= 3,
+                         "cyclePlane: only intermediate widths are "
+                         "memoized (L=0/4 live in the brick planes)");
+    util::checkInvariant(!tensor_.empty(),
+                         "cyclePlane: empty workload has no planes");
+    const int slot = first_stage_bits - 1;
+    std::call_once(cyclesOnce_[slot], [this, first_stage_bits, slot] {
+        const int channels = tensor_.sizeI();
+        const int columns = tensor_.sizeX();
+        const int bricks = (channels + dnn::kBrickSize - 1) /
+                           dnn::kBrickSize;
+        std::vector<uint8_t> plane(static_cast<size_t>(columns) *
+                                   tensor_.sizeY() * bricks);
+        // One batched kernel call per y-row: the tensor's
+        // channel-major layout keeps a row's lanes contiguous, so the
+        // kernel walks it with no per-brick gather.
+        const size_t row_len = static_cast<size_t>(columns) * channels;
+        const size_t out_len = static_cast<size_t>(columns) * bricks;
+        for (int y = 0; y < tensor_.sizeY(); y++)
+            models::scheduleCyclesRow(
+                tensor_.flat().subspan(y * row_len, row_len), columns,
+                channels, first_stage_bits,
+                std::span<uint8_t>(plane.data() + y * out_len,
+                                   out_len));
+        cycles_[slot] = std::move(plane);
+    });
+    return cycles_[slot];
 }
 
 std::shared_ptr<const dnn::ActivationSynthesizer>

@@ -38,6 +38,18 @@
  * suite — engines can serve L=0/L=4 from the planes outright and skip
  * the cycle-by-cycle schedule for any L whenever orPop == maxPop,
  * without changing a single result bit.
+ *
+ * For the intermediate widths (L in 1..3, which include the paper's
+ * headline 2-stage design) a workload additionally memoizes
+ * *schedule-cycle planes*: one lazily built, thread-safe plane per L
+ * holding the exact brickScheduleCycles() of every brick, computed
+ * row-at-a-time by the batched kernel
+ * (models::scheduleCyclesRow). A brick's schedule length depends only
+ * on its input position and L — not on which window visits it — so
+ * one plane serves every overlapping window (Fx x Fy revisits), both
+ * Pragmatic engines, and every sweep cell sharing the workload. The
+ * planes are an exact memoization, not an approximation: results are
+ * bit-identical with them on or off (setCyclePlanesEnabled).
  */
 
 #ifndef PRA_SIM_WORKLOAD_CACHE_H
@@ -48,6 +60,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -85,6 +98,17 @@ enum class InputStream { None, Fixed16Raw, Fixed16Trimmed, Quant8 };
  * to the propagated codes.
  */
 enum class ActivationMode { Synthetic, Propagated };
+
+/**
+ * Globally enable/disable serving intermediate-L schedule lengths
+ * from the memoized cycle planes (default: enabled). The planes are
+ * an exact memoization, so this changes wall-clock only, never a
+ * result bit — the switch exists for equivalence tests and A/B
+ * timing (--planes=off). Not synchronized with in-flight
+ * simulations: flip it only between runs.
+ */
+void setCyclePlanesEnabled(bool enabled);
+bool cyclePlanesEnabled();
 
 /** Mode name as accepted by --activations ("synthetic"/"propagated"). */
 const char *activationModeName(ActivationMode mode);
@@ -155,10 +179,26 @@ class LayerWorkload
      */
     const BrickPlanes &brickPlanes() const;
 
+    /**
+     * The schedule-cycle plane for first-stage width
+     * @p first_stage_bits, built on first use (thread-safe). Entry
+     * BrickPlanes::index(x, y, brick) is the exact
+     * models::brickScheduleCycles() of that brick — the memoized
+     * answer BrickCostModel serves instead of rerunning the serial
+     * schedule per (window, synapse-set) visit. Only the widths the
+     * packed planes cannot already answer are valid here: 1 <=
+     * first_stage_bits <= 3 (L=0 is orPop, L=4 is maxPop). Must not
+     * be called on an empty (no-input) workload.
+     */
+    std::span<const uint8_t> cyclePlane(int first_stage_bits) const;
+
   private:
     dnn::NeuronTensor tensor_;
     mutable std::once_flag planesOnce_;
     mutable BrickPlanes planes_;
+    /** Slot l holds the plane for first_stage_bits == l + 1. */
+    mutable std::once_flag cyclesOnce_[3];
+    mutable std::vector<uint8_t> cycles_[3];
 };
 
 /**

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "models/pragmatic/schedule.h"
 #include "util/random.h"
@@ -199,6 +202,81 @@ TEST(Schedule, FirstStageShiftsWithinReach)
             }
         }
     }
+}
+
+TEST(ScheduleRow, MatchesSerialKernelOnRandomRows)
+{
+    // The batched row kernel is the serial kernel expressed
+    // branchlessly: every brick of every random row must agree for
+    // every first-stage width, including partial last bricks
+    // (channels not a multiple of 16) and single-channel columns.
+    util::Xoshiro256 rng(0x8888);
+    for (int trial = 0; trial < 200; trial++) {
+        int columns = 1 + static_cast<int>(rng.nextBounded(7));
+        int channels = 1 + static_cast<int>(rng.nextBounded(40));
+        int bricks = (channels + 15) / 16;
+        std::vector<uint16_t> row(
+            static_cast<size_t>(columns) * channels);
+        for (auto &n : row) {
+            // Mix dense and sparse columns so orPop == maxPop bricks
+            // and genuinely divergent bricks both occur.
+            n = rng.nextBool(0.3)
+                    ? 0
+                    : static_cast<uint16_t>(rng.nextBounded(65536));
+        }
+        for (int l = 0; l <= 4; l++) {
+            std::vector<uint8_t> out(
+                static_cast<size_t>(columns) * bricks, 0xcc);
+            scheduleCyclesRow(row, columns, channels, l, out);
+            for (int x = 0; x < columns; x++) {
+                for (int b = 0; b < bricks; b++) {
+                    int lanes = std::min(16, channels - b * 16);
+                    std::span<const uint16_t> brick(
+                        row.data() +
+                            static_cast<size_t>(x) * channels +
+                            b * 16,
+                        static_cast<size_t>(lanes));
+                    EXPECT_EQ(out[static_cast<size_t>(x) * bricks + b],
+                              brickScheduleCycles(brick, l))
+                        << "columns=" << columns
+                        << " channels=" << channels << " x=" << x
+                        << " brick=" << b << " l=" << l;
+                }
+            }
+        }
+    }
+}
+
+TEST(ScheduleRow, ZeroAndWorstCaseRows)
+{
+    std::vector<uint16_t> zeros(3 * 20, 0);
+    std::vector<uint8_t> out(3 * 2, 0xcc);
+    scheduleCyclesRow(zeros, 3, 20, 2, out);
+    for (uint8_t cycles : out)
+        EXPECT_EQ(cycles, 0);
+
+    std::vector<uint16_t> ones(2 * 16, 0xffff);
+    std::vector<uint8_t> worst(2, 0);
+    for (int l = 0; l <= 4; l++) {
+        scheduleCyclesRow(ones, 2, 16, l, worst);
+        EXPECT_EQ(worst[0], 16) << l;
+        EXPECT_EQ(worst[1], 16) << l;
+    }
+}
+
+TEST(ScheduleRow, RejectsBadArguments)
+{
+    std::vector<uint16_t> row(32, 1);
+    std::vector<uint8_t> out(2);
+    EXPECT_DEATH(scheduleCyclesRow(row, 2, 16, 5, out),
+                 "first-stage");
+    EXPECT_DEATH(scheduleCyclesRow(row, 0, 16, 2, out), "empty row");
+    // Row or output extents that disagree with columns x channels.
+    EXPECT_DEATH(scheduleCyclesRow(row, 3, 16, 2, out),
+                 "row extent");
+    std::vector<uint8_t> short_out(1);
+    EXPECT_DEATH(scheduleCyclesRow(row, 2, 16, 2, short_out),
+                 "output extent");
 }
 
 TEST(Schedule, RejectsBadArguments)

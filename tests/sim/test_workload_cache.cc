@@ -18,6 +18,7 @@
 #include "models/engines.h"
 #include "models/pragmatic/schedule.h"
 #include "sim/workload_cache.h"
+#include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace pra {
@@ -106,6 +107,115 @@ TEST(BrickPlanes, ScheduleIdentitiesHold)
             }
         }
     }
+}
+
+TEST(BrickPlanes, CyclePlanesMatchSerialScheduleEverywhere)
+{
+    // The memoized cycle planes must hold the exact serial schedule
+    // length of every brick for every first-stage width they serve
+    // (L in 1..3), and the packed planes already pin L=0 (orPop) and
+    // L=4 (maxPop). Real streams of both shapes: AlexNet conv3's
+    // 256-channel multiple-of-16 bricks and Tiny's 8-channel partial
+    // bricks.
+    for (bool partial : {false, true}) {
+        auto net = partial ? dnn::makeTinyNetwork()
+                           : dnn::makeAlexNet();
+        dnn::ActivationSynthesizer synth(net);
+        LayerWorkload workload(
+            synth.synthesizeFixed16(partial ? 0 : 2));
+        const dnn::NeuronTensor &tensor = workload.tensor();
+        const BrickPlanes &planes = workload.brickPlanes();
+        int step = partial ? 1 : 5; // Sample the big stream.
+        for (int l = 1; l <= 3; l++) {
+            std::span<const uint8_t> plane = workload.cyclePlane(l);
+            ASSERT_EQ(plane.size(), planes.pop.size());
+            for (int y = 0; y < tensor.sizeY(); y += step) {
+                for (int x = 0; x < tensor.sizeX(); x += step) {
+                    for (int b = 0; b < planes.bricksPerColumn; b++) {
+                        int lanes =
+                            std::min(dnn::kBrickSize,
+                                     tensor.sizeI() -
+                                         b * dnn::kBrickSize);
+                        std::span<const uint16_t> brick(
+                            &tensor.at(x, y, b * dnn::kBrickSize),
+                            static_cast<size_t>(lanes));
+                        EXPECT_EQ(
+                            plane[planes.index(x, y, b)],
+                            models::brickScheduleCycles(brick, l))
+                            << "x=" << x << " y=" << y << " b=" << b
+                            << " l=" << l;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(BrickPlanes, CyclePlanesOnRandomBricks)
+{
+    // Property test on synthetic random tensors: partial last brick
+    // (channels == 24), all-zero columns, dense columns. Every L in
+    // 0..4 resolves exactly — 0/4 through the packed-plane
+    // identities, 1..3 through the memoized plane.
+    util::Xoshiro256 rng(0x9a9a);
+    dnn::NeuronTensor tensor(5, 4, 24);
+    for (auto &v : tensor.flat())
+        v = rng.nextBool(0.4)
+                ? 0
+                : static_cast<uint16_t>(rng.nextBounded(65536));
+    LayerWorkload workload{dnn::NeuronTensor(tensor)};
+    const BrickPlanes &planes = workload.brickPlanes();
+    for (int y = 0; y < tensor.sizeY(); y++) {
+        for (int x = 0; x < tensor.sizeX(); x++) {
+            for (int b = 0; b < planes.bricksPerColumn; b++) {
+                int lanes = std::min(dnn::kBrickSize,
+                                     tensor.sizeI() -
+                                         b * dnn::kBrickSize);
+                std::span<const uint16_t> brick(
+                    &tensor.at(x, y, b * dnn::kBrickSize),
+                    static_cast<size_t>(lanes));
+                size_t idx = planes.index(x, y, b);
+                for (int l = 0; l <= 4; l++) {
+                    int expected =
+                        models::brickScheduleCycles(brick, l);
+                    int got;
+                    if (l == 0)
+                        got = planes.orPop[idx];
+                    else if (l == 4)
+                        got = planes.maxPop[idx];
+                    else
+                        got = workload.cyclePlane(l)[idx];
+                    EXPECT_EQ(got, expected)
+                        << "x=" << x << " y=" << y << " b=" << b
+                        << " l=" << l;
+                }
+            }
+        }
+    }
+}
+
+TEST(BrickPlanesDeathTest, CyclePlaneRejectsNonMemoizedWidths)
+{
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    LayerWorkload workload(synth.synthesizeFixed16(0));
+    // L=0 and L=4 live in the packed planes, not the cycle planes.
+    EXPECT_DEATH(workload.cyclePlane(0), "intermediate");
+    EXPECT_DEATH(workload.cyclePlane(4), "intermediate");
+    LayerWorkload empty{dnn::NeuronTensor()};
+    EXPECT_DEATH(empty.cyclePlane(2), "empty workload");
+}
+
+TEST(WorkloadCache, CyclePlanesToggleRoundTrips)
+{
+    // The global switch only routes the lookup; it must read back
+    // and leave results unchanged (the sweep suite asserts CSV
+    // byte-identity; here just the toggle mechanics).
+    ASSERT_TRUE(cyclePlanesEnabled()); // Default: on.
+    setCyclePlanesEnabled(false);
+    EXPECT_FALSE(cyclePlanesEnabled());
+    setCyclePlanesEnabled(true);
+    EXPECT_TRUE(cyclePlanesEnabled());
 }
 
 TEST(WorkloadCache, SharesOneWorkloadPerKey)

@@ -5,7 +5,8 @@
  *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
  *             [--layers conv|fc|all] [--activations synthetic|propagated]
  *             [--threads N] [--inner-threads N]
- *             [--cache on|off] [--units N | --full] [--seed S]
+ *             [--cache on|off] [--planes on|off]
+ *             [--units N | --full] [--seed S]
  *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
  *
  * An engine spec is "kind[:key=value]*", e.g. "pragmatic:bits=2" or
@@ -32,6 +33,12 @@
  * "--cache off" rebuilds every cell's workload from scratch instead
  * of sharing one synthesis per (network, stream, seed) — only useful
  * to bound the cache's memory or to verify equivalence.
+ * "--planes off" stops serving intermediate-L (1..3) schedule
+ * lengths from the memoized per-workload cycle planes and falls back
+ * to the bounds short-circuit plus the serial per-brick schedule;
+ * the planes are an exact memoization, so output is byte-identical
+ * either way (a sweep test and CI assert this) — the switch exists
+ * for A/B timing and equivalence checks.
  * "--inner-threads N" caps the pallet-block subtasks a cell may fan
  * out (0 = automatic: split only when the grid has fewer cells than
  * threads). Output is bit-identical for any --threads or
@@ -150,9 +157,10 @@ main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
     args.checkUnknown({"networks", "engines", "layers", "activations",
-                       "threads", "inner-threads", "cache", "units",
-                       "full", "seed", "csv", "per-layer", "smoke",
-                       "list-engines"});
+                       "threads", "inner-threads", "cache", "planes",
+                       "units", "full", "seed", "csv", "per-layer",
+                       "smoke", "list-engines"});
+    sim::setCyclePlanesEnabled(args.getBool("planes", true));
 
     if (args.getBool("list-engines")) {
         const auto &registry = models::builtinEngines();
