@@ -28,7 +28,7 @@ main(int argc, char **argv)
 {
     auto opt = bench::BenchOptions::parse(
         argc, argv, 48, {}, /*supports_activations=*/true,
-        /*supports_json=*/true);
+        /*supports_json=*/true, /*supports_memory=*/true);
     bench::BenchReport report("fig10_column_sync", opt.jsonPath);
     bench::banner("Per-column synchronization vs SSR count (PRA-2b)",
                   "Figure 10");
@@ -51,6 +51,7 @@ main(int argc, char **argv)
     sweep.sample = opt.sample;
     sweep.seed = opt.seed;
     sweep.activations = opt.activations;
+    sweep.accel.memory = opt.memory;
     auto results = sim::runSweep(opt.networks, engines,
                                  models::builtinEngines(), sweep);
 

@@ -30,7 +30,8 @@ int
 main(int argc, char **argv)
 {
     auto opt = bench::BenchOptions::parse(
-        argc, argv, 48, {}, /*supports_activations=*/true);
+        argc, argv, 48, {}, /*supports_activations=*/true,
+        /*supports_json=*/false, /*supports_memory=*/true);
     bench::banner("Performance, 8-bit quantized representation",
                   "Figure 12");
 
@@ -55,6 +56,7 @@ main(int argc, char **argv)
     sweep.sample = opt.sample;
     sweep.seed = opt.seed;
     sweep.activations = opt.activations;
+    sweep.accel.memory = opt.memory;
     auto results = sim::runSweep(opt.networks, engines,
                                  models::builtinEngines(), sweep);
 

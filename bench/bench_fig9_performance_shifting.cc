@@ -25,7 +25,7 @@ main(int argc, char **argv)
 {
     auto opt = bench::BenchOptions::parse(
         argc, argv, 48, {}, /*supports_activations=*/true,
-        /*supports_json=*/true);
+        /*supports_json=*/true, /*supports_memory=*/true);
     bench::BenchReport report("fig9_performance_shifting",
                               opt.jsonPath);
     bench::banner(
@@ -47,6 +47,7 @@ main(int argc, char **argv)
     sweep.sample = opt.sample;
     sweep.seed = opt.seed;
     sweep.activations = opt.activations;
+    sweep.accel.memory = opt.memory;
     auto results = sim::runSweep(opt.networks, engines,
                                  models::builtinEngines(), sweep);
 

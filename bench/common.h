@@ -19,6 +19,10 @@
  *   --cache=on|off    share synthesized workloads across the grid
  *   --planes=on|off   serve L=1..3 schedule lengths from the memoized
  *                     cycle planes (results identical either way)
+ *   --memory=PRESET   memory-hierarchy preset (off | ideal | dadn |
+ *                     edge | hbm); only the sweep-path benches
+ *                     compose memory stalls into their results —
+ *                     everywhere else a non-off preset is rejected
  *   --json=PATH       write wall-clock per phase + a digest of the
  *                     rendered result as JSON (perf trajectory)
  *   --smoke           CI smoke mode: tiny network, tiny sampling cap
@@ -46,6 +50,7 @@
 #include <vector>
 
 #include "dnn/model_zoo.h"
+#include "sim/memory/memory_config.h"
 #include "sim/sampling.h"
 #include "sim/workload_cache.h"
 #include "util/args.h"
@@ -166,6 +171,7 @@ struct BenchOptions
     std::vector<dnn::Network> networks;
     dnn::LayerSelect select = dnn::LayerSelect::Conv;
     sim::ActivationMode activations = sim::ActivationMode::Synthetic;
+    sim::MemoryConfig memory; ///< --memory preset (default: off).
     int threads = 1;
     int innerThreads = 0;
     bool cache = true;
@@ -176,13 +182,13 @@ struct BenchOptions
     parse(int argc, const char *const *argv, int64_t default_units = 64,
           const std::vector<std::string> &extra_flags = {},
           bool supports_activations = false,
-          bool supports_json = false)
+          bool supports_json = false, bool supports_memory = false)
     {
         util::ArgParser args(argc, argv);
         std::vector<std::string> known = {
             "full", "units", "seed", "networks", "layers",
-            "activations", "threads", "smoke", "inner-threads",
-            "cache", "planes"};
+            "activations", "memory", "threads", "smoke",
+            "inner-threads", "cache", "planes"};
         if (supports_json)
             known.push_back("json");
         known.insert(known.end(), extra_flags.begin(),
@@ -196,6 +202,13 @@ struct BenchOptions
         sim::setCyclePlanesEnabled(args.getBool("planes", true));
         opt.activations = sim::parseActivationMode(
             args.getString("activations", "synthetic"));
+        opt.memory =
+            sim::parseMemoryPreset(args.getString("memory", "off"));
+        if (opt.memory.enabled && !supports_memory)
+            util::fatal("this bench reports compute-only results; "
+                        "--memory is supported by the sweep-path "
+                        "benches (fig9, fig10, fig11, fig12) and "
+                        "pra_sweep");
         if (opt.activations == sim::ActivationMode::Propagated &&
             !supports_activations)
             util::fatal("this bench prices synthetic streams only; "

@@ -1,0 +1,49 @@
+#include "energy/memory_energy.h"
+
+#include "util/logging.h"
+
+namespace pra {
+namespace energy {
+
+MemoryEnergy
+memoryAccessEnergy(double on_chip_bytes, double off_chip_bytes,
+                   const MemoryAccessCosts &costs)
+{
+    util::checkInvariant(on_chip_bytes >= 0.0 && off_chip_bytes >= 0.0,
+                         "memoryAccessEnergy: negative byte count");
+    MemoryEnergy e;
+    e.globalBufferPJ = on_chip_bytes * costs.gbPerByte;
+    // Each on-chip byte is written into and later read out of a
+    // scratchpad half (double buffering moves it exactly twice).
+    e.scratchpadPJ = on_chip_bytes * 2.0 * costs.spadPerByte;
+    e.dramPJ = off_chip_bytes * costs.dramPerByte;
+    return e;
+}
+
+MemoryEnergy
+layerMemoryEnergy(const sim::LayerResult &result,
+                  const MemoryAccessCosts &costs)
+{
+    util::checkInvariant(result.memoryModeled,
+                         "layerMemoryEnergy: result has no memory "
+                         "columns (run with --memory enabled)");
+    return memoryAccessEnergy(result.onChipBytes, result.offChipBytes,
+                              costs);
+}
+
+MemoryEnergy
+networkMemoryEnergy(const sim::NetworkResult &result,
+                    const MemoryAccessCosts &costs)
+{
+    MemoryEnergy total;
+    for (const auto &layer : result.layers) {
+        MemoryEnergy e = layerMemoryEnergy(layer, costs);
+        total.globalBufferPJ += e.globalBufferPJ;
+        total.scratchpadPJ += e.scratchpadPJ;
+        total.dramPJ += e.dramPJ;
+    }
+    return total;
+}
+
+} // namespace energy
+} // namespace pra

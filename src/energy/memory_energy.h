@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-access memory energy, fed by the memory model's byte counts.
+ *
+ * The area/power model (energy/area_power.h) anchors *compute* power
+ * to the paper's published totals; this module adds the data-movement
+ * side the paper never priced: every byte the memory model counts
+ * (sim/memory/memory_model.h) costs a per-byte energy at its level
+ * of the hierarchy. The default costs are 65 nm-class literature
+ * values (scratchpad SRAM ~0.1 pJ/byte-class, eDRAM global buffer
+ * ~1 pJ/byte-class, off-chip DRAM tens of pJ/byte) — calibration
+ * choices documented in docs/ARCHITECTURE.md, not synthesis results.
+ *
+ * Sign of health: off-chip bytes dominate layer energy whenever a
+ * layer spills the global buffer (the FC tails), which is exactly
+ * the effect the ROADMAP's memory item asked the repo to expose.
+ */
+
+#ifndef PRA_ENERGY_MEMORY_ENERGY_H
+#define PRA_ENERGY_MEMORY_ENERGY_H
+
+#include "sim/layer_result.h"
+
+namespace pra {
+namespace energy {
+
+/** Per-byte access energies in pJ (65 nm-class defaults). */
+struct MemoryAccessCosts
+{
+    /** Global buffer (NM-class eDRAM/SRAM), per byte moved. */
+    double gbPerByte = 1.2;
+    /**
+     * Scratchpad (NBin/SB-class SRAM), per byte moved. Every
+     * global-buffer byte is also written into and read out of a
+     * scratchpad, so this is charged twice per on-chip byte.
+     */
+    double spadPerByte = 0.12;
+    /** Off-chip DRAM channel, per byte moved. */
+    double dramPerByte = 20.0;
+};
+
+/** Energy breakdown of one layer's (or network's) data movement. */
+struct MemoryEnergy
+{
+    double globalBufferPJ = 0.0;
+    double scratchpadPJ = 0.0;
+    double dramPJ = 0.0;
+
+    double totalPJ() const
+    {
+        return globalBufferPJ + scratchpadPJ + dramPJ;
+    }
+};
+
+/**
+ * Energy of moving @p on_chip_bytes through the global buffer and
+ * scratchpads plus @p off_chip_bytes across the DRAM channel.
+ */
+MemoryEnergy memoryAccessEnergy(double on_chip_bytes,
+                                double off_chip_bytes,
+                                const MemoryAccessCosts &costs = {});
+
+/**
+ * Energy of one finished layer result; the result must carry live
+ * memory columns (LayerResult::memoryModeled — panic otherwise).
+ */
+MemoryEnergy layerMemoryEnergy(const sim::LayerResult &result,
+                               const MemoryAccessCosts &costs = {});
+
+/** Sum of layerMemoryEnergy over a network result's layers. */
+MemoryEnergy networkMemoryEnergy(const sim::NetworkResult &result,
+                                 const MemoryAccessCosts &costs = {});
+
+} // namespace energy
+} // namespace pra
+
+#endif // PRA_ENERGY_MEMORY_ENERGY_H

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "sim/memory/memory_config.h"
+
 namespace pra {
 namespace sim {
 
@@ -33,6 +35,16 @@ struct AccelConfig
      */
     int nmRowNeurons = 256;
 
+    /**
+     * Memory-hierarchy design point (global buffer, double-buffered
+     * scratchpads, DRAM channel — sim/memory/memory_config.h).
+     * Disabled by default: results are compute-only and every
+     * committed golden is byte-identical. When enabled, the sweep
+     * driver composes each engine's compute cycles with the traffic
+     * and stall model of sim/memory/memory_model.h.
+     */
+    MemoryConfig memory;
+
     /** Filters processed concurrently by the whole chip. */
     int filtersPerPass() const { return tiles * filtersPerTile; }
 
@@ -47,7 +59,8 @@ struct AccelConfig
     valid() const
     {
         return tiles > 0 && filtersPerTile > 0 && neuronLanes > 0 &&
-               windowsPerPallet > 0 && nmRowNeurons >= neuronLanes;
+               windowsPerPallet > 0 && nmRowNeurons >= neuronLanes &&
+               memory.valid();
     }
 };
 

@@ -26,10 +26,55 @@ NetworkResult::totalStalls() const
 }
 
 double
+NetworkResult::totalSystemCycles() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.systemCycles();
+    return total;
+}
+
+double
+NetworkResult::totalOnChipBytes() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.onChipBytes;
+    return total;
+}
+
+double
+NetworkResult::totalOffChipBytes() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.offChipBytes;
+    return total;
+}
+
+double
+NetworkResult::totalMemStalls() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.memStallCycles;
+    return total;
+}
+
+bool
+NetworkResult::memoryModeled() const
+{
+    for (const auto &layer : layers)
+        if (layer.memoryModeled)
+            return true;
+    return false;
+}
+
+double
 NetworkResult::speedupOver(const NetworkResult &baseline) const
 {
-    double mine = totalCycles();
-    double theirs = baseline.totalCycles();
+    double mine = totalSystemCycles();
+    double theirs = baseline.totalSystemCycles();
     util::checkInvariant(mine > 0.0 && theirs > 0.0,
                          "speedupOver: zero cycle counts");
     return theirs / mine;

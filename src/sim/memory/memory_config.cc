@@ -1,0 +1,109 @@
+#include "sim/memory/memory_config.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+struct PresetDef
+{
+    const char *name;
+    const char *help;
+    MemoryConfig config;
+};
+
+/**
+ * The named design points. Capacities and bandwidths are calibration
+ * choices documented in docs/ARCHITECTURE.md ("memory presets"), not
+ * published numbers: the paper's machines were evaluated compute-only,
+ * so these presets exist to bound the designs between a generous
+ * eDRAM-class hierarchy (dadn), a starved edge part (edge), and a
+ * high-bandwidth off-chip interface (hbm).
+ */
+const PresetDef kPresets[] = {
+    {"dadn",
+     "DaDN-class hierarchy: 4 MiB global buffer, 16 banks x 32 B/cyc, "
+     "8 KiB/128 KiB spads, 32 B/cyc DRAM",
+     {"dadn", true, false, 4.0 * kMiB, 16, 32.0, 8.0 * kKiB,
+      128.0 * kKiB, 32.0}},
+    {"edge",
+     "edge-class hierarchy: 512 KiB global buffer, 8 banks x 16 B/cyc, "
+     "4 KiB/64 KiB spads, 8 B/cyc DRAM",
+     {"edge", true, false, 512.0 * kKiB, 8, 16.0, 4.0 * kKiB,
+      64.0 * kKiB, 8.0}},
+    {"hbm",
+     "HBM-class hierarchy: 4 MiB global buffer, 16 banks x 32 B/cyc, "
+     "8 KiB/128 KiB spads, 256 B/cyc DRAM",
+     {"hbm", true, false, 4.0 * kMiB, 16, 32.0, 8.0 * kKiB,
+      128.0 * kKiB, 256.0}},
+};
+
+} // namespace
+
+bool
+MemoryConfig::valid() const
+{
+    if (!enabled || ideal)
+        return true;
+    return gbCapacityBytes > 0.0 && gbBanks > 0 &&
+           gbBankBytesPerCycle > 0.0 && inputSpadBytes > 0.0 &&
+           weightSpadBytes > 0.0 && dramBytesPerCycle > 0.0;
+}
+
+MemoryConfig
+parseMemoryPreset(const std::string &preset)
+{
+    if (preset == "off")
+        return MemoryConfig{};
+    if (preset == "ideal") {
+        MemoryConfig config;
+        config.preset = "ideal";
+        config.enabled = true;
+        config.ideal = true;
+        return config;
+    }
+    for (const PresetDef &def : kPresets)
+        if (preset == def.name)
+            return def.config;
+    std::string known = "off, ideal";
+    for (const PresetDef &def : kPresets)
+        known += std::string(", ") + def.name;
+    util::fatal("unknown memory preset '" + preset + "' (known: " +
+                known + ")");
+}
+
+std::vector<std::string>
+memoryPresetNames()
+{
+    std::vector<std::string> names = {"ideal", "off"};
+    for (const PresetDef &def : kPresets)
+        names.push_back(def.name);
+    // kPresets is alphabetical after {ideal, off}; keep the whole
+    // list sorted for stable help output.
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::string
+memoryPresetHelp(const std::string &preset)
+{
+    if (preset == "off")
+        return "no memory modeling (compute-only results; the default)";
+    if (preset == "ideal")
+        return "infinite bandwidth and capacity: traffic counted, "
+               "zero stalls";
+    for (const PresetDef &def : kPresets)
+        if (preset == def.name)
+            return def.help;
+    util::fatal("unknown memory preset '" + preset + "'");
+}
+
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Memory-hierarchy configuration and presets.
+ *
+ * Describes the three levels the memory model prices (see
+ * sim/memory/memory_model.h for the traffic and stall rules):
+ *
+ *  - a chip-wide **global buffer** (the NM-class eDRAM/SRAM block)
+ *    with a capacity, a bank count, and a per-bank bandwidth;
+ *  - per-tile **double-buffered scratchpads** for the input stream
+ *    (NBin-class) and the synapse slice (SB-class) — capacities are
+ *    per *half* of the double buffer, i.e. what one tile step can
+ *    keep resident while the next step's data is prefetched;
+ *  - one off-chip **DRAM channel** with a flat bytes-per-cycle
+ *    bandwidth.
+ *
+ * A config is selected by preset name on the CLI
+ * (`--memory=off|ideal|dadn|edge|hbm`). "off" (the default
+ * everywhere) disables the model entirely so every committed golden
+ * stays byte-identical; "ideal" counts traffic but has infinite
+ * bandwidth and capacity, so stalls are zero by construction and
+ * compute columns match "off" exactly — the equivalence tests and CI
+ * assert both properties.
+ *
+ * This header is dependency-free so AccelConfig can embed a
+ * MemoryConfig without the sim layer growing a cycle.
+ */
+
+#ifndef PRA_SIM_MEMORY_CONFIG_H
+#define PRA_SIM_MEMORY_CONFIG_H
+
+#include <string>
+#include <vector>
+
+namespace pra {
+namespace sim {
+
+/** One memory-hierarchy design point (see file comment). */
+struct MemoryConfig
+{
+    /** Preset this config was built from ("off" = model disabled). */
+    std::string preset = "off";
+
+    /** False (default): no memory modeling, goldens unchanged. */
+    bool enabled = false;
+
+    /**
+     * Infinite bandwidth *and* capacity: traffic bytes are still
+     * counted (they depend only on geometry), but every fetch is
+     * free, so stall cycles are exactly zero and off-chip traffic is
+     * compulsory-only.
+     */
+    bool ideal = false;
+
+    double gbCapacityBytes = 0.0;    ///< Global-buffer capacity.
+    int gbBanks = 0;                 ///< Independent GB banks.
+    double gbBankBytesPerCycle = 0.0; ///< Bandwidth per bank.
+
+    /** Input (NBin-class) scratchpad bytes per tile, per half. */
+    double inputSpadBytes = 0.0;
+    /** Weight (SB-class) scratchpad bytes per tile, per half. */
+    double weightSpadBytes = 0.0;
+
+    double dramBytesPerCycle = 0.0;  ///< Off-chip channel bandwidth.
+
+    /** Aggregate global-buffer bandwidth in bytes per cycle. */
+    double gbBytesPerCycle() const
+    {
+        return static_cast<double>(gbBanks) * gbBankBytesPerCycle;
+    }
+
+    /**
+     * True when the config is usable: disabled and ideal configs are
+     * always valid; a real preset needs strictly positive capacities,
+     * bank count, and bandwidths (a zero-capacity buffer or
+     * zero-bandwidth channel is a degenerate machine, rejected
+     * loudly, not simulated).
+     */
+    bool valid() const;
+};
+
+/**
+ * Build the config for @p preset: "off", "ideal", or a named design
+ * point ("dadn", "edge", "hbm" — see memoryPresetNames()). fatal()
+ * on anything else, naming the known presets.
+ */
+MemoryConfig parseMemoryPreset(const std::string &preset);
+
+/** Names accepted by parseMemoryPreset(), sorted, including off/ideal. */
+std::vector<std::string> memoryPresetNames();
+
+/** One-line description of @p preset (for --list-memory style help). */
+std::string memoryPresetHelp(const std::string &preset);
+
+} // namespace sim
+} // namespace pra
+
+#endif // PRA_SIM_MEMORY_CONFIG_H

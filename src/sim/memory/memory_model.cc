@@ -1,0 +1,131 @@
+#include "sim/memory/memory_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+/** Bytes per 16-bit neuron/synapse word. */
+constexpr double kWordBytes = 2.0;
+
+/** Pallets per pass: ceil(windows / windowsPerPallet). */
+double
+numPallets(const dnn::LayerSpec &layer, const AccelConfig &accel)
+{
+    int64_t windows = layer.windows();
+    int64_t per = accel.windowsPerPallet;
+    return static_cast<double>((windows + per - 1) / per);
+}
+
+} // namespace
+
+LayerTraffic
+layerTraffic(const dnn::LayerSpec &layer, const AccelConfig &accel,
+             const MemoryConfig &memory)
+{
+    util::checkInvariant(memory.enabled && memory.valid(),
+                         "layerTraffic: disabled or invalid memory "
+                         "config");
+    util::checkInvariant(layer.priced(),
+                         "layerTraffic: pool layers carry no priced "
+                         "traffic");
+
+    LayerTraffic t;
+    double passes = static_cast<double>(accel.passes(layer.numFilters));
+    double pallets = numPallets(layer, accel);
+    t.tileSteps = std::max(1.0, passes * pallets);
+
+    t.ifmapBytes =
+        static_cast<double>(layer.inputNeurons()) * kWordBytes;
+    t.filterBytes = static_cast<double>(layer.synapses()) * kWordBytes;
+    t.ofmapBytes =
+        static_cast<double>(layer.outputNeurons()) * kWordBytes;
+
+    // One pass's filter slice per tile: filtersPerTile filters of
+    // synapsesPerFilter words. Resident slices load once per pass;
+    // oversized slices re-stream from the global buffer per pallet.
+    double slice_bytes = static_cast<double>(accel.filtersPerTile) *
+                         static_cast<double>(layer.synapsesPerFilter()) *
+                         kWordBytes;
+    t.weightsResident =
+        memory.ideal || slice_bytes <= memory.weightSpadBytes;
+    double filter_gb =
+        t.filterBytes * (t.weightsResident ? 1.0 : pallets);
+    t.onChipBytes = t.ifmapBytes * passes + filter_gb + t.ofmapBytes;
+
+    // Off-chip: compulsory-only when the working set fits the global
+    // buffer; otherwise the ifmap re-crosses the channel every pass.
+    double working_set = t.ifmapBytes + t.filterBytes + t.ofmapBytes;
+    t.fitsGlobalBuffer =
+        memory.ideal || working_set <= memory.gbCapacityBytes;
+    double ifmap_dram =
+        t.fitsGlobalBuffer ? t.ifmapBytes : t.ifmapBytes * passes;
+    t.offChipBytes = ifmap_dram + t.filterBytes + t.ofmapBytes;
+    return t;
+}
+
+double
+memoryStallCycles(const LayerTraffic &traffic, double compute_cycles,
+                  const MemoryConfig &memory)
+{
+    if (memory.ideal)
+        return 0.0;
+    double fetch =
+        std::max(traffic.onChipBytes / memory.gbBytesPerCycle(),
+                 traffic.offChipBytes / memory.dramBytesPerCycle);
+    double steps = traffic.tileSteps;
+    double cold_fill = fetch / steps;
+    double steady =
+        (steps - 1.0) / steps * std::max(0.0, fetch - compute_cycles);
+    return cold_fill + steady;
+}
+
+void
+applyMemoryModel(const dnn::LayerSpec &layer, const AccelConfig &accel,
+                 LayerResult &result)
+{
+    const MemoryConfig &memory = accel.memory;
+    if (!memory.enabled)
+        return;
+    LayerTraffic traffic = layerTraffic(layer, accel, memory);
+    result.onChipBytes = traffic.onChipBytes;
+    result.offChipBytes = traffic.offChipBytes;
+    result.memStallCycles =
+        memoryStallCycles(traffic, result.cycles, memory);
+    if (!memory.ideal) {
+        double fetch =
+            std::max(traffic.onChipBytes / memory.gbBytesPerCycle(),
+                     traffic.offChipBytes / memory.dramBytesPerCycle);
+        result.bandwidthBound = fetch > result.cycles;
+    }
+    result.memoryModeled = true;
+}
+
+void
+applyMemoryModel(const dnn::Network &network, const AccelConfig &accel,
+                 NetworkResult &result)
+{
+    if (!accel.memory.enabled)
+        return;
+    size_t r = 0;
+    for (const auto &layer : network.layers) {
+        if (!layer.priced())
+            continue;
+        util::checkInvariant(r < result.layers.size() &&
+                                 result.layers[r].layerName ==
+                                     layer.name,
+                             "applyMemoryModel: result/network layer "
+                             "mismatch");
+        applyMemoryModel(layer, accel, result.layers[r]);
+        r++;
+    }
+    util::checkInvariant(r == result.layers.size(),
+                         "applyMemoryModel: extra result layers");
+}
+
+} // namespace sim
+} // namespace pra

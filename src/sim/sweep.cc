@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "dnn/activation_synth.h"
+#include "sim/memory/memory_model.h"
 #include "sim/workload_cache.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -78,9 +79,14 @@ runSweep(const std::vector<dnn::Network> &networks,
             shared ? WorkloadSource(*synth, *shared,
                                     options.activations)
                    : WorkloadSource(*synth, options.activations);
-        results[net_idx * engines.size() + eng_idx] =
-            engine->runNetwork(network, source, options.accel,
-                               options.sample, exec);
+        NetworkResult &cell =
+            results[net_idx * engines.size() + eng_idx];
+        cell = engine->runNetwork(network, source, options.accel,
+                                  options.sample, exec);
+        // Compose compute cycles with the memory hierarchy (no-op
+        // when --memory=off). Pure per-layer arithmetic over the
+        // finished result, so any schedule stays bit-identical.
+        applyMemoryModel(network, options.accel, cell);
     };
 
     const int inner = resolveInnerTasks(options, cells);
@@ -116,6 +122,13 @@ void
 writeSweepCsv(std::ostream &out,
               const std::vector<NetworkResult> &results, bool per_layer)
 {
+    // Memory columns appear only when some cell was produced with
+    // memory modeling on, so the default (--memory=off) output stays
+    // byte-identical to the committed goldens.
+    bool memory = false;
+    for (const auto &result : results)
+        memory = memory || result.memoryModeled();
+
     util::CsvWriter csv(out);
     std::vector<std::string> header = {"network", "engine"};
     if (per_layer)
@@ -123,26 +136,53 @@ writeSweepCsv(std::ostream &out,
     header.insert(header.end(),
                   {"cycles", "nm_stall_cycles", "effectual_terms",
                    "sb_read_steps"});
+    if (memory)
+        header.insert(header.end(),
+                      {"on_chip_bytes", "off_chip_bytes",
+                       "mem_stall_cycles", "system_cycles",
+                       "bw_bound"});
     csv.writeHeader(header);
     for (const auto &result : results) {
         if (per_layer) {
-            for (const auto &layer : result.layers)
-                csv.writeRow({result.networkName, result.engineName,
-                              layer.layerName, roundTrip(layer.cycles),
-                              roundTrip(layer.nmStallCycles),
-                              roundTrip(layer.effectualTerms),
-                              roundTrip(layer.sbReadSteps)});
+            for (const auto &layer : result.layers) {
+                std::vector<std::string> row = {
+                    result.networkName, result.engineName,
+                    layer.layerName, roundTrip(layer.cycles),
+                    roundTrip(layer.nmStallCycles),
+                    roundTrip(layer.effectualTerms),
+                    roundTrip(layer.sbReadSteps)};
+                if (memory) {
+                    row.push_back(roundTrip(layer.onChipBytes));
+                    row.push_back(roundTrip(layer.offChipBytes));
+                    row.push_back(roundTrip(layer.memStallCycles));
+                    row.push_back(roundTrip(layer.systemCycles()));
+                    row.push_back(layer.bandwidthBound ? "1" : "0");
+                }
+                csv.writeRow(row);
+            }
         } else {
             double terms = 0.0;
             double sb_reads = 0.0;
+            int bw_bound = 0;
             for (const auto &layer : result.layers) {
                 terms += layer.effectualTerms;
                 sb_reads += layer.sbReadSteps;
+                bw_bound += layer.bandwidthBound ? 1 : 0;
             }
-            csv.writeRow({result.networkName, result.engineName,
-                          roundTrip(result.totalCycles()),
-                          roundTrip(result.totalStalls()),
-                          roundTrip(terms), roundTrip(sb_reads)});
+            std::vector<std::string> row = {
+                result.networkName, result.engineName,
+                roundTrip(result.totalCycles()),
+                roundTrip(result.totalStalls()), roundTrip(terms),
+                roundTrip(sb_reads)};
+            if (memory) {
+                row.push_back(roundTrip(result.totalOnChipBytes()));
+                row.push_back(roundTrip(result.totalOffChipBytes()));
+                row.push_back(roundTrip(result.totalMemStalls()));
+                row.push_back(roundTrip(result.totalSystemCycles()));
+                // Network rows count their bandwidth-bound layers.
+                row.push_back(std::to_string(bw_bound));
+            }
+            csv.writeRow(row);
         }
     }
 }

@@ -21,6 +21,13 @@
  * integer partials in block order, so the output is bit-identical
  * for any thread count, any inner-thread count, and with the cache
  * on or off.
+ *
+ * When options.accel.memory is enabled (--memory=<preset>), every
+ * cell's compute result is composed with the memory-hierarchy model
+ * (sim/memory/memory_model.h) after its engine finishes: pure
+ * per-layer arithmetic, so the determinism guarantees above are
+ * unchanged and the compute columns are byte-identical to a
+ * memory-off run of the same grid.
  */
 
 #ifndef PRA_SIM_SWEEP_H
@@ -86,7 +93,10 @@ const NetworkResult &findResult(const std::vector<NetworkResult> &results,
  * Emit sweep results as CSV in grid order. Per-network totals by
  * default; @p per_layer adds one row per layer instead. Formatting
  * uses round-trip precision, so two result sets are bit-identical iff
- * their CSV dumps are byte-identical.
+ * their CSV dumps are byte-identical. Results carrying memory
+ * modeling grow the on_chip_bytes / off_chip_bytes /
+ * mem_stall_cycles / system_cycles / bw_bound columns; compute-only
+ * results keep the historical (golden-pinned) column set.
  */
 void writeSweepCsv(std::ostream &out,
                    const std::vector<NetworkResult> &results,

@@ -1,7 +1,7 @@
 /**
  * @file
- * Window/pallet/synapse-set tiling of a convolutional layer
- * (paper Sections IV-A1 and V-A3).
+ * Window/pallet/synapse-set tiling of a priced layer — convolutional
+ * or lowered fully-connected (paper Sections IV-A1 and V-A3).
  *
  * Execution is organized as:
  *   for each pass (group of 256 filters)

@@ -2,8 +2,11 @@
  * @file
  * Shared workload substrate for sweeps: synthesized or propagated
  * neuron streams, packed per-brick term-count/oneffset-bound planes,
- * and a thread-safe cache keyed by (network, representation, trim,
- * seed, activation mode). Propagated workloads additionally share
+ * and a thread-safe cache keyed by (network name, workload
+ * fingerprint, seed, layer, stream-or-mode tag) — see
+ * WorkloadCache::LayerKey; the fingerprint covers the layer list and
+ * calibration targets, so two selections of one network never share
+ * streams. Propagated workloads additionally share
  * one reference forward pass (dnn/propagate.h) per (network, seed):
  * the chain is built exactly once per cache no matter how many
  * engines and layers consume it, and an uncached source memoizes its

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-access memory energy tests: hand-computed pJ totals from byte
+ * counts, the double-charged scratchpad rule, the memoryModeled
+ * precondition, and network aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/memory_energy.h"
+#include "sim/layer_result.h"
+
+using namespace pra;
+using namespace pra::energy;
+
+namespace {
+
+TEST(MemoryEnergyTest, HandComputedBreakdown)
+{
+    // 1000 on-chip bytes, 100 off-chip bytes at the default costs.
+    MemoryEnergy e = memoryAccessEnergy(1000.0, 100.0);
+    EXPECT_DOUBLE_EQ(e.globalBufferPJ, 1000.0 * 1.2);
+    // Every on-chip byte is written into and read out of a
+    // scratchpad: charged twice.
+    EXPECT_DOUBLE_EQ(e.scratchpadPJ, 1000.0 * 2.0 * 0.12);
+    EXPECT_DOUBLE_EQ(e.dramPJ, 100.0 * 20.0);
+    EXPECT_DOUBLE_EQ(e.totalPJ(),
+                     e.globalBufferPJ + e.scratchpadPJ + e.dramPJ);
+}
+
+TEST(MemoryEnergyTest, CustomCostsAndZeroTraffic)
+{
+    MemoryAccessCosts costs;
+    costs.gbPerByte = 2.0;
+    costs.spadPerByte = 0.5;
+    costs.dramPerByte = 10.0;
+    MemoryEnergy e = memoryAccessEnergy(8.0, 4.0, costs);
+    EXPECT_DOUBLE_EQ(e.globalBufferPJ, 16.0);
+    EXPECT_DOUBLE_EQ(e.scratchpadPJ, 8.0);
+    EXPECT_DOUBLE_EQ(e.dramPJ, 40.0);
+
+    EXPECT_DOUBLE_EQ(memoryAccessEnergy(0.0, 0.0).totalPJ(), 0.0);
+}
+
+TEST(MemoryEnergyTest, DramDominatesOnSpill)
+{
+    // The health property the module documents: at the default costs
+    // a spilled layer (off-chip ~ on-chip) is DRAM-dominated.
+    MemoryEnergy e = memoryAccessEnergy(1.0e6, 1.0e6);
+    EXPECT_GT(e.dramPJ, e.globalBufferPJ + e.scratchpadPJ);
+}
+
+TEST(MemoryEnergyTest, LayerRequiresLiveMemoryColumns)
+{
+    sim::LayerResult result;
+    result.cycles = 100.0;
+    EXPECT_DEATH(layerMemoryEnergy(result), "no memory columns");
+
+    result.memoryModeled = true;
+    result.onChipBytes = 1000.0;
+    result.offChipBytes = 100.0;
+    MemoryEnergy e = layerMemoryEnergy(result);
+    EXPECT_DOUBLE_EQ(e.totalPJ(),
+                     memoryAccessEnergy(1000.0, 100.0).totalPJ());
+}
+
+TEST(MemoryEnergyTest, NetworkSumsLayers)
+{
+    sim::NetworkResult result;
+    for (double scale : {1.0, 2.0, 3.0}) {
+        sim::LayerResult layer;
+        layer.memoryModeled = true;
+        layer.onChipBytes = 1000.0 * scale;
+        layer.offChipBytes = 100.0 * scale;
+        result.layers.push_back(layer);
+    }
+    MemoryEnergy total = networkMemoryEnergy(result);
+    // Linear in bytes: the sum is 6x the unit layer.
+    MemoryEnergy unit = memoryAccessEnergy(1000.0, 100.0);
+    EXPECT_DOUBLE_EQ(total.globalBufferPJ, 6.0 * unit.globalBufferPJ);
+    EXPECT_DOUBLE_EQ(total.scratchpadPJ, 6.0 * unit.scratchpadPJ);
+    EXPECT_DOUBLE_EQ(total.dramPJ, 6.0 * unit.dramPJ);
+}
+
+} // namespace

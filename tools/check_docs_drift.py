@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fail when a CLI flag exists in the binaries but not in the README.
+
+Every tool and bench declares its accepted flags explicitly:
+
+  - ``args.checkUnknown({"flag", ...})`` calls in ``tools/*.cc``,
+    ``bench/*.cc`` and ``examples/*.cpp``;
+  - the ``known = {...}`` base list and ``known.push_back("...")``
+    additions in ``bench/common.h``.
+
+This script extracts that set and asserts each flag appears as
+``--flag`` in README.md's "CLI flag reference" table, so the table
+cannot silently rot when someone adds a flag. Run from anywhere:
+
+    python3 tools/check_docs_drift.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# (glob roots, pattern) pairs that declare flags.
+SOURCE_GLOBS = [
+    ("tools", "*.cc"),
+    ("bench", "*.cc"),
+    ("bench", "*.h"),
+    ("examples", "*.cpp"),
+]
+
+CHECK_UNKNOWN_RE = re.compile(
+    r"checkUnknown\s*\(\s*\{(?P<body>[^}]*)\}", re.DOTALL
+)
+KNOWN_LIST_RE = re.compile(
+    r"std::vector<std::string>\s+known\s*=\s*\{(?P<body>[^}]*)\}",
+    re.DOTALL,
+)
+PUSH_BACK_RE = re.compile(r'known\.push_back\("(?P<flag>[a-z0-9-]+)"\)')
+STRING_RE = re.compile(r'"([a-z0-9-]+)"')
+
+
+def declared_flags():
+    """Map of flag -> sorted list of files declaring it."""
+    flags = {}
+
+    def add(flag, source):
+        flags.setdefault(flag, set()).add(source)
+
+    for root, pattern in SOURCE_GLOBS:
+        for path in sorted((REPO / root).glob(pattern)):
+            text = path.read_text(encoding="utf-8")
+            rel = path.relative_to(REPO).as_posix()
+            bodies = [
+                m.group("body")
+                for m in CHECK_UNKNOWN_RE.finditer(text)
+            ]
+            bodies += [
+                m.group("body") for m in KNOWN_LIST_RE.finditer(text)
+            ]
+            for body in bodies:
+                for flag in STRING_RE.findall(body):
+                    add(flag, rel)
+            for m in PUSH_BACK_RE.finditer(text):
+                add(m.group("flag"), rel)
+    return flags
+
+
+def main():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    flags = declared_flags()
+    if not flags:
+        print(
+            "check_docs_drift: found no declared flags — the "
+            "extraction patterns have rotted",
+            file=sys.stderr,
+        )
+        return 1
+
+    missing = {
+        flag: sources
+        for flag, sources in flags.items()
+        if f"--{flag}" not in readme
+    }
+    if missing:
+        print(
+            "check_docs_drift: flags declared in the binaries but "
+            "absent from README.md:",
+            file=sys.stderr,
+        )
+        for flag in sorted(missing):
+            srcs = ", ".join(sorted(missing[flag]))
+            print(f"  --{flag}  (declared in {srcs})", file=sys.stderr)
+        print(
+            "add each to the 'CLI flag reference' table in README.md",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"check_docs_drift: OK — {len(flags)} flags all documented "
+        "in README.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,11 @@
  *
  *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
  *             [--layers conv|fc|all] [--activations synthetic|propagated]
- *             [--threads N] [--inner-threads N]
- *             [--cache on|off] [--planes on|off]
+ *             [--memory off|ideal|preset] [--threads N]
+ *             [--inner-threads N] [--cache on|off] [--planes on|off]
  *             [--units N | --full] [--seed S]
  *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
+ *             [--list-memory]
  *
  * An engine spec is "kind[:key=value]*", e.g. "pragmatic:bits=2" or
  * "pragmatic-col:bits=2:ssr=1"; see --list-engines for kinds and
@@ -30,6 +31,16 @@
  * Propagated mode prices the full pipeline, so it implies
  * --layers=all; any other explicit --layers value is rejected.
  *
+ * "--memory" selects the memory-hierarchy design point (global
+ * buffer, double-buffered scratchpads, DRAM — see
+ * sim/memory/memory_config.h and --list-memory). "off" (default)
+ * keeps results compute-only and byte-identical to the committed
+ * goldens; any other preset adds the on-chip/off-chip traffic,
+ * stall-cycle, and system-cycle columns to the CSV and an off-chip /
+ * memory-energy summary to stderr. "ideal" counts traffic at
+ * infinite bandwidth: zero stalls, compute columns exactly equal to
+ * an "off" run.
+ *
  * "--cache off" rebuilds every cell's workload from scratch instead
  * of sharing one synthesis per (network, stream, seed) — only useful
  * to bound the cache's memory or to verify equivalence.
@@ -50,7 +61,9 @@
 #include <iostream>
 
 #include "dnn/model_zoo.h"
+#include "energy/memory_energy.h"
 #include "models/engines.h"
+#include "sim/memory/memory_config.h"
 #include "sim/sweep.h"
 #include "util/args.h"
 #include "util/logging.h"
@@ -150,6 +163,36 @@ printSummary(const std::vector<dnn::Network> &networks,
                  table.render().c_str());
 }
 
+/**
+ * Memory summary on stderr (only with --memory enabled): per cell,
+ * off-chip megabytes, the stall share of system cycles, how many
+ * layers are bandwidth-bound, and the data-movement energy.
+ */
+void
+printMemorySummary(const std::vector<sim::NetworkResult> &results,
+                   const std::string &preset)
+{
+    util::TextTable table({"network", "engine", "off-chip MB",
+                           "stall %", "bw-bound layers", "mem mJ"});
+    for (const auto &result : results) {
+        int bw_bound = 0;
+        for (const auto &layer : result.layers)
+            bw_bound += layer.bandwidthBound ? 1 : 0;
+        double stall_share = 100.0 * result.totalMemStalls() /
+                             result.totalSystemCycles();
+        energy::MemoryEnergy energy =
+            energy::networkMemoryEnergy(result);
+        table.addRow({result.networkName, result.engineName,
+                      util::formatDouble(result.totalOffChipBytes() /
+                                         (1024.0 * 1024.0)),
+                      util::formatDouble(stall_share),
+                      std::to_string(bw_bound),
+                      util::formatDouble(energy.totalPJ() * 1e-9)});
+    }
+    std::fprintf(stderr, "memory hierarchy (--memory=%s):\n%s\n",
+                 preset.c_str(), table.render().c_str());
+}
+
 } // namespace
 
 int
@@ -157,9 +200,10 @@ main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
     args.checkUnknown({"networks", "engines", "layers", "activations",
-                       "threads", "inner-threads", "cache", "planes",
-                       "units", "full", "seed", "csv", "per-layer",
-                       "smoke", "list-engines"});
+                       "memory", "threads", "inner-threads", "cache",
+                       "planes", "units", "full", "seed", "csv",
+                       "per-layer", "smoke", "list-engines",
+                       "list-memory"});
     sim::setCyclePlanesEnabled(args.getBool("planes", true));
 
     if (args.getBool("list-engines")) {
@@ -167,6 +211,12 @@ main(int argc, char **argv)
         for (const auto &kind : registry.kinds())
             std::printf("%-14s %s\n", kind.c_str(),
                         registry.help(kind).c_str());
+        return 0;
+    }
+    if (args.getBool("list-memory")) {
+        for (const auto &name : sim::memoryPresetNames())
+            std::printf("%-8s %s\n", name.c_str(),
+                        sim::memoryPresetHelp(name).c_str());
         return 0;
     }
 
@@ -198,6 +248,8 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("inner-threads", 0));
     options.cache = args.getBool("cache", true);
     options.activations = activations;
+    options.accel.memory =
+        sim::parseMemoryPreset(args.getString("memory", "off"));
     int64_t default_units = smoke ? 4 : 64;
     // A sampling cap of zero would silently mean "simulate
     // everything" (the --full semantics); a user asking for zero or
@@ -230,5 +282,7 @@ main(int argc, char **argv)
                      results.size(), csv_path.c_str());
     }
     printSummary(networks, results, engines.size());
+    if (options.accel.memory.enabled)
+        printMemorySummary(results, options.accel.memory.preset);
     return 0;
 }
