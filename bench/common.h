@@ -38,8 +38,7 @@
  * it).
  */
 
-#ifndef PRA_BENCH_COMMON_H
-#define PRA_BENCH_COMMON_H
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -282,4 +281,3 @@ banner(const std::string &title, const std::string &paper_ref)
 } // namespace bench
 } // namespace pra
 
-#endif // PRA_BENCH_COMMON_H

@@ -7,6 +7,7 @@
 #include "fixedpoint/fixed_point.h"
 #include "fixedpoint/precision.h"
 #include "fixedpoint/quantization.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -29,9 +30,9 @@ densePopcount(int precision_bits)
 DiscreteExponential::DiscreteExponential(double lambda, uint32_t max_value)
     : lambda_(lambda), maxValue_(max_value)
 {
-    util::checkInvariant(max_value >= 1,
+    PRA_CHECK(max_value >= 1,
                          "DiscreteExponential: max_value must be >= 1");
-    util::checkInvariant(lambda >= 0.0,
+    PRA_CHECK(lambda >= 0.0,
                          "DiscreteExponential: lambda must be >= 0");
     cdf_.resize(max_value);
     double total = 0.0;
@@ -191,7 +192,7 @@ ActivationSynthesizer::ActivationSynthesizer(const Network &network,
                                              uint64_t seed)
     : network_(network), seed_(seed)
 {
-    util::checkInvariant(network_.valid(),
+    PRA_CHECK(network_.valid(),
                          "ActivationSynthesizer: invalid network");
     fixed16Params_.reserve(network_.layers.size());
     for (const auto &layer : network_.layers) {
@@ -229,7 +230,7 @@ NeuronTensor
 ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
 {
     const auto &layer = network_.layers.at(layer_idx);
-    util::checkInvariant(layer.priced(),
+    PRA_CHECK(layer.priced(),
                          "synthesizeRaw: pool layers have no "
                          "synthetic stream (they are never priced)");
     SynthParams params =
@@ -334,7 +335,7 @@ std::vector<FilterTensor>
 synthesizeFilters(const LayerSpec &layer, uint64_t seed,
                   int weight_range)
 {
-    util::checkInvariant(weight_range > 0 && weight_range <= 32767,
+    PRA_CHECK(weight_range > 0 && weight_range <= 32767,
                          "synthesizeFilters: bad weight range");
     util::Xoshiro256 rng(seed ^ util::fnv1a(layer.name));
     std::vector<FilterTensor> filters;

@@ -24,8 +24,7 @@
  * discretized exponential.
  */
 
-#ifndef PRA_DNN_ACTIVATION_SYNTH_H
-#define PRA_DNN_ACTIVATION_SYNTH_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -210,4 +209,3 @@ std::vector<FilterTensor> synthesizeFilters(const LayerSpec &layer,
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_ACTIVATION_SYNTH_H

@@ -27,8 +27,7 @@
  * (Caffe-style) where the published network shapes require it.
  */
 
-#ifndef PRA_DNN_LAYER_SPEC_H
-#define PRA_DNN_LAYER_SPEC_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -207,4 +206,3 @@ struct LayerSpec
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_LAYER_SPEC_H

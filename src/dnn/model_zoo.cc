@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -26,7 +27,7 @@ conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
     spec.stride = stride;
     spec.pad = pad;
     spec.profiledPrecision = precision;
-    util::checkInvariant(spec.valid(),
+    PRA_CHECK(spec.valid(),
                          "model_zoo: malformed layer " + spec.name);
     return spec;
 }
@@ -44,7 +45,7 @@ fc(std::string name, int inputs, int outputs, int precision)
     LayerSpec spec =
         LayerSpec::fullyConnected(std::move(name), inputs, outputs,
                                   precision);
-    util::checkInvariant(spec.valid(),
+    PRA_CHECK(spec.valid(),
                          "model_zoo: malformed layer " + spec.name);
     return spec;
 }
@@ -65,7 +66,7 @@ pool(std::string name, int in_x, int in_y, int channels, int window,
     LayerSpec spec = LayerSpec::pool(std::move(name), in_x, in_y,
                                      channels, window, stride, op, pad,
                                      ceil_mode);
-    util::checkInvariant(spec.valid(),
+    PRA_CHECK(spec.valid(),
                          "model_zoo: malformed layer " + spec.name);
     return spec;
 }
@@ -361,7 +362,7 @@ makeVgg19(LayerSelect select)
                                   stages[s].size, stages[s].size,
                                   stages[s].out, 2, 2));
     }
-    util::checkInvariant(idx == 16, "VGG19 precision list mismatch");
+    PRA_CHECK(idx == 16, "VGG19 precision list mismatch");
     // FC tail (Simonyan & Zisserman): fc6 off the 7x7x512 pool5.
     net.layers.push_back(fc("fc6", 7 * 7 * 512, 4096, 11));
     net.layers.push_back(fc("fc7", 4096, 4096, 10));

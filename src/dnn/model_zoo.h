@@ -33,8 +33,7 @@
  * pools: stream seeding uses priced-only ordinals.
  */
 
-#ifndef PRA_DNN_MODEL_ZOO_H
-#define PRA_DNN_MODEL_ZOO_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -84,4 +83,3 @@ Network makeTinyNetwork(LayerSelect select = LayerSelect::Conv);
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_MODEL_ZOO_H

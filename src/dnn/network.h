@@ -6,8 +6,7 @@
  * the synthetic activation generator (see DESIGN.md §3).
  */
 
-#ifndef PRA_DNN_NETWORK_H
-#define PRA_DNN_NETWORK_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -105,4 +104,3 @@ struct Network
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_NETWORK_H

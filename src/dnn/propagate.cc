@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -44,7 +45,7 @@ concatChannels(const std::vector<const Tensor3D<int64_t> *> &parts)
     int size_y = parts.front()->sizeY();
     int channels = 0;
     for (const auto *part : parts) {
-        util::checkInvariant(part->sizeX() == size_x &&
+        PRA_CHECK(part->sizeX() == size_x &&
                                  part->sizeY() == size_y,
                              "concatChannels: spatial mismatch");
         channels += part->sizeI();
@@ -80,9 +81,9 @@ flattenForFc(const Tensor3D<int64_t> &acts)
 Tensor3D<int64_t>
 poolForward(const LayerSpec &layer, const Tensor3D<int64_t> &input)
 {
-    util::checkInvariant(layer.kind == LayerKind::Pool,
+    PRA_CHECK(layer.kind == LayerKind::Pool,
                          "poolForward: not a pool layer");
-    util::checkInvariant(input.sizeX() == layer.inputX &&
+    PRA_CHECK(input.sizeX() == layer.inputX &&
                              input.sizeY() == layer.inputY &&
                              input.sizeI() == layer.inputChannels,
                          "poolForward: input shape mismatch");
@@ -112,7 +113,7 @@ poolForward(const LayerSpec &layer, const Tensor3D<int64_t> &input)
                         count++;
                     }
                 }
-                util::checkInvariant(any,
+                PRA_CHECK(any,
                                      "poolForward: empty window");
                 out.at(wx, wy, i) = layer.poolOp == PoolOp::Max
                                         ? best
@@ -128,7 +129,7 @@ requantizeToWindow(const Tensor3D<int64_t> &activations,
                    int precision_bits, int anchor_lsb,
                    int64_t *max_out)
 {
-    util::checkInvariant(precision_bits >= 1 && precision_bits <= 16 &&
+    PRA_CHECK(precision_bits >= 1 && precision_bits <= 16 &&
                              anchor_lsb >= 0 &&
                              anchor_lsb + precision_bits <= 16,
                          "requantizeToWindow: bad window");
@@ -136,7 +137,7 @@ requantizeToWindow(const Tensor3D<int64_t> &activations,
                      activations.sizeI());
     int64_t max_value = 0;
     for (int64_t v : activations.flat()) {
-        util::checkInvariant(v >= 0, "requantizeToWindow: negative "
+        PRA_CHECK(v >= 0, "requantizeToWindow: negative "
                                      "activation (ReLU missing?)");
         max_value = std::max(max_value, v);
     }

@@ -33,8 +33,7 @@
  * are bit-identical.
  */
 
-#ifndef PRA_DNN_PROPAGATE_H
-#define PRA_DNN_PROPAGATE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -129,4 +128,3 @@ NeuronTensor quantizeStream(const NeuronTensor &stream,
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_PROPAGATE_H

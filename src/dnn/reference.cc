@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -61,12 +62,12 @@ OutputTensor
 referenceConvolution(const LayerSpec &layer, const NeuronTensor &input,
                      const std::vector<FilterTensor> &filters)
 {
-    util::checkInvariant(layer.valid(), "referenceConvolution: bad layer");
-    util::checkInvariant(input.sizeX() == layer.inputX &&
+    PRA_CHECK(layer.valid(), "referenceConvolution: bad layer");
+    PRA_CHECK(input.sizeX() == layer.inputX &&
                              input.sizeY() == layer.inputY &&
                              input.sizeI() == layer.inputChannels,
                          "referenceConvolution: input shape mismatch");
-    util::checkInvariant(static_cast<int>(filters.size()) ==
+    PRA_CHECK(static_cast<int>(filters.size()) ==
                              layer.numFilters,
                          "referenceConvolution: filter count mismatch");
 
@@ -77,7 +78,7 @@ referenceConvolution(const LayerSpec &layer, const NeuronTensor &input,
     const int num_filters = layer.numFilters;
     for (int f = 0; f < num_filters; f++) {
         const FilterTensor &filter = filters[f];
-        util::checkInvariant(filter.sizeX() == layer.filterX &&
+        PRA_CHECK(filter.sizeX() == layer.filterX &&
                                  filter.sizeY() == layer.filterY &&
                                  filter.sizeI() == layer.inputChannels,
                              "referenceConvolution: filter shape mismatch");

@@ -6,8 +6,7 @@
  * these output sums.
  */
 
-#ifndef PRA_DNN_REFERENCE_H
-#define PRA_DNN_REFERENCE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -47,4 +46,3 @@ int64_t referenceWindowDot(const LayerSpec &layer,
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_REFERENCE_H

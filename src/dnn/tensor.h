@@ -9,13 +9,13 @@
  * for NM and SB.
  */
 
-#ifndef PRA_DNN_TENSOR_H
-#define PRA_DNN_TENSOR_H
+#pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -39,7 +39,7 @@ class Tensor3D
         : sizeX_(size_x), sizeY_(size_y), sizeI_(size_i),
           data_(static_cast<size_t>(size_x) * size_y * size_i, T{})
     {
-        util::checkInvariant(size_x > 0 && size_y > 0 && size_i > 0,
+        PRA_CHECK(size_x > 0 && size_y > 0 && size_i > 0,
                              "Tensor3D: extents must be positive");
     }
 
@@ -100,7 +100,7 @@ class Tensor3D
     size_t
     flatIndex(int x, int y, int i) const
     {
-        util::checkInvariant(x >= 0 && x < sizeX_ && y >= 0 &&
+        PRA_CHECK(x >= 0 && x < sizeX_ && y >= 0 &&
                              y < sizeY_ && i >= 0 && i < sizeI_,
                              "Tensor3D index out of range");
         return (static_cast<size_t>(y) * sizeX_ + x) * sizeI_ + i;
@@ -116,4 +116,3 @@ using FilterTensor = Tensor3D<int16_t>;
 } // namespace dnn
 } // namespace pra
 
-#endif // PRA_DNN_TENSOR_H

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -90,7 +91,7 @@ stripesAreaPower()
 AreaPower
 pragmaticPalletAreaPower(int first_stage_bits)
 {
-    util::checkInvariant(first_stage_bits >= 0 && first_stage_bits <= 4,
+    PRA_CHECK(first_stage_bits >= 0 && first_stage_bits <= 4,
                          "pragmaticPalletAreaPower: bad L");
     return fromAnchor(kPragmaticPallet[first_stage_bits]);
 }
@@ -107,9 +108,9 @@ ssrUnitArea()
 AreaPower
 pragmaticColumnAreaPower(int first_stage_bits, int ssr_count)
 {
-    util::checkInvariant(first_stage_bits >= 0 && first_stage_bits <= 4,
+    PRA_CHECK(first_stage_bits >= 0 && first_stage_bits <= 4,
                          "pragmaticColumnAreaPower: bad L");
-    util::checkInvariant(ssr_count >= 1,
+    PRA_CHECK(ssr_count >= 1,
                          "pragmaticColumnAreaPower: need >= 1 SSR");
 
     // Exact published anchors for the evaluated PRA-2b points.
@@ -147,7 +148,7 @@ pragmaticColumnAreaPower(int first_stage_bits, int ssr_count)
 double
 energyEfficiency(double speedup, double base_power, double new_power)
 {
-    util::checkInvariant(speedup > 0.0 && base_power > 0.0 &&
+    PRA_CHECK(speedup > 0.0 && base_power > 0.0 &&
                              new_power > 0.0,
                          "energyEfficiency: non-positive inputs");
     return speedup * base_power / new_power;

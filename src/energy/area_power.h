@@ -23,8 +23,7 @@
  * speedup * P_base / P_new.
  */
 
-#ifndef PRA_ENERGY_AREA_POWER_H
-#define PRA_ENERGY_AREA_POWER_H
+#pragma once
 
 #include <string>
 
@@ -84,4 +83,3 @@ double energyEfficiency(double speedup, double base_power,
 } // namespace energy
 } // namespace pra
 
-#endif // PRA_ENERGY_AREA_POWER_H

@@ -1,5 +1,6 @@
 #include "energy/components.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -30,7 +31,7 @@ multiplier16Area(const PrimitiveCosts &costs)
 double
 adderTreeArea(int inputs, int width, const PrimitiveCosts &costs)
 {
-    util::checkInvariant(inputs >= 2 && width > 0,
+    PRA_CHECK(inputs >= 2 && width > 0,
                          "adderTreeArea: bad shape");
     // inputs-1 adders; widths grow one bit per level, approximated by
     // width + 2 average.
@@ -51,7 +52,7 @@ stripesSipArea(const PrimitiveCosts &costs)
 double
 pragmaticPipArea(int first_stage_bits, const PrimitiveCosts &costs)
 {
-    util::checkInvariant(first_stage_bits >= 0 && first_stage_bits <= 4,
+    PRA_CHECK(first_stage_bits >= 0 && first_stage_bits <= 4,
                          "pragmaticPipArea: bad L");
     int w = pipTreeWidth(first_stage_bits);
     double stage1 = kLanes * first_stage_bits * w * costs.muxBit;

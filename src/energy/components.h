@@ -16,8 +16,7 @@
  * estimate, not a synthesis flow.
  */
 
-#ifndef PRA_ENERGY_COMPONENTS_H
-#define PRA_ENERGY_COMPONENTS_H
+#pragma once
 
 namespace pra {
 namespace energy {
@@ -69,4 +68,3 @@ double pragmaticUnitAreaEstimate(int first_stage_bits,
 } // namespace energy
 } // namespace pra
 
-#endif // PRA_ENERGY_COMPONENTS_H

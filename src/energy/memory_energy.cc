@@ -1,5 +1,6 @@
 #include "energy/memory_energy.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -9,7 +10,7 @@ MemoryEnergy
 memoryAccessEnergy(double on_chip_bytes, double off_chip_bytes,
                    const MemoryAccessCosts &costs)
 {
-    util::checkInvariant(on_chip_bytes >= 0.0 && off_chip_bytes >= 0.0,
+    PRA_CHECK(on_chip_bytes >= 0.0 && off_chip_bytes >= 0.0,
                          "memoryAccessEnergy: negative byte count");
     MemoryEnergy e;
     e.globalBufferPJ = on_chip_bytes * costs.gbPerByte;
@@ -24,7 +25,7 @@ MemoryEnergy
 layerMemoryEnergy(const sim::LayerResult &result,
                   const MemoryAccessCosts &costs)
 {
-    util::checkInvariant(result.memoryModeled,
+    PRA_CHECK(result.memoryModeled,
                          "layerMemoryEnergy: result has no memory "
                          "columns (run with --memory enabled)");
     return memoryAccessEnergy(result.onChipBytes, result.offChipBytes,

@@ -16,8 +16,7 @@
  * the effect the ROADMAP's memory item asked the repo to expose.
  */
 
-#ifndef PRA_ENERGY_MEMORY_ENERGY_H
-#define PRA_ENERGY_MEMORY_ENERGY_H
+#pragma once
 
 #include "sim/layer_result.h"
 
@@ -74,4 +73,3 @@ MemoryEnergy networkMemoryEnergy(const sim::NetworkResult &result,
 } // namespace energy
 } // namespace pra
 
-#endif // PRA_ENERGY_MEMORY_ENERGY_H

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -38,7 +39,7 @@ significantBits(uint16_t value)
 double
 essentialBitFraction(std::span<const uint16_t> values, int width)
 {
-    util::checkInvariant(width > 0 && width <= 16,
+    PRA_CHECK(width > 0 && width <= 16,
                          "essentialBitFraction: bad width");
     if (values.empty())
         return 0.0;
@@ -52,7 +53,7 @@ essentialBitFraction(std::span<const uint16_t> values, int width)
 double
 essentialBitFractionNonZero(std::span<const uint16_t> values, int width)
 {
-    util::checkInvariant(width > 0 && width <= 16,
+    PRA_CHECK(width > 0 && width <= 16,
                          "essentialBitFractionNonZero: bad width");
     uint64_t set_bits = 0;
     uint64_t non_zero = 0;

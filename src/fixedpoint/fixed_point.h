@@ -12,8 +12,7 @@
  * each one generates a non-zero term in a shift-and-add multiplier.
  */
 
-#ifndef PRA_FIXEDPOINT_FIXED_POINT_H
-#define PRA_FIXEDPOINT_FIXED_POINT_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -74,4 +73,3 @@ int64_t shiftAddMultiply(int16_t synapse, uint16_t neuron);
 } // namespace fixedpoint
 } // namespace pra
 
-#endif // PRA_FIXEDPOINT_FIXED_POINT_H

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -27,23 +28,23 @@ encodeOneffsets(uint16_t neuron)
 uint16_t
 decodeOneffsets(const std::vector<Oneffset> &offsets)
 {
-    util::checkInvariant(!offsets.empty(),
+    PRA_CHECK(!offsets.empty(),
                          "decodeOneffsets: empty list");
-    util::checkInvariant(offsets.back().eon,
+    PRA_CHECK(offsets.back().eon,
                          "decodeOneffsets: missing end-of-neuron");
     uint16_t value = 0;
     for (size_t i = 0; i < offsets.size(); i++) {
         const Oneffset &entry = offsets[i];
-        util::checkInvariant(entry.eon == (i + 1 == offsets.size()),
+        PRA_CHECK(entry.eon == (i + 1 == offsets.size()),
                              "decodeOneffsets: eon not on last entry");
         if (!entry.valid) {
-            util::checkInvariant(offsets.size() == 1,
+            PRA_CHECK(offsets.size() == 1,
                                  "decodeOneffsets: null entry in "
                                  "non-zero neuron");
             return 0;
         }
         uint16_t bit = static_cast<uint16_t>(1u << entry.pow);
-        util::checkInvariant((value & bit) == 0,
+        PRA_CHECK((value & bit) == 0,
                              "decodeOneffsets: duplicate power");
         value = static_cast<uint16_t>(value | bit);
     }

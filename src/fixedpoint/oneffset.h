@@ -15,8 +15,7 @@
  * once for analysis.
  */
 
-#ifndef PRA_FIXEDPOINT_ONEFFSET_H
-#define PRA_FIXEDPOINT_ONEFFSET_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -101,4 +100,3 @@ int oneffsetStorageBits(uint16_t neuron);
 } // namespace fixedpoint
 } // namespace pra
 
-#endif // PRA_FIXEDPOINT_ONEFFSET_H

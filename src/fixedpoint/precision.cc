@@ -1,6 +1,7 @@
 #include "fixedpoint/precision.h"
 
 #include "fixedpoint/fixed_point.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -9,7 +10,7 @@ namespace fixedpoint {
 uint16_t
 PrecisionWindow::mask() const
 {
-    util::checkInvariant(valid(), "PrecisionWindow::mask on bad window");
+    PRA_CHECK(valid(), "PrecisionWindow::mask on bad window");
     uint32_t width = static_cast<uint32_t>(bits());
     uint32_t m = width >= 16 ? 0xffffu : ((1u << width) - 1u);
     return static_cast<uint16_t>(m << lsb);
@@ -24,7 +25,7 @@ trimToWindow(uint16_t neuron, const PrecisionWindow &window)
 PrecisionWindow
 profileWindow(std::span<const uint16_t> values, double tolerance)
 {
-    util::checkInvariant(tolerance >= 0.0 && tolerance < 1.0,
+    PRA_CHECK(tolerance >= 0.0 && tolerance < 1.0,
                          "profileWindow: tolerance must be in [0,1)");
     PrecisionWindow window{0, 0};
     int max_msb = 0;

@@ -11,8 +11,7 @@
  * and precision derived bit masks", Section V-F).
  */
 
-#ifndef PRA_FIXEDPOINT_PRECISION_H
-#define PRA_FIXEDPOINT_PRECISION_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -67,4 +66,3 @@ double trimLossFraction(std::span<const uint16_t> values,
 } // namespace fixedpoint
 } // namespace pra
 
-#endif // PRA_FIXEDPOINT_PRECISION_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -32,7 +33,7 @@ QuantParams::fromRange(double lo, double hi)
     hi = std::max(hi, 0.0);
     QuantParams params;
     params.scale = (hi - lo) / 255.0;
-    util::checkInvariant(params.scale > 0.0,
+    PRA_CHECK(params.scale > 0.0,
                          "fromRange: non-positive scale");
     double zp = std::floor(-lo / params.scale + 0.5);
     params.zeroPoint =
@@ -57,7 +58,7 @@ chooseQuantParams(std::span<const double> values)
 uint8_t
 quantize(double value, const QuantParams &params)
 {
-    util::checkInvariant(params.scale > 0.0,
+    PRA_CHECK(params.scale > 0.0,
                          "quantize: non-positive scale");
     double code = value / params.scale + params.zeroPoint;
     double rounded = std::floor(code + 0.5);

@@ -19,8 +19,7 @@
  * zero-skip count downstream.
  */
 
-#ifndef PRA_FIXEDPOINT_QUANTIZATION_H
-#define PRA_FIXEDPOINT_QUANTIZATION_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -86,4 +85,3 @@ double maxRoundingError(const QuantParams &params);
 } // namespace fixedpoint
 } // namespace pra
 
-#endif // PRA_FIXEDPOINT_QUANTIZATION_H

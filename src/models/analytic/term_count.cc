@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "fixedpoint/fixed_point.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -124,7 +125,7 @@ countLayerTerms16(const dnn::LayerSpec &layer,
                   bool is_first_layer, const sim::SampleSpec &sample)
 {
     sim::SamplePlan plan = sim::planSample(layer.windows(), sample);
-    util::checkInvariant(!plan.indices.empty(),
+    PRA_CHECK(!plan.indices.empty(),
                          "countLayerTerms16: no windows");
 
     LayerTermCounts counts;
@@ -145,7 +146,7 @@ countLayerTerms16(const dnn::LayerSpec &layer,
                   bool is_first_layer, const sim::SampleSpec &sample)
 {
     sim::SamplePlan plan = sim::planSample(layer.windows(), sample);
-    util::checkInvariant(!plan.indices.empty(),
+    PRA_CHECK(!plan.indices.empty(),
                          "countLayerTerms16: no windows");
 
     const sim::BrickPlanes &raw_planes = raw.brickPlanes();
@@ -184,7 +185,7 @@ countNetworkTerms16(const dnn::Network &network,
         totals.praRaw += c.praRaw;
         totals.praTrimmed += c.praTrimmed;
     }
-    util::checkInvariant(totals.dadn > 0.0,
+    PRA_CHECK(totals.dadn > 0.0,
                          "countNetworkTerms16: zero baseline");
     NetworkTerms16 rel;
     rel.zn = totals.zn / totals.dadn;
@@ -222,7 +223,7 @@ countNetworkTerms8(const dnn::Network &network,
                    filters;
         }
     }
-    util::checkInvariant(baseline > 0.0,
+    PRA_CHECK(baseline > 0.0,
                          "countNetworkTerms8: zero baseline");
     NetworkTerms8 rel;
     rel.zeroSkip = zero_skip / baseline;

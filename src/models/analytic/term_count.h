@@ -18,8 +18,7 @@
  * the ideal zero-skip engine and PRA are counted the same way.
  */
 
-#ifndef PRA_MODELS_ANALYTIC_TERM_COUNT_H
-#define PRA_MODELS_ANALYTIC_TERM_COUNT_H
+#pragma once
 
 #include "dnn/activation_synth.h"
 #include "dnn/layer_spec.h"
@@ -98,4 +97,3 @@ NetworkTerms8 countNetworkTerms8(const dnn::Network &network,
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_ANALYTIC_TERM_COUNT_H

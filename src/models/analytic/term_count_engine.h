@@ -20,8 +20,7 @@
  *     pra-red  essential bits after Section V-F trimming
  */
 
-#ifndef PRA_MODELS_ANALYTIC_TERM_COUNT_ENGINE_H
-#define PRA_MODELS_ANALYTIC_TERM_COUNT_ENGINE_H
+#pragma once
 
 #include "models/analytic/term_count.h"
 #include "sim/engine.h"
@@ -90,4 +89,3 @@ class TermCountEngine : public sim::Engine
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_ANALYTIC_TERM_COUNT_ENGINE_H

@@ -1,6 +1,7 @@
 #include "models/dadn/dadn.h"
 
 #include "sim/tiling.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -9,7 +10,7 @@ namespace models {
 DadnModel::DadnModel(const sim::AccelConfig &config)
     : config_(config)
 {
-    util::checkInvariant(config_.valid(), "DadnModel: invalid config");
+    PRA_CHECK(config_.valid(), "DadnModel: invalid config");
 }
 
 double
@@ -56,11 +57,11 @@ int64_t
 DadnModel::nfuBrickDot(std::span<const uint16_t> neurons,
                        std::span<const int16_t> synapses)
 {
-    util::checkInvariant(neurons.size() == synapses.size(),
+    PRA_CHECK(neurons.size() == synapses.size(),
                          "nfuBrickDot: lane count mismatch");
     // Lane multipliers.
     int64_t products[dnn::kBrickSize] = {};
-    util::checkInvariant(neurons.size() <= dnn::kBrickSize,
+    PRA_CHECK(neurons.size() <= dnn::kBrickSize,
                          "nfuBrickDot: too many lanes");
     for (size_t lane = 0; lane < neurons.size(); lane++) {
         products[lane] = static_cast<int64_t>(synapses[lane]) *

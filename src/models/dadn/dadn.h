@@ -13,8 +13,7 @@
  * reference convolution exactly.
  */
 
-#ifndef PRA_MODELS_DADN_DADN_H
-#define PRA_MODELS_DADN_DADN_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -74,4 +73,3 @@ class DadnModel
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_DADN_DADN_H

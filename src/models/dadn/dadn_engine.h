@@ -6,8 +6,7 @@
  * requests no neuron stream.
  */
 
-#ifndef PRA_MODELS_DADN_DADN_ENGINE_H
-#define PRA_MODELS_DADN_DADN_ENGINE_H
+#pragma once
 
 #include "models/dadn/dadn.h"
 #include "sim/engine.h"
@@ -35,4 +34,3 @@ class DadnEngine : public sim::Engine
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_DADN_DADN_ENGINE_H

@@ -11,8 +11,7 @@
  *   terms          analytic term-count model (work, not cycles)
  */
 
-#ifndef PRA_MODELS_ENGINES_H
-#define PRA_MODELS_ENGINES_H
+#pragma once
 
 #include "sim/engine_registry.h"
 
@@ -34,4 +33,3 @@ std::vector<sim::EngineSelection> paperEngineGrid();
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_ENGINES_H

@@ -31,8 +31,7 @@
  * pallet-independent synapse-set coordinates.
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_BRICK_COST_H
-#define PRA_MODELS_PRAGMATIC_BRICK_COST_H
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -192,4 +191,3 @@ class BrickCostContext
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_BRICK_COST_H

@@ -6,6 +6,7 @@
 #include "models/pragmatic/brick_cost.h"
 #include "sim/nm_model.h"
 #include "sim/tiling.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -63,7 +64,7 @@ simulateColumnSyncImpl(const dnn::LayerSpec &layer,
 {
     sim::LayerTiling tiling(layer, accel);
     sim::SamplePlan plan = sim::planSample(tiling.numPallets(), sample);
-    util::checkInvariant(!plan.indices.empty(),
+    PRA_CHECK(!plan.indices.empty(),
                          "column sync: layer has no pallets");
 
     const int columns = accel.windowsPerPallet;

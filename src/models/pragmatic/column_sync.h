@@ -23,8 +23,7 @@
  * placed, so no event queue is required.
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H
-#define PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H
+#pragma once
 
 #include "dnn/layer_spec.h"
 #include "dnn/tensor.h"
@@ -70,4 +69,3 @@ simulateLayerColumnSync(const dnn::LayerSpec &layer,
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_COLUMN_SYNC_H

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -10,7 +11,7 @@ namespace models {
 PragmaticInnerProduct::PragmaticInnerProduct(int first_stage_bits)
     : firstStageBits_(first_stage_bits)
 {
-    util::checkInvariant(first_stage_bits >= 0 &&
+    PRA_CHECK(first_stage_bits >= 0 &&
                              first_stage_bits <= kMaxFirstStageBits,
                          "PIP: bad first-stage width");
 }
@@ -26,9 +27,9 @@ PragmaticInnerProduct::processBrick(
     std::span<const int16_t> synapses,
     std::span<const uint16_t> neurons) const
 {
-    util::checkInvariant(synapses.size() == neurons.size(),
+    PRA_CHECK(synapses.size() == neurons.size(),
                          "PIP: lane count mismatch");
-    util::checkInvariant(neurons.size() <= 16, "PIP: too many lanes");
+    PRA_CHECK(neurons.size() <= 16, "PIP: too many lanes");
 
     ScheduleTrace trace = brickScheduleTrace(neurons, firstStageBits_);
 
@@ -45,11 +46,11 @@ PragmaticInnerProduct::processBrick(
             if (!(cycle.firedLanes >> lane & 1))
                 continue;
             int shift = cycle.firstStageShift[lane];
-            util::checkInvariant(shift < (1 << firstStageBits_),
+            PRA_CHECK(shift < (1 << firstStageBits_),
                                  "PIP: first-stage shift out of reach");
             int64_t shifted = static_cast<int64_t>(synapses[lane])
                               << shift;
-            util::checkInvariant(std::llabs(shifted) <= stage1_limit,
+            PRA_CHECK(std::llabs(shifted) <= stage1_limit,
                                  "PIP: first-stage width violated");
             lane_terms[lane] = shifted;
         }
@@ -64,7 +65,7 @@ PragmaticInnerProduct::processBrick(
         result.cycles++;
     }
 
-    util::checkInvariant(result.cycles ==
+    PRA_CHECK(result.cycles ==
                              brickScheduleCycles(neurons,
                                                  firstStageBits_),
                          "PIP: cycle count diverged from schedule");

@@ -20,8 +20,7 @@
  * the tests sweep.
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_PIP_H
-#define PRA_MODELS_PRAGMATIC_PIP_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -71,4 +70,3 @@ class PragmaticInnerProduct
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_PIP_H

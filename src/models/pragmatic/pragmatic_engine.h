@@ -13,8 +13,7 @@
  *               0 models the infinite-register ideal (default 1)
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_PRAGMATIC_ENGINE_H
-#define PRA_MODELS_PRAGMATIC_PRAGMATIC_ENGINE_H
+#pragma once
 
 #include "models/pragmatic/simulator.h"
 #include "sim/engine.h"
@@ -61,4 +60,3 @@ class PragmaticEngine : public sim::Engine
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_PRAGMATIC_ENGINE_H

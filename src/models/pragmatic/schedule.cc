@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -13,9 +14,9 @@ namespace {
 void
 checkArgs(std::span<const uint16_t> neurons, int first_stage_bits)
 {
-    util::checkInvariant(neurons.size() <= 16,
+    PRA_CHECK(neurons.size() <= 16,
                          "brick schedule: more than 16 lanes");
-    util::checkInvariant(first_stage_bits >= 0 &&
+    PRA_CHECK(first_stage_bits >= 0 &&
                              first_stage_bits <= kMaxFirstStageBits,
                          "brick schedule: bad first-stage width");
 }
@@ -61,7 +62,7 @@ brickScheduleCycles(std::span<const uint16_t> neurons,
                 pending[lane] = static_cast<uint16_t>(w & (w - 1));
         }
     }
-    util::checkInvariant(cycles <= 16,
+    PRA_CHECK(cycles <= 16,
                          "brick schedule exceeded 16 cycles");
     return cycles;
 }
@@ -71,16 +72,16 @@ scheduleCyclesRow(std::span<const uint16_t> row, int columns,
                   int channels, int first_stage_bits,
                   std::span<uint8_t> out)
 {
-    util::checkInvariant(columns > 0 && channels > 0,
+    PRA_CHECK(columns > 0 && channels > 0,
                          "schedule row: empty row");
-    util::checkInvariant(first_stage_bits >= 0 &&
+    PRA_CHECK(first_stage_bits >= 0 &&
                              first_stage_bits <= kMaxFirstStageBits,
                          "schedule row: bad first-stage width");
-    util::checkInvariant(row.size() == static_cast<size_t>(columns) *
+    PRA_CHECK(row.size() == static_cast<size_t>(columns) *
                                            channels,
                          "schedule row: row extent mismatch");
     const int bricks = (channels + 15) / 16;
-    util::checkInvariant(out.size() == static_cast<size_t>(columns) *
+    PRA_CHECK(out.size() == static_cast<size_t>(columns) *
                                            bricks,
                          "schedule row: output extent mismatch");
 
@@ -120,7 +121,7 @@ scheduleCyclesRow(std::span<const uint16_t> row, int columns,
                     any |= w;
                 }
             }
-            util::checkInvariant(cycles <= 16,
+            PRA_CHECK(cycles <= 16,
                                  "schedule row exceeded 16 cycles");
             out[pos++] = static_cast<uint8_t>(cycles);
         }
@@ -160,10 +161,10 @@ brickScheduleTrace(std::span<const uint16_t> neurons,
                 cycle.firstStageShift[lane] = static_cast<uint8_t>(diff);
             }
         }
-        util::checkInvariant(cycle.firedLanes != 0,
+        PRA_CHECK(cycle.firedLanes != 0,
                              "schedule cycle fired no lanes");
         trace.cycles.push_back(cycle);
-        util::checkInvariant(trace.cycles.size() <= 16,
+        PRA_CHECK(trace.cycles.size() <= 16,
                              "schedule trace exceeded 16 cycles");
     }
     return trace;

@@ -18,8 +18,7 @@
  * fundamental timing quantity of the Pragmatic performance model.
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_SCHEDULE_H
-#define PRA_MODELS_PRAGMATIC_SCHEDULE_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -96,4 +95,3 @@ ScheduleTrace brickScheduleTrace(std::span<const uint16_t> neurons,
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_SCHEDULE_H

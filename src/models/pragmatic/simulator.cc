@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fixedpoint/fixed_point.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -35,7 +36,7 @@ PragmaticConfig::label() const
 PragmaticSimulator::PragmaticSimulator(const sim::AccelConfig &accel)
     : accel_(accel)
 {
-    util::checkInvariant(accel_.valid(),
+    PRA_CHECK(accel_.valid(),
                          "PragmaticSimulator: invalid config");
 }
 

@@ -9,8 +9,7 @@
  * results comparable against the DaDN and Stripes baselines.
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_SIMULATOR_H
-#define PRA_MODELS_PRAGMATIC_SIMULATOR_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -95,4 +94,3 @@ quantizedPrecisions(const dnn::ActivationSynthesizer &synth);
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_SIMULATOR_H

@@ -19,8 +19,7 @@
  * serial path for any block count.
  */
 
-#ifndef PRA_MODELS_PRAGMATIC_TILE_H
-#define PRA_MODELS_PRAGMATIC_TILE_H
+#pragma once
 
 #include "dnn/layer_spec.h"
 #include "dnn/tensor.h"
@@ -72,4 +71,3 @@ simulateLayerPalletSync(const dnn::LayerSpec &layer,
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_PRAGMATIC_TILE_H

@@ -1,6 +1,7 @@
 #include "models/stripes/stripes.h"
 
 #include "sim/tiling.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -9,14 +10,14 @@ namespace models {
 StripesModel::StripesModel(const sim::AccelConfig &config)
     : config_(config)
 {
-    util::checkInvariant(config_.valid(), "StripesModel: invalid config");
+    PRA_CHECK(config_.valid(), "StripesModel: invalid config");
 }
 
 double
 StripesModel::layerCycles(const dnn::LayerSpec &layer,
                           int precision) const
 {
-    util::checkInvariant(precision >= 1 && precision <= 16,
+    PRA_CHECK(precision >= 1 && precision <= 16,
                          "StripesModel: precision out of range");
     sim::LayerTiling tiling(layer, config_);
     // Each synapse set costs `precision` serial cycles for the whole
@@ -41,7 +42,7 @@ sim::NetworkResult
 StripesModel::run(const dnn::Network &network,
                   std::span<const int> precisions) const
 {
-    util::checkInvariant(precisions.size() == network.layers.size(),
+    PRA_CHECK(precisions.size() == network.layers.size(),
                          "StripesModel: precision list mismatch");
     sim::NetworkResult result;
     result.networkName = network.name;
@@ -78,9 +79,9 @@ int64_t
 StripesModel::serialMultiply(int16_t synapse, uint16_t neuron,
                              int precision, int window_lsb)
 {
-    util::checkInvariant(precision >= 1 && precision <= 16,
+    PRA_CHECK(precision >= 1 && precision <= 16,
                          "serialMultiply: precision out of range");
-    util::checkInvariant(window_lsb >= 0 && window_lsb < 16,
+    PRA_CHECK(window_lsb >= 0 && window_lsb < 16,
                          "serialMultiply: bad window lsb");
     int64_t acc = 0;
     // One neuron bit per cycle, LSB of the window first; the AND

@@ -13,8 +13,7 @@
  * growing shift — exactly the paper's Figure 4b datapath.
  */
 
-#ifndef PRA_MODELS_STRIPES_STRIPES_H
-#define PRA_MODELS_STRIPES_STRIPES_H
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -78,4 +77,3 @@ class StripesModel
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_STRIPES_STRIPES_H

@@ -16,8 +16,7 @@
  *                with a precision override.
  */
 
-#ifndef PRA_MODELS_STRIPES_STRIPES_ENGINE_H
-#define PRA_MODELS_STRIPES_STRIPES_ENGINE_H
+#pragma once
 
 #include "models/stripes/stripes.h"
 #include "sim/engine.h"
@@ -50,4 +49,3 @@ class StripesEngine : public sim::Engine
 } // namespace models
 } // namespace pra
 
-#endif // PRA_MODELS_STRIPES_STRIPES_ENGINE_H

@@ -10,8 +10,7 @@
  * or reshape the machine.
  */
 
-#ifndef PRA_SIM_ACCEL_CONFIG_H
-#define PRA_SIM_ACCEL_CONFIG_H
+#pragma once
 
 #include <cstdint>
 
@@ -67,4 +66,3 @@ struct AccelConfig
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_ACCEL_CONFIG_H

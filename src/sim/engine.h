@@ -20,8 +20,7 @@
  * engines never see the cache machinery.
  */
 
-#ifndef PRA_SIM_ENGINE_H
-#define PRA_SIM_ENGINE_H
+#pragma once
 
 #include <string>
 
@@ -108,4 +107,3 @@ class Engine
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_ENGINE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -11,12 +12,12 @@ void
 EngineRegistry::registerEngine(const std::string &kind,
                                const std::string &help, Factory factory)
 {
-    util::checkInvariant(!kind.empty() && static_cast<bool>(factory),
+    PRA_CHECK(!kind.empty() && static_cast<bool>(factory),
                          "EngineRegistry: bad registration");
     auto [it, inserted] = factories_.emplace(
         kind, Entry{help, std::move(factory)});
     (void)it;
-    util::checkInvariant(inserted, "EngineRegistry: duplicate kind '" +
+    PRA_CHECK(inserted, "EngineRegistry: duplicate kind '" +
                                        kind + "'");
 }
 
@@ -34,7 +35,7 @@ EngineRegistry::create(const std::string &kind,
     if (it == factories_.end())
         util::fatal("unknown engine '" + kind + "'");
     std::unique_ptr<Engine> engine = it->second.factory(knobs);
-    util::checkInvariant(static_cast<bool>(engine),
+    PRA_CHECK(static_cast<bool>(engine),
                          "EngineRegistry: factory returned null");
     return engine;
 }

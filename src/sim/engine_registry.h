@@ -10,8 +10,7 @@
  * models/engines.h to keep this layer free of backend dependencies.
  */
 
-#ifndef PRA_SIM_ENGINE_REGISTRY_H
-#define PRA_SIM_ENGINE_REGISTRY_H
+#pragma once
 
 #include <functional>
 #include <map>
@@ -106,4 +105,3 @@ void requireKnownKnobs(const std::string &kind, const EngineKnobs &knobs,
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_ENGINE_REGISTRY_H

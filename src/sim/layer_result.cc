@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -75,7 +76,7 @@ NetworkResult::speedupOver(const NetworkResult &baseline) const
 {
     double mine = totalSystemCycles();
     double theirs = baseline.totalSystemCycles();
-    util::checkInvariant(mine > 0.0 && theirs > 0.0,
+    PRA_CHECK(mine > 0.0 && theirs > 0.0,
                          "speedupOver: zero cycle counts");
     return theirs / mine;
 }
@@ -83,10 +84,10 @@ NetworkResult::speedupOver(const NetworkResult &baseline) const
 double
 geometricMean(const std::vector<double> &values)
 {
-    util::checkInvariant(!values.empty(), "geometricMean: empty input");
+    PRA_CHECK(!values.empty(), "geometricMean: empty input");
     double log_sum = 0.0;
     for (double v : values) {
-        util::checkInvariant(v > 0.0, "geometricMean: non-positive value");
+        PRA_CHECK(v > 0.0, "geometricMean: non-positive value");
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

@@ -7,8 +7,7 @@
  * are far below the 2^53 precision limit.
  */
 
-#ifndef PRA_SIM_LAYER_RESULT_H
-#define PRA_SIM_LAYER_RESULT_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -104,4 +103,3 @@ double geometricMean(const std::vector<double> &values);
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_LAYER_RESULT_H

@@ -26,8 +26,7 @@
  * MemoryConfig without the sim layer growing a cycle.
  */
 
-#ifndef PRA_SIM_MEMORY_CONFIG_H
-#define PRA_SIM_MEMORY_CONFIG_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -95,4 +94,3 @@ std::string memoryPresetHelp(const std::string &preset);
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_MEMORY_CONFIG_H

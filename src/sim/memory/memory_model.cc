@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -27,10 +28,10 @@ LayerTraffic
 layerTraffic(const dnn::LayerSpec &layer, const AccelConfig &accel,
              const MemoryConfig &memory)
 {
-    util::checkInvariant(memory.enabled && memory.valid(),
+    PRA_CHECK(memory.enabled && memory.valid(),
                          "layerTraffic: disabled or invalid memory "
                          "config");
-    util::checkInvariant(layer.priced(),
+    PRA_CHECK(layer.priced(),
                          "layerTraffic: pool layers carry no priced "
                          "traffic");
 
@@ -115,7 +116,7 @@ applyMemoryModel(const dnn::Network &network, const AccelConfig &accel,
     for (const auto &layer : network.layers) {
         if (!layer.priced())
             continue;
-        util::checkInvariant(r < result.layers.size() &&
+        PRA_CHECK(r < result.layers.size() &&
                                  result.layers[r].layerName ==
                                      layer.name,
                              "applyMemoryModel: result/network layer "
@@ -123,7 +124,7 @@ applyMemoryModel(const dnn::Network &network, const AccelConfig &accel,
         applyMemoryModel(layer, accel, result.layers[r]);
         r++;
     }
-    util::checkInvariant(r == result.layers.size(),
+    PRA_CHECK(r == result.layers.size(),
                          "applyMemoryModel: extra result layers");
 }
 

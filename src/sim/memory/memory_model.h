@@ -50,8 +50,7 @@
  * results are bit-identical across thread counts and cache modes.
  */
 
-#ifndef PRA_SIM_MEMORY_MODEL_H
-#define PRA_SIM_MEMORY_MODEL_H
+#pragma once
 
 #include "dnn/layer_spec.h"
 #include "dnn/network.h"
@@ -119,4 +118,3 @@ void applyMemoryModel(const dnn::Network &network,
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_MEMORY_MODEL_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -36,7 +37,7 @@ nmFetchCycles(const LayerTiling &tiling, int64_t pallet, int64_t set)
 int64_t
 NmOverlapTracker::step(int64_t process_cycles, int64_t next_fetch_cycles)
 {
-    util::checkInvariant(process_cycles >= 0 && next_fetch_cycles >= 0,
+    PRA_CHECK(process_cycles >= 0 && next_fetch_cycles >= 0,
                          "NmOverlapTracker: negative cycles");
     int64_t stall = std::max<int64_t>(0, next_fetch_cycles -
                                              process_cycles);

@@ -10,8 +10,7 @@
  * step's NMC fetch cycles.
  */
 
-#ifndef PRA_SIM_NM_MODEL_H
-#define PRA_SIM_NM_MODEL_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -57,4 +56,3 @@ class NmOverlapTracker
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_NM_MODEL_H

@@ -1,5 +1,6 @@
 #include "sim/sampling.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -8,7 +9,7 @@ namespace sim {
 SamplePlan
 planSample(int64_t total, const SampleSpec &spec)
 {
-    util::checkInvariant(total >= 0, "planSample: negative total");
+    PRA_CHECK(total >= 0, "planSample: negative total");
     SamplePlan plan;
     if (total == 0)
         return plan;

@@ -9,8 +9,7 @@
  * results are reproducible; maxUnits == 0 disables sampling.
  */
 
-#ifndef PRA_SIM_SAMPLING_H
-#define PRA_SIM_SAMPLING_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -44,4 +43,3 @@ SamplePlan planSample(int64_t total, const SampleSpec &spec);
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_SAMPLING_H

@@ -8,6 +8,7 @@
 #include "sim/memory/memory_model.h"
 #include "sim/workload_cache.h"
 #include "util/csv.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -48,7 +49,7 @@ runSweep(const std::vector<dnn::Network> &networks,
          const std::vector<EngineSelection> &engines,
          const EngineRegistry &registry, const SweepOptions &options)
 {
-    util::checkInvariant(!networks.empty() && !engines.empty(),
+    PRA_CHECK(!networks.empty() && !engines.empty(),
                          "runSweep: empty grid");
     // Validate every selection up front so knob errors surface before
     // any worker starts.

@@ -30,8 +30,7 @@
  * memory-off run of the same grid.
  */
 
-#ifndef PRA_SIM_SWEEP_H
-#define PRA_SIM_SWEEP_H
+#pragma once
 
 #include <ostream>
 #include <vector>
@@ -105,4 +104,3 @@ void writeSweepCsv(std::ostream &out,
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_SWEEP_H

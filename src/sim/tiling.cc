@@ -1,5 +1,6 @@
 #include "sim/tiling.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -9,9 +10,9 @@ LayerTiling::LayerTiling(const dnn::LayerSpec &layer,
                          const AccelConfig &config)
     : layer_(layer), config_(config)
 {
-    util::checkInvariant(layer_.valid(), "LayerTiling: invalid layer");
-    util::checkInvariant(config_.valid(), "LayerTiling: invalid config");
-    util::checkInvariant(config_.neuronLanes <= dnn::kBrickSize,
+    PRA_CHECK(layer_.valid(), "LayerTiling: invalid layer");
+    PRA_CHECK(config_.valid(), "LayerTiling: invalid config");
+    PRA_CHECK(config_.neuronLanes <= dnn::kBrickSize,
                          "LayerTiling: neuronLanes exceeds brick size");
     int64_t windows = layer_.windows();
     numPallets_ = (windows + config_.windowsPerPallet - 1) /
@@ -26,7 +27,7 @@ LayerTiling::LayerTiling(const dnn::LayerSpec &layer,
 WindowCoord
 LayerTiling::windowCoord(int64_t w) const
 {
-    util::checkInvariant(w >= 0 && w < layer_.windows(),
+    PRA_CHECK(w >= 0 && w < layer_.windows(),
                          "windowCoord: index out of range");
     WindowCoord coord;
     coord.x = static_cast<int>(w % layer_.outX());
@@ -37,7 +38,7 @@ LayerTiling::windowCoord(int64_t w) const
 int
 LayerTiling::windowsInPallet(int64_t p) const
 {
-    util::checkInvariant(p >= 0 && p < numPallets_,
+    PRA_CHECK(p >= 0 && p < numPallets_,
                          "windowsInPallet: pallet out of range");
     int64_t first = p * config_.windowsPerPallet;
     int64_t remaining = layer_.windows() - first;
@@ -48,7 +49,7 @@ LayerTiling::windowsInPallet(int64_t p) const
 int64_t
 LayerTiling::windowIndex(int64_t p, int column) const
 {
-    util::checkInvariant(column >= 0 && column < config_.windowsPerPallet,
+    PRA_CHECK(column >= 0 && column < config_.windowsPerPallet,
                          "windowIndex: column out of range");
     int64_t w = p * config_.windowsPerPallet + column;
     return w < layer_.windows() ? w : -1;
@@ -57,7 +58,7 @@ LayerTiling::windowIndex(int64_t p, int column) const
 SynapseSetCoord
 LayerTiling::setCoord(int64_t s) const
 {
-    util::checkInvariant(s >= 0 && s < numSets_,
+    PRA_CHECK(s >= 0 && s < numSets_,
                          "setCoord: set out of range");
     SynapseSetCoord coord;
     coord.brickI = static_cast<int>(s % channelBricks_) *

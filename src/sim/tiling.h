@@ -19,8 +19,7 @@
  * synapse sets, and needs no special casing anywhere below.
  */
 
-#ifndef PRA_SIM_TILING_H
-#define PRA_SIM_TILING_H
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -134,4 +133,3 @@ class LayerTiling
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_TILING_H

@@ -8,6 +8,7 @@
 // sim/ file reaches up into models/pragmatic for the batched kernel;
 // everything builds into the single pra_core library.
 #include "models/pragmatic/schedule.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -27,7 +28,7 @@ emptyWorkload()
 BrickPlanes
 buildBrickPlanes(const dnn::NeuronTensor &tensor)
 {
-    util::checkInvariant(!tensor.empty(),
+    PRA_CHECK(!tensor.empty(),
                          "brickPlanes: empty workload has no planes");
     BrickPlanes planes;
     planes.sizeX = tensor.sizeX();
@@ -147,7 +148,7 @@ propagatedStream(const dnn::PropagatedChain &chain,
 {
     const dnn::LayerSpec &layer =
         network.layers.at(static_cast<size_t>(layer_idx));
-    util::checkInvariant(layer.priced(),
+    PRA_CHECK(layer.priced(),
                          "propagatedStream: pools carry no priced "
                          "stream");
     const dnn::NeuronTensor &raw =
@@ -176,10 +177,10 @@ LayerWorkload::brickPlanes() const
 std::span<const uint8_t>
 LayerWorkload::cyclePlane(int first_stage_bits) const
 {
-    util::checkInvariant(first_stage_bits >= 1 && first_stage_bits <= 3,
+    PRA_CHECK(first_stage_bits >= 1 && first_stage_bits <= 3,
                          "cyclePlane: only intermediate widths are "
                          "memoized (L=0/4 live in the brick planes)");
-    util::checkInvariant(!tensor_.empty(),
+    PRA_CHECK(!tensor_.empty(),
                          "cyclePlane: empty workload has no planes");
     const int slot = first_stage_bits - 1;
     std::call_once(cyclesOnce_[slot], [this, first_stage_bits, slot] {

@@ -55,8 +55,7 @@
  * bit-identical with them on or off (setCyclePlanesEnabled).
  */
 
-#ifndef PRA_SIM_WORKLOAD_CACHE_H
-#define PRA_SIM_WORKLOAD_CACHE_H
+#pragma once
 
 #include <cstdint>
 #include <future>
@@ -333,4 +332,3 @@ class WorkloadSource
 } // namespace sim
 } // namespace pra
 
-#endif // PRA_SIM_WORKLOAD_CACHE_H

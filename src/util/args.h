@@ -11,8 +11,7 @@
  * running with defaults.
  */
 
-#ifndef PRA_UTIL_ARGS_H
-#define PRA_UTIL_ARGS_H
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -70,4 +69,3 @@ class ArgParser
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_ARGS_H

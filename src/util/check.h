@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Invariant-check macros: the repo's single contract layer.
+ *
+ * PRA_CHECK replaces the old util::checkInvariant overload pair. It is
+ * active in release builds — the simulator's numbers are meaningless if
+ * its invariants do not hold — and lazily materializes the message, so
+ * hot paths (per-element tensor accesses, inner scheduling loops) never
+ * pay a std::string construction on the success path. All three macros
+ * report through util::panic(), which aborts, making every invariant
+ * death-testable with EXPECT_DEATH.
+ *
+ * PRA_DCHECK is for checks too expensive for release hot loops; it
+ * compiles away under NDEBUG unless PRA_DCHECK_ENABLED=1 is defined
+ * first (tests force it on to death-test debug-only contracts).
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+namespace detail {
+
+/** Render "msg: lhs_text (lhs) != rhs_text (rhs)" for PRA_CHECK_EQ. */
+template <typename L, typename R>
+std::string
+formatCheckEq(const char *lhs_text, const char *rhs_text, const L &lhs,
+              const R &rhs, const char *msg)
+{
+    std::ostringstream out;
+    out << msg << ": " << lhs_text << " (" << lhs << ") != " << rhs_text
+        << " (" << rhs << ")";
+    return out.str();
+}
+
+} // namespace detail
+} // namespace util
+} // namespace pra
+
+/**
+ * Check an internal invariant; panic (abort) with @p msg when @p cond
+ * is false. @p msg may be a literal or any std::string expression —
+ * it is evaluated only on failure.
+ */
+#define PRA_CHECK(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) [[unlikely]]                                         \
+            ::pra::util::panic((msg));                                    \
+    } while (0)
+
+/**
+ * Check two expressions for equality; on failure panic with @p msg
+ * plus both expression texts and their streamed values.
+ */
+#define PRA_CHECK_EQ(lhs, rhs, msg)                                       \
+    do {                                                                  \
+        const auto &pra_check_lhs = (lhs);                                \
+        const auto &pra_check_rhs = (rhs);                                \
+        if (!(pra_check_lhs == pra_check_rhs)) [[unlikely]]               \
+            ::pra::util::panic(::pra::util::detail::formatCheckEq(        \
+                #lhs, #rhs, pra_check_lhs, pra_check_rhs, (msg)));        \
+    } while (0)
+
+/*
+ * PRA_DCHECK_ENABLED defaults to "on in debug builds"; define it to 1
+ * before including this header to force debug checks into a release
+ * translation unit (the death tests do).
+ */
+#ifndef PRA_DCHECK_ENABLED
+#ifdef NDEBUG
+#define PRA_DCHECK_ENABLED 0
+#else
+#define PRA_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if PRA_DCHECK_ENABLED
+#define PRA_DCHECK(cond, msg) PRA_CHECK(cond, msg)
+#else
+/** Debug-only check: compiled out, operands never evaluated. */
+#define PRA_DCHECK(cond, msg)                                             \
+    do {                                                                  \
+        (void)sizeof(!(cond));                                            \
+        (void)sizeof((msg));                                              \
+    } while (0)
+#endif

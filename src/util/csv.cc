@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -40,7 +41,7 @@ CsvWriter::writeLine(const std::vector<std::string> &cells)
 void
 CsvWriter::writeHeader(const std::vector<std::string> &cells)
 {
-    checkInvariant(!headerWritten_ && rows_ == 0,
+    PRA_CHECK(!headerWritten_ && rows_ == 0,
                    "CSV header must be written first and only once");
     width_ = cells.size();
     headerWritten_ = true;
@@ -54,7 +55,7 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
     // tables must not silently emit ragged CSV.
     if (!headerWritten_ && rows_ == 0)
         width_ = cells.size();
-    checkInvariant(cells.size() == width_, "CSV row width mismatch");
+    PRA_CHECK(cells.size() == width_, "CSV row width mismatch");
     rows_++;
     writeLine(cells);
 }

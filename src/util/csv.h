@@ -3,8 +3,7 @@
  * Minimal CSV writer used by examples to export sweep results.
  */
 
-#ifndef PRA_UTIL_CSV_H
-#define PRA_UTIL_CSV_H
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -49,4 +48,3 @@ class CsvWriter
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_CSV_H

@@ -8,8 +8,7 @@
  * status without stopping the simulation.
  */
 
-#ifndef PRA_UTIL_LOGGING_H
-#define PRA_UTIL_LOGGING_H
+#pragma once
 
 #include <cstdlib>
 #include <sstream>
@@ -53,31 +52,6 @@ void debug(const std::string &msg);
  */
 [[noreturn]] void panic(const std::string &msg);
 
-/**
- * Check an internal invariant; panic with @p msg when @p cond is false.
- * Unlike assert() this is active in release builds: the simulator's
- * numbers are meaningless if its invariants do not hold.
- */
-inline void
-checkInvariant(bool cond, const std::string &msg)
-{
-    if (!cond)
-        panic(msg);
-}
-
-/**
- * Literal-message overload: hot paths (per-element tensor accesses,
- * inner simulation loops) must not pay a std::string construction
- * per check — the message is materialized only on failure.
- */
-inline void
-checkInvariant(bool cond, const char *msg)
-{
-    if (!cond)
-        panic(msg);
-}
-
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_LOGGING_H

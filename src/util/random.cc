@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -66,7 +67,7 @@ Xoshiro256::nextDouble()
 uint64_t
 Xoshiro256::nextBounded(uint64_t bound)
 {
-    checkInvariant(bound > 0, "nextBounded: bound must be positive");
+    PRA_CHECK(bound > 0, "nextBounded: bound must be positive");
     // Lemire's nearly-divisionless method with rejection.
     uint64_t x = next();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -85,7 +86,7 @@ Xoshiro256::nextBounded(uint64_t bound)
 int64_t
 Xoshiro256::nextInRange(int64_t lo, int64_t hi)
 {
-    checkInvariant(lo <= hi, "nextInRange: lo must be <= hi");
+    PRA_CHECK(lo <= hi, "nextInRange: lo must be <= hi");
     uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
     return lo + static_cast<int64_t>(nextBounded(span));
 }
@@ -119,7 +120,7 @@ Xoshiro256::nextGaussian()
 double
 Xoshiro256::nextExponential(double lambda)
 {
-    checkInvariant(lambda > 0.0, "nextExponential: lambda must be > 0");
+    PRA_CHECK(lambda > 0.0, "nextExponential: lambda must be > 0");
     double u = nextDouble();
     if (u <= 0.0)
         u = 0x1.0p-53;

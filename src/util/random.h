@@ -8,8 +8,7 @@
  * whose distribution implementations are not portable.
  */
 
-#ifndef PRA_UTIL_RANDOM_H
-#define PRA_UTIL_RANDOM_H
+#pragma once
 
 #include <cstdint>
 #include <string_view>
@@ -86,4 +85,3 @@ class Xoshiro256
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_RANDOM_H

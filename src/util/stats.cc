@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -66,14 +67,14 @@ Histogram::add(uint64_t sample, uint64_t weight)
 uint64_t
 Histogram::bucket(uint32_t index) const
 {
-    checkInvariant(index < buckets_.size(), "Histogram bucket out of range");
+    PRA_CHECK(index < buckets_.size(), "Histogram bucket out of range");
     return buckets_[index];
 }
 
 uint64_t
 Histogram::percentile(double fraction) const
 {
-    checkInvariant(fraction >= 0.0 && fraction <= 1.0,
+    PRA_CHECK(fraction >= 0.0 && fraction <= 1.0,
                    "percentile fraction must be in [0,1]");
     if (count_ == 0)
         return 0;

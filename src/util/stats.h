@@ -6,8 +6,7 @@
  * plain value types; a StatRegistry groups named stats for reporting.
  */
 
-#ifndef PRA_UTIL_STATS_H
-#define PRA_UTIL_STATS_H
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -134,4 +133,3 @@ class StatRegistry
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_STATS_H

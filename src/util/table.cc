@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -11,13 +12,13 @@ namespace util {
 TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
-    checkInvariant(!headers_.empty(), "TextTable needs at least one column");
+    PRA_CHECK(!headers_.empty(), "TextTable needs at least one column");
 }
 
 void
 TextTable::addRow(std::vector<std::string> cells)
 {
-    checkInvariant(cells.size() == headers_.size(),
+    PRA_CHECK(cells.size() == headers_.size(),
                    "TextTable row width mismatch");
     rows_.push_back(std::move(cells));
 }

@@ -6,8 +6,7 @@
  * reproduces; TextTable keeps that output readable and diffable.
  */
 
-#ifndef PRA_UTIL_TABLE_H
-#define PRA_UTIL_TABLE_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ std::string formatPercent(double fraction, int decimals = 1);
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_TABLE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -29,11 +30,11 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> job)
 {
-    util::checkInvariant(static_cast<bool>(job),
+    PRA_CHECK(static_cast<bool>(job),
                          "ThreadPool: empty job");
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        util::checkInvariant(!stop_,
+        PRA_CHECK(!stop_,
                              "ThreadPool: submit after shutdown");
         queue_.push_back(std::move(job));
     }
@@ -43,11 +44,11 @@ ThreadPool::submit(std::function<void()> job)
 void
 ThreadPool::submitFirst(std::function<void()> job)
 {
-    util::checkInvariant(static_cast<bool>(job),
+    PRA_CHECK(static_cast<bool>(job),
                          "ThreadPool: empty job");
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        util::checkInvariant(!stop_,
+        PRA_CHECK(!stop_,
                              "ThreadPool: submit after shutdown");
         queue_.push_front(std::move(job));
     }
@@ -208,7 +209,7 @@ void
 InnerExecutor::forEachBlock(int blocks,
                             const std::function<void(int)> &fn) const
 {
-    util::checkInvariant(blocks >= 0, "forEachBlock: negative blocks");
+    PRA_CHECK(blocks >= 0, "forEachBlock: negative blocks");
     if (!pool_ || maxTasks_ <= 1 || blocks <= 1) {
         for (int b = 0; b < blocks; b++)
             fn(b);

@@ -18,8 +18,7 @@
  *    deadlock even when every worker is inside a group wait.
  */
 
-#ifndef PRA_UTIL_THREAD_POOL_H
-#define PRA_UTIL_THREAD_POOL_H
+#pragma once
 
 #include <condition_variable>
 #include <cstdint>
@@ -186,4 +185,3 @@ class InnerExecutor
 } // namespace util
 } // namespace pra
 
-#endif // PRA_UTIL_THREAD_POOL_H

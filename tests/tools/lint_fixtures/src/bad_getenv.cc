@@ -1,0 +1,8 @@
+// Seeded violation: ambient environment read in library code.
+#include <cstdlib>
+
+const char *
+homeDirectory()
+{
+    return std::getenv("HOME");
+}

@@ -1,0 +1,7 @@
+// Seeded violation: old-style include guard instead of #pragma once.
+#ifndef PRA_LINT_FIXTURE_BAD_HEADER_H
+#define PRA_LINT_FIXTURE_BAD_HEADER_H
+
+int fixtureValue();
+
+#endif // PRA_LINT_FIXTURE_BAD_HEADER_H

@@ -1,0 +1,9 @@
+// Seeded violation: platform randomness instead of util/random.h.
+#include <random>
+
+unsigned
+entropySeed()
+{
+    std::random_device device;
+    return device();
+}

@@ -1,0 +1,11 @@
+// Seeded violation: own header is not the first include, so its
+// self-containedness is never exercised by this translation unit.
+#include <vector>
+
+#include "bad_self.h"
+
+int
+selfContainedValue()
+{
+    return static_cast<int>(std::vector<int>{1, 2, 3}.size());
+}

@@ -1,0 +1,8 @@
+// Seeded violation: stdout write from library code.
+#include <iostream>
+
+void
+reportProgress(int layer)
+{
+    std::cout << "layer " << layer << " done\n";
+}

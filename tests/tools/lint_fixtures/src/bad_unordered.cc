@@ -1,0 +1,14 @@
+// Seeded violation: hash-order iteration feeding an output row.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string>
+rowsInHashOrder()
+{
+    std::unordered_map<std::string, int> totals = {{"a", 1}, {"b", 2}};
+    std::vector<std::string> rows;
+    for (const auto &entry : totals)
+        rows.push_back(entry.first);
+    return rows;
+}

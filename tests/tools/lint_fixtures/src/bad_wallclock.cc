@@ -1,0 +1,9 @@
+// Seeded violation: wall-clock read inside a priced path.
+#include <chrono>
+
+double
+elapsedSeconds()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,9 @@
+// Seeded violation: float accumulation of a cycle count in a kernel.
+int
+scheduleLength(int bricks)
+{
+    double totalCycles = 0.0;
+    for (int i = 0; i < bricks; ++i)
+        totalCycles += 1.0;
+    return static_cast<int>(totalCycles);
+}

@@ -1,0 +1,27 @@
+// Every violation below carries a pra-lint suppression and must not
+// produce a finding; this file pins the allow() syntax (same line and
+// line-above forms) that docs/ARCHITECTURE.md documents.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+void
+suppressedSameLine()
+{
+    auto t0 = std::chrono::steady_clock::now(); // pra-lint: allow(wall-clock) fixture demo
+    (void)t0;
+}
+
+void
+suppressedLineAbove()
+{
+    // pra-lint: allow(stdout-in-lib) fixture demo of line-above form
+    std::cout << "suppressed\n";
+}
+
+void
+suppressedMultiRule()
+{
+    // pra-lint: allow(stdout-in-lib,wall-clock) both on one line below
+    printf("%ld", std::chrono::steady_clock::now().time_since_epoch().count());
+}

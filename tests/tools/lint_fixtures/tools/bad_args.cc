@@ -1,0 +1,10 @@
+// Seeded violation: ArgParser without checkUnknown -- typoed flags
+// would be silently ignored.
+#include "util/args.h"
+
+int
+main(int argc, char **argv)
+{
+    pra::util::ArgParser args(argc, argv);
+    return args.has("verbose") ? 1 : 0;
+}

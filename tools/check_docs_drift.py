@@ -10,7 +10,13 @@ Every tool and bench declares its accepted flags explicitly:
 
 This script extracts that set and asserts each flag appears as
 ``--flag`` in README.md's "CLI flag reference" table, so the table
-cannot silently rot when someone adds a flag. Run from anywhere:
+cannot silently rot when someone adds a flag.
+
+It also dead-link-checks the documentation: every relative markdown
+link in README.md, docs/ARCHITECTURE.md, and CHANGES.md must resolve
+to an existing file (links are rooted at the linking file's own
+directory, falling back to the repo root for CHANGES.md-style
+repo-rooted links). Run from anywhere:
 
     python3 tools/check_docs_drift.py
 """
@@ -66,6 +72,33 @@ def declared_flags():
     return flags
 
 
+# Markdown files whose relative links must resolve.
+LINKED_DOCS = ["README.md", "docs/ARCHITECTURE.md", "CHANGES.md"]
+
+# [text](target) pairs, excluding images' leading "!" is harmless.
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def dead_links():
+    """(doc, target) pairs whose relative link resolves to nothing."""
+    dead = []
+    for doc in LINKED_DOCS:
+        path = REPO / doc
+        if not path.exists():
+            dead.append((doc, "<the document itself is missing>"))
+            continue
+        for target in MD_LINK_RE.findall(path.read_text(encoding="utf-8")):
+            if re.match(r"[a-z][a-z0-9+.-]*:", target):
+                continue  # http:, https:, mailto: ...
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue  # pure in-page anchor
+            candidates = [path.parent / rel, REPO / rel]
+            if not any(c.exists() for c in candidates):
+                dead.append((doc, target))
+    return dead
+
+
 def main():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     flags = declared_flags()
@@ -97,9 +130,21 @@ def main():
         )
         return 1
 
+    dead = dead_links()
+    if dead:
+        print(
+            "check_docs_drift: dead relative links (target file does "
+            "not exist):",
+            file=sys.stderr,
+        )
+        for doc, target in dead:
+            print(f"  {doc}: ({target})", file=sys.stderr)
+        return 1
+
     print(
         f"check_docs_drift: OK — {len(flags)} flags all documented "
-        "in README.md"
+        f"in README.md; relative links in {', '.join(LINKED_DOCS)} "
+        "all resolve"
     )
     return 0
 
