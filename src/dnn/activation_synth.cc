@@ -227,12 +227,16 @@ ActivationSynthesizer::ActivationSynthesizer(const Network &network,
 }
 
 NeuronTensor
-ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
+ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized,
+                                     int image) const
 {
     const auto &layer = network_.layers.at(layer_idx);
     PRA_CHECK(layer.priced(),
                          "synthesizeRaw: pool layers have no "
                          "synthetic stream (they are never priced)");
+    PRA_CHECK(image >= 0,
+                         "synthesizeRaw: batch image index must be "
+                         "non-negative");
     SynthParams params =
         quantized ? quant8Params_ : fixed16Params_.at(layer_idx);
     if (quantized && layer_idx == 0 && layer.kind == LayerKind::Conv) {
@@ -257,9 +261,12 @@ ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
     // must use the ordinal.
     uint64_t position = static_cast<uint64_t>(
         layer.ordinal >= 0 ? layer.ordinal : layer_idx);
+    // Image 0's salt is zero, so single-image (batch-1) streams are
+    // byte-identical to the historical ones.
     uint64_t layer_seed = seed_ ^ util::fnv1a(network_.name) ^
                           util::fnv1a(layer.name) ^
-                          (quantized ? 0x9u : 0x1u) ^ (position << 32);
+                          (quantized ? 0x9u : 0x1u) ^ (position << 32) ^
+                          imageStreamSalt(image);
     util::Xoshiro256 rng(layer_seed);
 
     uint32_t core_max = (1u << params.precisionBits) - 1;
@@ -300,15 +307,16 @@ ActivationSynthesizer::synthesizeRaw(int layer_idx, bool quantized) const
 }
 
 NeuronTensor
-ActivationSynthesizer::synthesizeFixed16(int layer_idx) const
+ActivationSynthesizer::synthesizeFixed16(int layer_idx, int image) const
 {
-    return synthesizeRaw(layer_idx, false);
+    return synthesizeRaw(layer_idx, false, image);
 }
 
 NeuronTensor
-ActivationSynthesizer::synthesizeFixed16Trimmed(int layer_idx) const
+ActivationSynthesizer::synthesizeFixed16Trimmed(int layer_idx,
+                                                int image) const
 {
-    NeuronTensor tensor = synthesizeRaw(layer_idx, false);
+    NeuronTensor tensor = synthesizeRaw(layer_idx, false, image);
     const auto &layer = network_.layers.at(layer_idx);
     uint16_t mask = layer
                         .precisionWindow(
@@ -320,9 +328,9 @@ ActivationSynthesizer::synthesizeFixed16Trimmed(int layer_idx) const
 }
 
 NeuronTensor
-ActivationSynthesizer::synthesizeQuant8(int layer_idx) const
+ActivationSynthesizer::synthesizeQuant8(int layer_idx, int image) const
 {
-    return synthesizeRaw(layer_idx, true);
+    return synthesizeRaw(layer_idx, true, image);
 }
 
 const SynthParams &

@@ -153,9 +153,26 @@ SynthParams calibrateFixed16(const LayerSpec &layer,
 SynthParams calibrateQuant8(const BitStatsTargets &targets);
 
 /**
+ * Per-image stream-seed salt for batched workloads. Image 0 is the
+ * historical single-image stream (salt 0, so every committed golden
+ * is byte-identical); images 1.. derive well-mixed distinct salts, so
+ * a batch of B images prices B genuinely different activation
+ * streams of the same calibrated distribution.
+ */
+inline constexpr uint64_t
+imageStreamSalt(int image)
+{
+    if (image == 0)
+        return 0;
+    return util::fnv1aMix(
+        util::fnv1aMix(util::kFnv1aOffset, 0xba7c'0f00'd5'ee'd0'01ull),
+        static_cast<uint64_t>(image));
+}
+
+/**
  * Deterministic activation generator for a network. Layer tensors are
- * reproducible: the stream for (network, layer, representation) only
- * depends on the seed.
+ * reproducible: the stream for (network, layer, representation,
+ * batch image) only depends on the seed.
  */
 class ActivationSynthesizer
 {
@@ -170,9 +187,12 @@ class ActivationSynthesizer
 
     /**
      * Synthesize the raw 16-bit fixed-point input stream of layer
-     * @p layer_idx (untrimmed: suffix noise present).
+     * @p layer_idx (untrimmed: suffix noise present). @p image
+     * selects the batch image (imageStreamSalt): image 0 is the
+     * historical stream, every other index an independent draw from
+     * the same calibrated distribution.
      */
-    NeuronTensor synthesizeFixed16(int layer_idx) const;
+    NeuronTensor synthesizeFixed16(int layer_idx, int image = 0) const;
 
     /**
      * Same stream after software trimming: each neuron ANDed with the
@@ -180,10 +200,11 @@ class ActivationSynthesizer
      * synthesizeFixed16() so trimmed/untrimmed comparisons (Table V)
      * see the same underlying neurons.
      */
-    NeuronTensor synthesizeFixed16Trimmed(int layer_idx) const;
+    NeuronTensor synthesizeFixed16Trimmed(int layer_idx,
+                                          int image = 0) const;
 
     /** Synthesize the 8-bit quantized code stream (codes in 0..255). */
-    NeuronTensor synthesizeQuant8(int layer_idx) const;
+    NeuronTensor synthesizeQuant8(int layer_idx, int image = 0) const;
 
     const SynthParams &fixed16Params(int layer_idx) const;
     const SynthParams &quant8Params() const { return quant8Params_; }
@@ -194,7 +215,8 @@ class ActivationSynthesizer
     std::vector<SynthParams> fixed16Params_;
     SynthParams quant8Params_;
 
-    NeuronTensor synthesizeRaw(int layer_idx, bool quantized) const;
+    NeuronTensor synthesizeRaw(int layer_idx, bool quantized,
+                               int image) const;
 };
 
 /**

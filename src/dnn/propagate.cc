@@ -195,9 +195,11 @@ quantizeStream(const NeuronTensor &stream,
 }
 
 PropagatedChain
-propagateChain(const ActivationSynthesizer &synth)
+propagateChain(const ActivationSynthesizer &synth, int image)
 {
     const Network &net = synth.network();
+    PRA_CHECK(image >= 0, "propagateChain: batch image index must be "
+                          "non-negative");
     std::string why;
     if (!net.chainConsistent(&why))
         util::fatal("propagateChain: network '" + net.name +
@@ -261,8 +263,10 @@ propagateChain(const ActivationSynthesizer &synth)
         } else {
             NeuronTensor input16;
             if (j == 0) {
-                // The image stream, shared with synthetic mode.
-                input16 = synth.synthesizeFixed16(0);
+                // The image stream, shared with synthetic mode (the
+                // batch image index selects which image of a batched
+                // request this forward pass propagates).
+                input16 = synth.synthesizeFixed16(0, image);
                 chain.inputScale[j] = 1.0;
             } else {
                 // FC flattens the producer output into its column;

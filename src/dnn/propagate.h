@@ -78,10 +78,15 @@ struct PropagatedChain
  * Run the reference forward pass of @p synth's network (which must be
  * chain-consistent — a full pipeline with its pool layers, not a
  * filtered selection; fatal() otherwise). Layer 0's input is
- * synth.synthesizeFixed16(0); filters come from synthesizeFilters()
- * seeded by (synth.seed() ^ kPropagationFilterSalt).
+ * synth.synthesizeFixed16(0, image); filters come from
+ * synthesizeFilters() seeded by (synth.seed() ^
+ * kPropagationFilterSalt) — the whole batch shares one trained model,
+ * so filters do not vary with @p image, only the input image (and
+ * hence every propagated stream) does. Image 0 is the historical
+ * chain, byte-identical to the pre-batch pipeline.
  */
-PropagatedChain propagateChain(const ActivationSynthesizer &synth);
+PropagatedChain propagateChain(const ActivationSynthesizer &synth,
+                               int image = 0);
 
 /**
  * Pool the int64 activation tensor @p input through pool layer

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace pra {
@@ -46,6 +47,24 @@ Engine::runNetwork(const dnn::Network &network,
 {
     return runNetwork(network, WorkloadSource(activations), accel,
                       sample, util::InnerExecutor());
+}
+
+NetworkResult
+Engine::runBatch(const dnn::Network &network,
+                 const WorkloadSource &source, const AccelConfig &accel,
+                 const SampleSpec &sample,
+                 const util::InnerExecutor &exec, int batch) const
+{
+    PRA_CHECK(batch >= 1, "runBatch: batch size must be >= 1");
+    NetworkResult result = runNetwork(network, source.withImage(0),
+                                      accel, sample, exec);
+    for (int b = 1; b < batch; b++)
+        accumulateBatchImage(result,
+                             runNetwork(network, source.withImage(b),
+                                        accel, sample, exec));
+    for (auto &layer : result.layers)
+        layer.batchImages = batch;
+    return result;
 }
 
 } // namespace sim

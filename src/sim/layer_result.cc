@@ -71,6 +71,42 @@ NetworkResult::memoryModeled() const
     return false;
 }
 
+int
+NetworkResult::batchImages() const
+{
+    if (layers.empty())
+        return 1;
+    int batch = layers.front().batchImages;
+    for (const auto &layer : layers)
+        PRA_CHECK(layer.batchImages == batch,
+                  "batchImages: layers disagree on the batch size");
+    return batch;
+}
+
+void
+accumulateBatchImage(NetworkResult &total, const NetworkResult &image)
+{
+    PRA_CHECK(total.networkName == image.networkName &&
+                  total.engineName == image.engineName,
+              "accumulateBatchImage: results from different runs");
+    PRA_CHECK(total.layers.size() == image.layers.size(),
+              "accumulateBatchImage: layer count mismatch");
+    for (size_t i = 0; i < total.layers.size(); i++) {
+        LayerResult &sum = total.layers[i];
+        const LayerResult &add = image.layers[i];
+        PRA_CHECK(sum.layerName == add.layerName &&
+                      sum.sampleScale == add.sampleScale,
+                  "accumulateBatchImage: layer mismatch");
+        PRA_CHECK(!sum.memoryModeled && !add.memoryModeled,
+                  "accumulateBatchImage: memory columns must be "
+                  "applied to the finished batch, not per image");
+        sum.cycles += add.cycles;
+        sum.effectualTerms += add.effectualTerms;
+        sum.nmStallCycles += add.nmStallCycles;
+        sum.sbReadSteps += add.sbReadSteps;
+    }
+}
+
 double
 NetworkResult::speedupOver(const NetworkResult &baseline) const
 {

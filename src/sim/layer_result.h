@@ -58,6 +58,15 @@ struct LayerResult
     double sbReadSteps = 0.0;    ///< Synapse-buffer read operations.
     double sampleScale = 1.0;    ///< Applied sampling scale factor.
 
+    /**
+     * Images this result covers: 1 for the historical single-image
+     * run, B for an Engine::runBatch aggregate, where the count
+     * columns above are per-*batch* totals (the sum over the B
+     * per-image simulations). cyclesPerImage() recovers the
+     * per-image view; a batch of 1 is byte-identical to a plain run.
+     */
+    int batchImages = 1;
+
     bool memoryModeled = false;  ///< Memory columns below are live.
     double onChipBytes = 0.0;    ///< GB <-> scratchpad traffic.
     double offChipBytes = 0.0;   ///< DRAM traffic.
@@ -66,6 +75,13 @@ struct LayerResult
 
     /** Compute cycles plus memory stalls (== cycles when off). */
     double systemCycles() const { return cycles + memStallCycles; }
+
+    /** Per-image compute cycles (== cycles at batch 1). */
+    double
+    cyclesPerImage() const
+    {
+        return cycles / static_cast<double>(batchImages);
+    }
 };
 
 /** Results for all layers of a network on one engine. */
@@ -87,6 +103,12 @@ struct NetworkResult
     /** True when any layer carries live memory columns. */
     bool memoryModeled() const;
 
+    /** Images per batch (layers agree by construction; 1 if empty). */
+    int batchImages() const;
+
+    /** True when this result aggregates more than one image. */
+    bool batched() const { return batchImages() > 1; }
+
     /**
      * Execution-time speedup of this result relative to @p baseline
      * (baseline cycles / these cycles), the paper's performance
@@ -99,6 +121,19 @@ struct NetworkResult
 
 /** Geometric mean of a list of per-network speedups ("geo" columns). */
 double geometricMean(const std::vector<double> &values);
+
+/**
+ * Accumulate one further image's network result into a batch
+ * aggregate: layer-wise sums of cycles, effectualTerms, nmStallCycles
+ * and sbReadSteps. Both results must cover the same layers on the
+ * same engine with the same sampling scale, and must not carry
+ * memory columns yet (the memory model prices the *batch*, post-hoc,
+ * via applyMemoryModel — per-image memory columns would double count
+ * the shared filter traffic). batchImages is left for the caller
+ * (Engine::runBatch) to stamp once the batch is complete.
+ */
+void accumulateBatchImage(NetworkResult &total,
+                          const NetworkResult &image);
 
 } // namespace sim
 } // namespace pra

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/tiling.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -13,20 +14,11 @@ namespace {
 /** Bytes per 16-bit neuron/synapse word. */
 constexpr double kWordBytes = 2.0;
 
-/** Pallets per pass: ceil(windows / windowsPerPallet). */
-double
-numPallets(const dnn::LayerSpec &layer, const AccelConfig &accel)
-{
-    int64_t windows = layer.windows();
-    int64_t per = accel.windowsPerPallet;
-    return static_cast<double>((windows + per - 1) / per);
-}
-
 } // namespace
 
 LayerTraffic
 layerTraffic(const dnn::LayerSpec &layer, const AccelConfig &accel,
-             const MemoryConfig &memory)
+             const MemoryConfig &memory, int batch)
 {
     PRA_CHECK(memory.enabled && memory.valid(),
                          "layerTraffic: disabled or invalid memory "
@@ -34,32 +26,43 @@ layerTraffic(const dnn::LayerSpec &layer, const AccelConfig &accel,
     PRA_CHECK(layer.priced(),
                          "layerTraffic: pool layers carry no priced "
                          "traffic");
+    PRA_CHECK(batch >= 1, "layerTraffic: batch must be >= 1");
 
     LayerTraffic t;
     double passes = static_cast<double>(accel.passes(layer.numFilters));
-    double pallets = numPallets(layer, accel);
-    t.tileSteps = std::max(1.0, passes * pallets);
+    double pallets = static_cast<double>(
+        LayerTiling::palletCount(layer, accel));
+    double images = static_cast<double>(batch);
+    t.tileSteps = std::max(1.0, passes * pallets * images);
 
+    // ifmap/ofmap are per-image tensors, filters the shared model:
+    // a batch streams B inputs and writes B outputs against one set
+    // of weights. Every factor is * 1.0 at batch 1, so single-image
+    // traffic is bit-identical to the pre-batch model.
     t.ifmapBytes =
-        static_cast<double>(layer.inputNeurons()) * kWordBytes;
+        static_cast<double>(layer.inputNeurons()) * kWordBytes * images;
     t.filterBytes = static_cast<double>(layer.synapses()) * kWordBytes;
     t.ofmapBytes =
-        static_cast<double>(layer.outputNeurons()) * kWordBytes;
+        static_cast<double>(layer.outputNeurons()) * kWordBytes * images;
 
     // One pass's filter slice per tile: filtersPerTile filters of
-    // synapsesPerFilter words. Resident slices load once per pass;
-    // oversized slices re-stream from the global buffer per pallet.
+    // synapsesPerFilter words. Resident slices load once per pass
+    // and serve the whole batch (pass-major, image-minor execution);
+    // oversized slices re-stream from the global buffer per
+    // (image, pallet).
     double slice_bytes = static_cast<double>(accel.filtersPerTile) *
                          static_cast<double>(layer.synapsesPerFilter()) *
                          kWordBytes;
     t.weightsResident =
         memory.ideal || slice_bytes <= memory.weightSpadBytes;
     double filter_gb =
-        t.filterBytes * (t.weightsResident ? 1.0 : pallets);
+        t.filterBytes * (t.weightsResident ? 1.0 : pallets * images);
     t.onChipBytes = t.ifmapBytes * passes + filter_gb + t.ofmapBytes;
 
-    // Off-chip: compulsory-only when the working set fits the global
-    // buffer; otherwise the ifmap re-crosses the channel every pass.
+    // Off-chip: compulsory-only when the batch working set fits the
+    // global buffer; otherwise every ifmap re-crosses the channel
+    // each pass. Filters cross once regardless of the batch — the
+    // amortization that makes batched FC serving worthwhile.
     double working_set = t.ifmapBytes + t.filterBytes + t.ofmapBytes;
     t.fitsGlobalBuffer =
         memory.ideal || working_set <= memory.gbCapacityBytes;
@@ -92,7 +95,8 @@ applyMemoryModel(const dnn::LayerSpec &layer, const AccelConfig &accel,
     const MemoryConfig &memory = accel.memory;
     if (!memory.enabled)
         return;
-    LayerTraffic traffic = layerTraffic(layer, accel, memory);
+    LayerTraffic traffic =
+        layerTraffic(layer, accel, memory, result.batchImages);
     result.onChipBytes = traffic.onChipBytes;
     result.offChipBytes = traffic.offChipBytes;
     result.memStallCycles =

@@ -14,18 +14,26 @@
  * and pallet-minor (sim/tiling.h). Per layer:
  *
  *  - **on-chip** (global buffer <-> scratchpads):
- *      * ifmap: the input streams through the NBin-class scratchpad
- *        once per pass — inputNeurons * 2 * passes bytes;
+ *      * ifmap: each image's input streams through the NBin-class
+ *        scratchpad once per pass — inputNeurons * 2 * B * passes
+ *        bytes for a batch of B images;
  *      * filters: each pass's filter slice loads once when the
  *        per-tile slice (filtersPerTile * synapsesPerFilter words)
- *        fits the weight scratchpad half, and re-streams per pallet
- *        when it does not — synapses * 2 * (1 or numPallets) bytes;
- *      * ofmap: written back once — outputNeurons * 2 bytes.
+ *        fits the weight scratchpad half — the whole batch reuses it,
+ *        since execution is pass-major and image-minor, so resident
+ *        filter traffic does NOT scale with B (the classic batching
+ *        amortization) — and re-streams per (image, pallet) when it
+ *        does not — synapses * 2 * (1 or numPallets * B) bytes;
+ *      * ofmap: written back once per image — outputNeurons * 2 * B
+ *        bytes.
  *  - **off-chip** (DRAM <-> global buffer): compulsory-only when the
- *    layer's whole working set (ifmap + filters + ofmap) fits the
- *    global buffer; otherwise the ifmap is re-fetched from DRAM on
- *    every pass (filters are consumed by exactly one pass each, so
- *    they cross the channel once either way).
+ *    batch working set (B ifmaps + filters + B ofmaps) fits the
+ *    global buffer; otherwise each ifmap is re-fetched from DRAM on
+ *    every pass. Filters are consumed by exactly one pass each and
+ *    shared by the whole batch, so they cross the channel once
+ *    regardless of B — which is why the off-chip bytes of a batch-B
+ *    run are strictly below B times the batch-1 run on any
+ *    filter-heavy (FC) layer.
  *
  * ## Stalls (double-buffered fetch/compute overlap)
  *
@@ -64,14 +72,14 @@ namespace sim {
 /** Per-layer memory traffic, in bytes (see file comment). */
 struct LayerTraffic
 {
-    double ifmapBytes = 0.0;  ///< Unique input bytes (geometry).
-    double filterBytes = 0.0; ///< Unique synapse bytes (geometry).
-    double ofmapBytes = 0.0;  ///< Unique output bytes (geometry).
+    double ifmapBytes = 0.0;  ///< Batch input bytes (unique * B).
+    double filterBytes = 0.0; ///< Unique synapse bytes (shared by B).
+    double ofmapBytes = 0.0;  ///< Batch output bytes (unique * B).
 
     double onChipBytes = 0.0;  ///< GB <-> scratchpad traffic.
     double offChipBytes = 0.0; ///< DRAM <-> GB traffic.
 
-    /** Uniform double-buffer tile steps (passes * pallets). */
+    /** Uniform double-buffer tile steps (passes * pallets * B). */
     double tileSteps = 1.0;
 
     /** True when the working set fits the global buffer (or ideal). */
@@ -81,13 +89,15 @@ struct LayerTraffic
 };
 
 /**
- * Traffic of @p layer under @p accel and @p memory (which must be
- * enabled and valid; panic otherwise). Pool layers carry no priced
- * traffic and must not be passed here.
+ * Traffic of a batch of @p batch images (>= 1) of @p layer under
+ * @p accel and @p memory (which must be enabled and valid; panic
+ * otherwise). Pool layers carry no priced traffic and must not be
+ * passed here. batch == 1 reproduces the historical single-image
+ * traffic exactly (every batch factor is a multiply by 1.0).
  */
 LayerTraffic layerTraffic(const dnn::LayerSpec &layer,
                           const AccelConfig &accel,
-                          const MemoryConfig &memory);
+                          const MemoryConfig &memory, int batch = 1);
 
 /**
  * Stall cycles of the overlap rule (file comment) for @p traffic
@@ -100,8 +110,8 @@ double memoryStallCycles(const LayerTraffic &traffic,
 /**
  * Fill @p result's memory columns (onChipBytes, offChipBytes,
  * memStallCycles, bandwidthBound, memoryModeled) from @p layer's
- * traffic and the result's own compute cycles. No-op when
- * accel.memory is disabled.
+ * traffic — at the result's own batchImages — and the result's
+ * per-batch compute cycles. No-op when accel.memory is disabled.
  */
 void applyMemoryModel(const dnn::LayerSpec &layer,
                       const AccelConfig &accel, LayerResult &result);

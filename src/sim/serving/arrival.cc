@@ -1,0 +1,80 @@
+#include "sim/serving/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+/** Domain tag so arrival draws never collide with workload seeds. */
+constexpr uint64_t kArrivalSalt = 0xa441'7a1e'5eed'0001ull;
+
+} // namespace
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Uniform: return "uniform";
+      case ArrivalKind::Poisson: return "poisson";
+    }
+    util::fatal("arrivalKindName: bad kind");
+}
+
+ArrivalKind
+parseArrivalKind(const std::string &text)
+{
+    if (text == "uniform")
+        return ArrivalKind::Uniform;
+    if (text == "poisson")
+        return ArrivalKind::Poisson;
+    util::fatal("--arrival must be uniform or poisson (got '" + text +
+                "')");
+}
+
+uint64_t
+arrivalGap(const ArrivalSpec &spec, int index)
+{
+    PRA_CHECK(spec.meanGapCycles >= 1.0,
+              "arrivalGap: mean gap must be at least one cycle");
+    PRA_CHECK(index >= 0, "arrivalGap: negative request index");
+    double gap = spec.meanGapCycles;
+    if (spec.kind == ArrivalKind::Poisson) {
+        // A fresh generator per index, seeded by a mix of (seed,
+        // index): the draw depends on nothing but its own counter.
+        util::Xoshiro256 rng(util::fnv1aMix(
+            util::fnv1aMix(util::fnv1aMix(util::kFnv1aOffset,
+                                          kArrivalSalt),
+                           spec.seed),
+            static_cast<uint64_t>(index)));
+        gap = spec.meanGapCycles * rng.nextExponential(1.0);
+    }
+    // Round half away from zero and clamp to one full cycle: two
+    // requests never alias onto the same draw, and cycle time stays
+    // integral.
+    return std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(gap)));
+}
+
+std::vector<uint64_t>
+generateArrivals(const ArrivalSpec &spec, int count)
+{
+    PRA_CHECK(count >= 1, "generateArrivals: need at least one "
+                          "request");
+    std::vector<uint64_t> arrivals(static_cast<size_t>(count));
+    uint64_t now = 0;
+    for (int i = 0; i < count; i++) {
+        now += arrivalGap(spec, i);
+        arrivals[static_cast<size_t>(i)] = now;
+    }
+    return arrivals;
+}
+
+} // namespace sim
+} // namespace pra

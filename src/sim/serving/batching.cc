@@ -1,0 +1,36 @@
+#include "sim/serving/batching.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pra {
+namespace sim {
+
+uint64_t
+dispatchCycle(const BatchingPolicy &policy, uint64_t instance_free,
+              uint64_t head_arrival, uint64_t fill_arrival)
+{
+    PRA_CHECK(policy.maxBatch >= 1,
+              "dispatchCycle: maxBatch must be >= 1");
+    PRA_CHECK(fill_arrival == kNeverFills ||
+                  fill_arrival >= head_arrival,
+              "dispatchCycle: fill precedes head");
+    // Wait for a full batch or the head's timeout, whichever comes
+    // first; the timeout deadline saturates rather than wrapping for
+    // huge --timeout values.
+    uint64_t deadline =
+        head_arrival > kNeverFills - policy.timeoutCycles
+            ? kNeverFills
+            : head_arrival + policy.timeoutCycles;
+    uint64_t ready = std::min(fill_arrival, deadline);
+    // A dispatch that can never fill under a saturated timeout would
+    // otherwise wait forever; the finite trace has nothing further
+    // to offer it, so it goes out as soon as its head is waiting.
+    if (ready == kNeverFills)
+        ready = head_arrival;
+    return std::max(instance_free, ready);
+}
+
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Batching policy for the serving simulator: when does a free
+ * accelerator instance launch, and how many queued requests does it
+ * take?
+ *
+ * The policy is the standard max-batch + timeout rule production
+ * inference servers use: a dispatcher would *like* to fill a batch
+ * of maxBatch requests (amortizing the filter traffic the
+ * batch-aware memory model prices), but will not hold the head
+ * request longer than timeoutCycles waiting for stragglers. The
+ * launch time of a dispatch whose head request arrived at H is
+ *
+ *     start = max(instance_free,
+ *                 min(arrival_of_the_batch-filling_request,
+ *                     H + timeoutCycles))
+ *
+ * and the batch is every request that has arrived by `start`, capped
+ * at maxBatch — so a saturated system runs full batches back to
+ * back, a lightly loaded one degenerates to batch-1 dispatch after
+ * the timeout, and timeoutCycles == 0 dispatches greedily the moment
+ * an instance frees up.
+ *
+ * The decision rule is a pure function of three cycle times, kept
+ * separate from the fleet event loop so tests can pin its corner
+ * cases (timeout wins / fill wins / busy-instance wins) directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace pra {
+namespace sim {
+
+/** Sentinel for "the batch never fills" (too few requests remain). */
+inline constexpr uint64_t kNeverFills = UINT64_C(0xffffffffffffffff);
+
+/** Max-batch + timeout dispatch policy. */
+struct BatchingPolicy
+{
+    int maxBatch = 8;           ///< Largest batch one dispatch takes.
+    uint64_t timeoutCycles = 0; ///< Max head-of-line wait (0: greedy).
+};
+
+/**
+ * Launch cycle of the next dispatch: the instance is free at
+ * @p instance_free, the head (oldest waiting) request arrived at
+ * @p head_arrival, and the request that would fill the batch arrives
+ * at @p fill_arrival (kNeverFills when fewer than maxBatch requests
+ * remain). See file comment for the rule.
+ */
+uint64_t dispatchCycle(const BatchingPolicy &policy,
+                       uint64_t instance_free, uint64_t head_arrival,
+                       uint64_t fill_arrival);
+
+} // namespace sim
+} // namespace pra

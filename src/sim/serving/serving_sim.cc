@@ -1,0 +1,263 @@
+#include "sim/serving/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "sim/memory/memory_model.h"
+#include "util/csv.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+std::string
+roundTrip(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+BatchCostCurve
+buildBatchCostCurve(const dnn::Network &network, const Engine &engine,
+                    const WorkloadSource &source,
+                    const AccelConfig &accel, const SampleSpec &sample,
+                    const util::InnerExecutor &exec, int max_batch)
+{
+    PRA_CHECK(max_batch >= 1,
+              "buildBatchCostCurve: max_batch must be >= 1");
+    BatchCostCurve curve;
+    curve.networkName = network.name;
+    curve.engineName = engine.name();
+    curve.batchSystemCycles.reserve(static_cast<size_t>(max_batch));
+
+    // One engine pass per image, accumulated exactly the way
+    // Engine::runBatch accumulates — so pricing prefix b (stamp the
+    // batch size, apply the memory model to a copy) reproduces a
+    // standalone runBatch(b) bit for bit, at max_batch passes total
+    // instead of one per (prefix, image) pair.
+    NetworkResult acc = engine.runNetwork(network, source.withImage(0),
+                                          accel, sample, exec);
+    for (int b = 1; b <= max_batch; b++) {
+        if (b > 1)
+            accumulateBatchImage(
+                acc, engine.runNetwork(network, source.withImage(b - 1),
+                                       accel, sample, exec));
+        NetworkResult priced = acc;
+        for (auto &layer : priced.layers)
+            layer.batchImages = b;
+        applyMemoryModel(network, accel, priced);
+        curve.batchSystemCycles.push_back(priced.totalSystemCycles());
+    }
+    return curve;
+}
+
+ServingReport
+simulateServing(const BatchCostCurve &curve, const ServingConfig &config)
+{
+    PRA_CHECK(config.instances >= 1,
+              "simulateServing: need at least one instance");
+    PRA_CHECK(config.requests >= 1,
+              "simulateServing: need at least one request");
+    PRA_CHECK(config.policy.maxBatch >= 1 &&
+                  static_cast<size_t>(config.policy.maxBatch) <=
+                      curve.batchSystemCycles.size(),
+              "simulateServing: cost curve does not cover maxBatch");
+
+    const std::vector<uint64_t> arrivals =
+        generateArrivals(config.arrival, config.requests);
+    const size_t n = arrivals.size();
+    const size_t max_batch =
+        static_cast<size_t>(config.policy.maxBatch);
+
+    std::vector<uint64_t> free_at(
+        static_cast<size_t>(config.instances), 0);
+    util::Histogram latencies = util::Histogram::logSpaced(
+        kLatencyHistogramMax, kLatencyHistogramSubBits);
+    uint64_t makespan = 0;
+    double busy_cycles = 0.0;
+    int64_t dispatches = 0;
+
+    size_t k = 0;
+    while (k < n) {
+        // Earliest-free instance, lowest id on ties: a strict-<
+        // linear scan gives exactly that ordering.
+        size_t j = 0;
+        for (size_t i = 1; i < free_at.size(); i++)
+            if (free_at[i] < free_at[j])
+                j = i;
+
+        const uint64_t head = arrivals[k];
+        const size_t fill_idx = k + max_batch - 1;
+        const uint64_t fill =
+            fill_idx < n ? arrivals[fill_idx] : kNeverFills;
+        const uint64_t start =
+            dispatchCycle(config.policy, free_at[j], head, fill);
+
+        // Everything that has arrived by launch rides along, up to
+        // the batch cap; the head itself always has (head <= start).
+        size_t take = 1;
+        while (take < max_batch && k + take < n &&
+               arrivals[k + take] <= start)
+            take++;
+
+        const double cost = curve.batchSystemCycles[take - 1];
+        const uint64_t cost_cycles = std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::llround(cost)));
+        const uint64_t done = start + cost_cycles;
+        for (size_t r = k; r < k + take; r++)
+            latencies.add(done - arrivals[r]);
+        busy_cycles += static_cast<double>(cost_cycles);
+        free_at[j] = done;
+        makespan = std::max(makespan, done);
+        dispatches++;
+        k += take;
+    }
+
+    ServingReport report;
+    report.networkName = curve.networkName;
+    report.engineName = curve.engineName;
+    report.arrivalKind = config.arrival.kind;
+    report.offeredPerSecond =
+        kCyclesPerSecond / config.arrival.meanGapCycles;
+    report.instances = config.instances;
+    report.maxBatch = config.policy.maxBatch;
+    report.timeoutCycles = config.policy.timeoutCycles;
+    report.requests = config.requests;
+    report.dispatches = dispatches;
+    report.meanBatch = static_cast<double>(config.requests) /
+                       static_cast<double>(dispatches);
+    report.p50Cycles = latencies.percentile(0.50);
+    report.p95Cycles = latencies.percentile(0.95);
+    report.p99Cycles = latencies.percentile(0.99);
+    report.meanLatencyCycles = latencies.mean();
+    report.imagesPerSecond = static_cast<double>(config.requests) *
+                             kCyclesPerSecond /
+                             static_cast<double>(makespan);
+    report.utilization =
+        busy_cycles / (static_cast<double>(config.instances) *
+                       static_cast<double>(makespan));
+    report.makespanCycles = makespan;
+    return report;
+}
+
+std::vector<ServingReport>
+runServingSweep(const std::vector<dnn::Network> &networks,
+                const std::vector<EngineSelection> &engines,
+                const EngineRegistry &registry,
+                const ServingSweepOptions &options)
+{
+    PRA_CHECK(!networks.empty() && !engines.empty(),
+              "runServingSweep: empty grid");
+    PRA_CHECK(!options.offeredPerSecond.empty(),
+              "runServingSweep: no offered rates");
+    for (double rate : options.offeredPerSecond)
+        PRA_CHECK(rate > 0.0 && rate <= kCyclesPerSecond,
+                  "runServingSweep: offered rate must be in "
+                  "(0, 1e9] images/s");
+    // Validate every selection up front, as runSweep does.
+    for (const auto &sel : engines)
+        registry.create(sel);
+
+    const size_t cells = networks.size() * engines.size();
+    std::vector<BatchCostCurve> curves(cells);
+
+    WorkloadCache cache;
+    WorkloadCache *shared = options.cache ? &cache : nullptr;
+
+    auto buildCell = [&](size_t net_idx, size_t eng_idx,
+                         const util::InnerExecutor &exec) {
+        const dnn::Network &network = networks[net_idx];
+        std::unique_ptr<Engine> engine =
+            registry.create(engines[eng_idx]);
+        std::shared_ptr<const dnn::ActivationSynthesizer> synth =
+            shared ? shared->synthesizer(network, options.seed)
+                   : std::make_shared<const dnn::ActivationSynthesizer>(
+                         network, options.seed);
+        WorkloadSource source =
+            shared ? WorkloadSource(*synth, *shared,
+                                    options.activations)
+                   : WorkloadSource(*synth, options.activations);
+        curves[net_idx * engines.size() + eng_idx] =
+            buildBatchCostCurve(network, *engine, source,
+                                options.accel, options.sample, exec,
+                                options.serving.policy.maxBatch);
+    };
+
+    // Stage 1 — expensive, parallel: cost curves fan out like sweep
+    // cells, and every curve is bit-identical across schedules.
+    if (options.threads <= 1) {
+        for (size_t n = 0; n < networks.size(); n++)
+            for (size_t e = 0; e < engines.size(); e++)
+                buildCell(n, e, util::InnerExecutor());
+    } else {
+        util::ThreadPool pool(options.threads);
+        int inner = options.innerThreads;
+        if (inner <= 0)
+            inner = cells >= static_cast<size_t>(options.threads)
+                        ? 1
+                        : static_cast<int>(
+                              (options.threads + cells - 1) / cells);
+        util::InnerExecutor exec(&pool, inner);
+        for (size_t n = 0; n < networks.size(); n++)
+            for (size_t e = 0; e < engines.size(); e++)
+                pool.submit([&buildCell, &exec, n, e] {
+                    buildCell(n, e, exec);
+                });
+        pool.wait();
+    }
+
+    // Stage 2 — cheap, serial: one event loop per (cell, rate), in
+    // fixed report order.
+    std::vector<ServingReport> reports;
+    reports.reserve(cells * options.offeredPerSecond.size());
+    for (const auto &curve : curves) {
+        for (double rate : options.offeredPerSecond) {
+            ServingConfig config = options.serving;
+            config.arrival.meanGapCycles = kCyclesPerSecond / rate;
+            reports.push_back(simulateServing(curve, config));
+        }
+    }
+    return reports;
+}
+
+void
+writeServingCsv(std::ostream &out,
+                const std::vector<ServingReport> &reports)
+{
+    util::CsvWriter csv(out);
+    csv.writeHeader({"network", "engine", "arrival", "offered_per_s",
+                     "instances", "max_batch", "timeout_cycles",
+                     "requests", "dispatches", "mean_batch",
+                     "p50_cycles", "p95_cycles", "p99_cycles",
+                     "mean_latency_cycles", "images_per_s",
+                     "utilization", "makespan_cycles"});
+    for (const auto &r : reports)
+        csv.writeRow({r.networkName, r.engineName,
+                      arrivalKindName(r.arrivalKind),
+                      roundTrip(r.offeredPerSecond),
+                      std::to_string(r.instances),
+                      std::to_string(r.maxBatch),
+                      std::to_string(r.timeoutCycles),
+                      std::to_string(r.requests),
+                      std::to_string(r.dispatches),
+                      roundTrip(r.meanBatch),
+                      std::to_string(r.p50Cycles),
+                      std::to_string(r.p95Cycles),
+                      std::to_string(r.p99Cycles),
+                      roundTrip(r.meanLatencyCycles),
+                      roundTrip(r.imagesPerSecond),
+                      roundTrip(r.utilization),
+                      std::to_string(r.makespanCycles)});
+}
+
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Event-driven multi-instance serving simulation on top of the
+ * per-batch cost substrate.
+ *
+ * The sweep machinery answers "how many cycles does a batch of B
+ * images of network N cost on engine E?"; this module answers the
+ * capacity-planning question the ROADMAP's north star actually asks:
+ * "given an arrival rate, a batching policy, and a fleet of
+ * identical accelerator instances, what latency distribution and
+ * throughput does that design point deliver?"
+ *
+ * The pipeline has three stages:
+ *
+ *  1. **Cost curve** (buildBatchCostCurve): per (network, engine),
+ *     the system cycles of a batch of 1..maxBatch images, built
+ *     *incrementally* — one engine pass per image, accumulated
+ *     exactly like Engine::runBatch, memory model applied to each
+ *     prefix — so entry b-1 is bit-identical to a standalone
+ *     --batch=b sweep of the same cell and the whole curve costs
+ *     maxBatch engine passes, not maxBatch * (maxBatch + 1) / 2.
+ *  2. **Arrival trace** (sim/serving/arrival.h): counter-based
+ *     seeded arrivals, independent of evaluation order.
+ *  3. **Fleet event loop** (simulateServing): instances are
+ *     identical servers; the dispatcher repeatedly takes the
+ *     earliest-free instance (lowest id on ties), launches at the
+ *     cycle sim/serving/batching.h dictates, and charges the batch
+ *     the curve's cost. Single-threaded over a fixed-order trace:
+ *     deterministic by construction, so serving reports are
+ *     byte-identical across --threads/--inner-threads/--cache (the
+ *     parallelism lives in stage 1, whose results are already
+ *     bit-identical across schedules).
+ *
+ * Latencies (completion - arrival, in cycles) feed a log-spaced
+ * util::Histogram; p50/p95/p99 are its conservative bucket bounds.
+ * Rates convert through the nominal 1 GHz clock (kCyclesPerSecond):
+ * the paper's designs are all specified at 1 GHz, so cycles and
+ * nanoseconds coincide.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dnn/network.h"
+#include "sim/accel_config.h"
+#include "sim/engine.h"
+#include "sim/engine_registry.h"
+#include "sim/sampling.h"
+#include "sim/serving/arrival.h"
+#include "sim/serving/batching.h"
+#include "sim/workload_cache.h"
+#include "util/thread_pool.h"
+
+namespace pra {
+namespace sim {
+
+/** Nominal accelerator clock: all paper designs run at 1 GHz. */
+inline constexpr double kCyclesPerSecond = 1e9;
+
+/**
+ * Latency histogram range: 2^42 cycles (~73 minutes at 1 GHz) with
+ * 2^6 buckets per power of two (<= 1.6% relative bucket width).
+ */
+inline constexpr uint64_t kLatencyHistogramMax = uint64_t{1} << 42;
+inline constexpr int kLatencyHistogramSubBits = 6;
+
+/** One serving design point (everything but the workload cell). */
+struct ServingConfig
+{
+    int instances = 1;     ///< Identical accelerator instances.
+    int requests = 256;    ///< Trace length (one image per request).
+    ArrivalSpec arrival;   ///< Arrival process (gap set per rate).
+    BatchingPolicy policy; ///< Max-batch + timeout dispatch rule.
+};
+
+/** System-cycle cost of batches of 1..maxBatch images of one cell. */
+struct BatchCostCurve
+{
+    std::string networkName;
+    std::string engineName;
+    /** [b-1]: system cycles of a batch of b (monotone in b). */
+    std::vector<double> batchSystemCycles;
+};
+
+/**
+ * Build the cost curve of (network, engine) for batches of
+ * 1..max_batch images; see file comment for the incremental
+ * construction and its bit-identity guarantee.
+ */
+BatchCostCurve buildBatchCostCurve(const dnn::Network &network,
+                                   const Engine &engine,
+                                   const WorkloadSource &source,
+                                   const AccelConfig &accel,
+                                   const SampleSpec &sample,
+                                   const util::InnerExecutor &exec,
+                                   int max_batch);
+
+/** Outcome of one serving simulation. */
+struct ServingReport
+{
+    std::string networkName;
+    std::string engineName;
+
+    ArrivalKind arrivalKind = ArrivalKind::Poisson;
+    double offeredPerSecond = 0.0; ///< Offered load (images/s, 1 GHz).
+    int instances = 1;
+    int maxBatch = 1;
+    uint64_t timeoutCycles = 0;
+    int requests = 0;
+
+    int64_t dispatches = 0;   ///< Batches launched.
+    double meanBatch = 0.0;   ///< requests / dispatches.
+    uint64_t p50Cycles = 0;   ///< Median request latency.
+    uint64_t p95Cycles = 0;
+    uint64_t p99Cycles = 0;
+    double meanLatencyCycles = 0.0;
+    double imagesPerSecond = 0.0; ///< Completed throughput at 1 GHz.
+    double utilization = 0.0; ///< Busy share of instances * makespan.
+    uint64_t makespanCycles = 0; ///< Last completion cycle.
+};
+
+/**
+ * Run the fleet event loop for one cost curve under @p config
+ * (whose policy.maxBatch must not exceed the curve's length).
+ * Deterministic: same inputs, same report, bit for bit.
+ */
+ServingReport simulateServing(const BatchCostCurve &curve,
+                              const ServingConfig &config);
+
+/** Options of a serving sweep over (networks x engines x rates). */
+struct ServingSweepOptions
+{
+    int threads = 1;    ///< Workers for cost-curve building.
+    int innerThreads = 0; ///< Layer-splitting subtasks (see sweep.h).
+    bool cache = true;  ///< Share workloads across the grid.
+    AccelConfig accel;  ///< Machine configuration (incl. --memory).
+    SampleSpec sample{64};
+    uint64_t seed = 0x5eed;
+    ActivationMode activations = ActivationMode::Synthetic;
+    /** Offered load points (images/s at 1 GHz), one report each. */
+    std::vector<double> offeredPerSecond;
+    /** Fleet + policy + arrival kind/seed (gap filled per rate). */
+    ServingConfig serving;
+};
+
+/**
+ * Build every (network, engine) cost curve — in parallel on
+ * options.threads workers sharing one WorkloadCache — then run the
+ * (cheap, serial) event loop per offered rate. Reports come back in
+ * (network-major, engine, rate) order.
+ */
+std::vector<ServingReport>
+runServingSweep(const std::vector<dnn::Network> &networks,
+                const std::vector<EngineSelection> &engines,
+                const EngineRegistry &registry,
+                const ServingSweepOptions &options);
+
+/**
+ * Emit serving reports as CSV (round-trip precision, so two report
+ * sets are bit-identical iff their CSV dumps are byte-identical).
+ */
+void writeServingCsv(std::ostream &out,
+                     const std::vector<ServingReport> &reports);
+
+} // namespace sim
+} // namespace pra

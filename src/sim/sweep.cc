@@ -51,13 +51,30 @@ runSweep(const std::vector<dnn::Network> &networks,
 {
     PRA_CHECK(!networks.empty() && !engines.empty(),
                          "runSweep: empty grid");
+    PRA_CHECK(options.batch >= 1, "runSweep: batch must be >= 1");
+    PRA_CHECK(options.shardCount >= 1 && options.shardIndex >= 0 &&
+                  options.shardIndex < options.shardCount,
+              "runSweep: shard index out of range");
     // Validate every selection up front so knob errors surface before
     // any worker starts.
     for (const auto &sel : engines)
         registry.create(sel);
 
     const size_t cells = networks.size() * engines.size();
-    std::vector<NetworkResult> results(cells);
+    // The shard's contiguous slice of the grid-order cell list; the
+    // balanced-split endpoints make shards 0..N-1 partition the grid
+    // exactly, so concatenated shard outputs equal the unsharded run.
+    const size_t shard_first =
+        cells * static_cast<size_t>(options.shardIndex) /
+        static_cast<size_t>(options.shardCount);
+    const size_t shard_last =
+        cells * (static_cast<size_t>(options.shardIndex) + 1) /
+        static_cast<size_t>(options.shardCount);
+    std::vector<NetworkResult> results(shard_last - shard_first);
+    // More shards than cells leaves some shards empty; header-only
+    // CSV output is exactly what concatenation expects from them.
+    if (results.empty())
+        return results;
 
     WorkloadCache cache;
     WorkloadCache *shared = options.cache ? &cache : nullptr;
@@ -81,27 +98,35 @@ runSweep(const std::vector<dnn::Network> &networks,
                                     options.activations)
                    : WorkloadSource(*synth, options.activations);
         NetworkResult &cell =
-            results[net_idx * engines.size() + eng_idx];
-        cell = engine->runNetwork(network, source, options.accel,
-                                  options.sample, exec);
+            results[net_idx * engines.size() + eng_idx - shard_first];
+        cell = engine->runBatch(network, source, options.accel,
+                                options.sample, exec, options.batch);
         // Compose compute cycles with the memory hierarchy (no-op
         // when --memory=off). Pure per-layer arithmetic over the
         // finished result, so any schedule stays bit-identical.
         applyMemoryModel(network, options.accel, cell);
     };
 
-    const int inner = resolveInnerTasks(options, cells);
+    auto inShard = [&](size_t n, size_t e) {
+        size_t cell = n * engines.size() + e;
+        return cell >= shard_first && cell < shard_last;
+    };
+
+    const int inner = resolveInnerTasks(options, results.size());
     if (options.threads <= 1 && inner <= 1) {
         for (size_t n = 0; n < networks.size(); n++)
             for (size_t e = 0; e < engines.size(); e++)
-                runCell(n, e, util::InnerExecutor());
+                if (inShard(n, e))
+                    runCell(n, e, util::InnerExecutor());
     } else {
         util::ThreadPool pool(options.threads);
         util::InnerExecutor exec(&pool, inner);
         for (size_t n = 0; n < networks.size(); n++)
             for (size_t e = 0; e < engines.size(); e++)
-                pool.submit(
-                    [&runCell, &exec, n, e] { runCell(n, e, exec); });
+                if (inShard(n, e))
+                    pool.submit([&runCell, &exec, n, e] {
+                        runCell(n, e, exec);
+                    });
         pool.wait();
     }
     return results;
@@ -125,10 +150,14 @@ writeSweepCsv(std::ostream &out,
 {
     // Memory columns appear only when some cell was produced with
     // memory modeling on, so the default (--memory=off) output stays
-    // byte-identical to the committed goldens.
+    // byte-identical to the committed goldens; the batch columns are
+    // gated the same way on any cell actually being batched.
     bool memory = false;
-    for (const auto &result : results)
+    bool batched = false;
+    for (const auto &result : results) {
         memory = memory || result.memoryModeled();
+        batched = batched || result.batched();
+    }
 
     util::CsvWriter csv(out);
     std::vector<std::string> header = {"network", "engine"};
@@ -137,6 +166,8 @@ writeSweepCsv(std::ostream &out,
     header.insert(header.end(),
                   {"cycles", "nm_stall_cycles", "effectual_terms",
                    "sb_read_steps"});
+    if (batched)
+        header.insert(header.end(), {"batch", "cycles_per_image"});
     if (memory)
         header.insert(header.end(),
                       {"on_chip_bytes", "off_chip_bytes",
@@ -152,6 +183,10 @@ writeSweepCsv(std::ostream &out,
                     roundTrip(layer.nmStallCycles),
                     roundTrip(layer.effectualTerms),
                     roundTrip(layer.sbReadSteps)};
+                if (batched) {
+                    row.push_back(std::to_string(layer.batchImages));
+                    row.push_back(roundTrip(layer.cyclesPerImage()));
+                }
                 if (memory) {
                     row.push_back(roundTrip(layer.onChipBytes));
                     row.push_back(roundTrip(layer.offChipBytes));
@@ -175,6 +210,12 @@ writeSweepCsv(std::ostream &out,
                 roundTrip(result.totalCycles()),
                 roundTrip(result.totalStalls()), roundTrip(terms),
                 roundTrip(sb_reads)};
+            if (batched) {
+                row.push_back(std::to_string(result.batchImages()));
+                row.push_back(roundTrip(
+                    result.totalCycles() /
+                    static_cast<double>(result.batchImages())));
+            }
             if (memory) {
                 row.push_back(roundTrip(result.totalOnChipBytes()));
                 row.push_back(roundTrip(result.totalOffChipBytes()));

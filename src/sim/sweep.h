@@ -67,10 +67,28 @@ struct SweepOptions
      * LayerSelect::All with pools). See sim/workload_cache.h.
      */
     ActivationMode activations = ActivationMode::Synthetic;
+    /**
+     * Images per request: every cell runs Engine::runBatch over this
+     * many per-image streams and reports per-batch totals (plus the
+     * batch / cycles_per_image CSV columns). 1 — the default — is
+     * byte-identical to the historical single-image sweep.
+     */
+    int batch = 1;
+    /**
+     * Grid shard [shardIndex / shardCount): the sweep prices only
+     * its contiguous share of the grid-order cell list, cells
+     * [cells * i / N, cells * (i+1) / N), and returns only those
+     * results — so concatenating the CSV bodies of shards 0..N-1
+     * reproduces the unsharded output byte for byte. The default
+     * 0/1 covers the whole grid.
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
 };
 
 /**
- * Run the (networks x engines) grid. Returns one NetworkResult per
+ * Run the (networks x engines) grid — or, when options selects a
+ * shard, its contiguous slice. Returns one NetworkResult per covered
  * cell in grid order: all engines of networks[0], then networks[1],
  * ... Engine selections are validated (instantiated once) before any
  * worker starts, so bad knobs fail fast.

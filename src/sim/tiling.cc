@@ -24,6 +24,15 @@ LayerTiling::LayerTiling(const dnn::LayerSpec &layer,
     passes_ = config_.passes(layer_.numFilters);
 }
 
+int64_t
+LayerTiling::palletCount(const dnn::LayerSpec &layer,
+                         const AccelConfig &config)
+{
+    int64_t windows = layer.windows();
+    return (windows + config.windowsPerPallet - 1) /
+           config.windowsPerPallet;
+}
+
 WindowCoord
 LayerTiling::windowCoord(int64_t w) const
 {

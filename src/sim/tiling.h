@@ -68,6 +68,17 @@ class LayerTiling
     /** Total pallets: ceil(windows / windowsPerPallet). */
     int64_t numPallets() const { return numPallets_; }
 
+    /**
+     * The pallet count of @p layer under @p config without building
+     * a full tiling — the single definition the memory model and the
+     * batch scheduler share with the execution loop above: a batch
+     * of B images runs this whole pass/pallet/set structure B times
+     * (filters stay loaded across images; see
+     * sim/memory/memory_model.h for the traffic consequences).
+     */
+    static int64_t palletCount(const dnn::LayerSpec &layer,
+                               const AccelConfig &config);
+
     /** Synapse sets per window: Fx * Fy * ceil(I / brick). */
     int64_t numSynapseSets() const { return numSets_; }
 

@@ -126,17 +126,17 @@ parseActivationMode(const std::string &text)
 
 dnn::NeuronTensor
 synthesizeStream(const dnn::ActivationSynthesizer &activations,
-                 int layer_idx, InputStream stream)
+                 int layer_idx, InputStream stream, int image)
 {
     switch (stream) {
       case InputStream::None:
         return dnn::NeuronTensor();
       case InputStream::Fixed16Raw:
-        return activations.synthesizeFixed16(layer_idx);
+        return activations.synthesizeFixed16(layer_idx, image);
       case InputStream::Fixed16Trimmed:
-        return activations.synthesizeFixed16Trimmed(layer_idx);
+        return activations.synthesizeFixed16Trimmed(layer_idx, image);
       case InputStream::Quant8:
-        return activations.synthesizeQuant8(layer_idx);
+        return activations.synthesizeQuant8(layer_idx, image);
     }
     util::fatal("synthesizeStream: bad stream");
 }
@@ -240,7 +240,7 @@ WorkloadCache::synthesizer(const dnn::Network &network, uint64_t seed)
 std::shared_ptr<const LayerWorkload>
 WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
                      int layer_idx, InputStream stream,
-                     ActivationMode mode)
+                     ActivationMode mode, int image)
 {
     if (stream == InputStream::None)
         return emptyWorkload();
@@ -253,7 +253,7 @@ WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
         stream = InputStream::Fixed16Raw;
     LayerKey key{synth.network().name,
                  synth.network().workloadFingerprint(), synth.seed(),
-                 layer_idx, streamModeTag(stream, mode)};
+                 layer_idx, streamModeTag(stream, mode), image};
     std::shared_future<std::shared_ptr<const LayerWorkload>> future;
     Entry<const LayerWorkload> *mine = nullptr;
     {
@@ -276,11 +276,12 @@ WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
                 // chain itself happens outside it, so this nested
                 // call cannot deadlock.
                 std::shared_ptr<const dnn::PropagatedChain> shared =
-                    chain(synth);
+                    chain(synth, image);
                 tensor = propagatedStream(*shared, synth.network(),
                                           layer_idx, stream);
             } else {
-                tensor = synthesizeStream(synth, layer_idx, stream);
+                tensor = synthesizeStream(synth, layer_idx, stream,
+                                          image);
             }
             mine->promise.set_value(
                 std::make_shared<const LayerWorkload>(
@@ -293,10 +294,12 @@ WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
 }
 
 std::shared_ptr<const dnn::PropagatedChain>
-WorkloadCache::chain(const dnn::ActivationSynthesizer &synth)
+WorkloadCache::chain(const dnn::ActivationSynthesizer &synth,
+                     int image)
 {
-    SynthKey key{synth.network().name,
-                 synth.network().workloadFingerprint(), synth.seed()};
+    ChainKey key{synth.network().name,
+                 synth.network().workloadFingerprint(), synth.seed(),
+                 image};
     std::shared_future<std::shared_ptr<const dnn::PropagatedChain>>
         future;
     Entry<const dnn::PropagatedChain> *mine = nullptr;
@@ -313,7 +316,7 @@ WorkloadCache::chain(const dnn::ActivationSynthesizer &synth)
         try {
             mine->promise.set_value(
                 std::make_shared<const dnn::PropagatedChain>(
-                    dnn::propagateChain(synth)));
+                    dnn::propagateChain(synth, image)));
         } catch (...) {
             mine->promise.set_exception(std::current_exception());
         }
@@ -335,13 +338,26 @@ WorkloadCache::misses() const
     return misses_;
 }
 
+WorkloadSource
+WorkloadSource::withImage(int image) const
+{
+    PRA_CHECK(image >= 0, "WorkloadSource::withImage: batch image "
+                          "index must be non-negative");
+    WorkloadSource copy(*this);
+    if (copy.image_ != image) {
+        copy.image_ = image;
+        copy.localChain_.reset();
+    }
+    return copy;
+}
+
 std::shared_ptr<const LayerWorkload>
 WorkloadSource::layer(int layer_idx, InputStream stream) const
 {
     if (stream == InputStream::None)
         return emptyWorkload();
     if (cache_)
-        return cache_->layer(synth_, layer_idx, stream, mode_);
+        return cache_->layer(synth_, layer_idx, stream, mode_, image_);
     if (mode_ == ActivationMode::Propagated) {
         // Trimmed == raw on propagated streams (identity by
         // construction); the cached path makes the same alias.
@@ -351,7 +367,7 @@ WorkloadSource::layer(int layer_idx, InputStream stream) const
             *chain(), synth_.network(), layer_idx, stream));
     }
     return std::make_shared<const LayerWorkload>(
-        synthesizeStream(synth_, layer_idx, stream));
+        synthesizeStream(synth_, layer_idx, stream, image_));
 }
 
 std::shared_ptr<const dnn::PropagatedChain>
@@ -361,10 +377,10 @@ WorkloadSource::chain() const
         util::fatal("WorkloadSource::chain: synthetic sources have "
                     "no propagated chain");
     if (cache_)
-        return cache_->chain(synth_);
+        return cache_->chain(synth_, image_);
     if (!localChain_)
         localChain_ = std::make_shared<const dnn::PropagatedChain>(
-            dnn::propagateChain(synth_));
+            dnn::propagateChain(synth_, image_));
     return localChain_;
 }
 

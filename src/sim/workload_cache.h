@@ -118,10 +118,13 @@ const char *activationModeName(ActivationMode mode);
 /** Parse an --activations= value; fatal() on anything else. */
 ActivationMode parseActivationMode(const std::string &text);
 
-/** Synthesize the stream @p stream of layer @p layer_idx. */
+/**
+ * Synthesize the stream @p stream of layer @p layer_idx for batch
+ * image @p image (image 0 = the historical single-image stream).
+ */
 dnn::NeuronTensor
 synthesizeStream(const dnn::ActivationSynthesizer &activations,
-                 int layer_idx, InputStream stream);
+                 int layer_idx, InputStream stream, int image = 0);
 
 /**
  * Derive the stream @p stream of layer @p layer_idx from a
@@ -230,21 +233,24 @@ class WorkloadCache
     /**
      * The shared workload of layer @p layer_idx's @p stream under
      * @p synth, drawn from synthesis or from the shared propagated
-     * chain per @p mode. InputStream::None returns the shared empty
-     * view.
+     * chain per @p mode, for batch image @p image (the LayerKey
+     * carries the image index, so every image of a batched request
+     * is its own cache entry shared across all consumers of that
+     * image). InputStream::None returns the shared empty view.
      */
     std::shared_ptr<const LayerWorkload>
     layer(const dnn::ActivationSynthesizer &synth, int layer_idx,
           InputStream stream,
-          ActivationMode mode = ActivationMode::Synthetic);
+          ActivationMode mode = ActivationMode::Synthetic,
+          int image = 0);
 
     /**
-     * The shared propagated chain for @p synth's (network, seed):
-     * one reference forward pass, built once and handed to every
-     * consumer.
+     * The shared propagated chain for @p synth's (network, seed) and
+     * batch image @p image: one reference forward pass per image,
+     * built once and handed to every consumer.
      */
     std::shared_ptr<const dnn::PropagatedChain>
-    chain(const dnn::ActivationSynthesizer &synth);
+    chain(const dnn::ActivationSynthesizer &synth, int image = 0);
 
     /** Workload requests served from / added to the cache so far. */
     int64_t hits() const;
@@ -253,13 +259,16 @@ class WorkloadCache
   private:
     /**
      * (name, workload fingerprint, seed, layer index,
-     * stream | mode tag): synthetic and propagated workloads of the
-     * same layer are distinct entries.
+     * stream | mode tag, batch image): synthetic and propagated
+     * workloads of the same layer are distinct entries, and so is
+     * every image of a batch.
      */
     using LayerKey =
-        std::tuple<std::string, uint64_t, uint64_t, int, int>;
+        std::tuple<std::string, uint64_t, uint64_t, int, int, int>;
     /** (name, workload fingerprint, seed). */
     using SynthKey = std::tuple<std::string, uint64_t, uint64_t>;
+    /** (name, workload fingerprint, seed, batch image). */
+    using ChainKey = std::tuple<std::string, uint64_t, uint64_t, int>;
 
     template <typename V> struct Entry
     {
@@ -269,7 +278,7 @@ class WorkloadCache
 
     mutable std::mutex mutex_;
     std::map<SynthKey, Entry<const dnn::ActivationSynthesizer>> synths_;
-    std::map<SynthKey, Entry<const dnn::PropagatedChain>> chains_;
+    std::map<ChainKey, Entry<const dnn::PropagatedChain>> chains_;
     std::map<LayerKey, Entry<const LayerWorkload>> layers_;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
@@ -312,6 +321,18 @@ class WorkloadSource
 
     ActivationMode mode() const { return mode_; }
 
+    /** The batch image this source's streams belong to. */
+    int image() const { return image_; }
+
+    /**
+     * A copy of this source bound to batch image @p image: same
+     * synthesizer, cache, and mode, but every layer() call now yields
+     * that image's stream. The local chain memo carries over only
+     * when the image is unchanged (a different image propagates a
+     * different forward pass).
+     */
+    WorkloadSource withImage(int image) const;
+
     /** The workload view of layer @p layer_idx's @p stream. */
     std::shared_ptr<const LayerWorkload>
     layer(int layer_idx, InputStream stream) const;
@@ -326,6 +347,7 @@ class WorkloadSource
     const dnn::ActivationSynthesizer &synth_;
     WorkloadCache *cache_ = nullptr;
     ActivationMode mode_ = ActivationMode::Synthetic;
+    int image_ = 0;
     mutable std::shared_ptr<const dnn::PropagatedChain> localChain_;
 };
 

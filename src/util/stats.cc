@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -49,15 +50,54 @@ RunningStat::reset()
 }
 
 Histogram::Histogram(uint32_t max_value)
-    : buckets_(static_cast<size_t>(max_value) + 1, 0)
 {
+    PRA_CHECK(static_cast<uint64_t>(max_value) + 1 <= kMaxUnitBuckets,
+              "Histogram: unit-bucket range too large to allocate; "
+              "use Histogram::logSpaced for wide (cycle-scale) "
+              "sample ranges");
+    maxValue_ = max_value;
+    buckets_.assign(static_cast<size_t>(max_value) + 1, 0);
+}
+
+Histogram::Histogram(uint64_t max_value, int sub_bits)
+    : maxValue_(max_value), subBits_(sub_bits), logSpaced_(true)
+{
+    buckets_.assign(indexFor(max_value) + 1, 0);
+}
+
+Histogram
+Histogram::logSpaced(uint64_t max_value, int sub_bits)
+{
+    PRA_CHECK(sub_bits >= 0 && sub_bits <= 8,
+              "Histogram::logSpaced: sub_bits must be in [0, 8]");
+    PRA_CHECK(max_value >= 1,
+              "Histogram::logSpaced: empty sample range");
+    return Histogram(max_value, sub_bits);
+}
+
+size_t
+Histogram::indexFor(uint64_t sample) const
+{
+    if (!logSpaced_)
+        return static_cast<size_t>(sample);
+    // HDR layout: exact unit buckets below 2 * S (S = 2^subBits);
+    // above that, the top subBits+1 significant bits select the
+    // bucket — 2^subBits buckets per power of two, relative width
+    // 2^-subBits.
+    const uint64_t unit = uint64_t{2} << subBits_;
+    if (sample < unit)
+        return static_cast<size_t>(sample);
+    const int shift = std::bit_width(sample) - 1 - subBits_;
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(shift) << subBits_) +
+        (sample >> shift));
 }
 
 void
 Histogram::add(uint64_t sample, uint64_t weight)
 {
-    if (sample < buckets_.size())
-        buckets_[sample] += weight;
+    if (sample <= maxValue_)
+        buckets_[indexFor(sample)] += weight;
     else
         overflow_ += weight;
     count_ += weight;
@@ -69,6 +109,32 @@ Histogram::bucket(uint32_t index) const
 {
     PRA_CHECK(index < buckets_.size(), "Histogram bucket out of range");
     return buckets_[index];
+}
+
+uint64_t
+Histogram::bucketLow(uint32_t index) const
+{
+    PRA_CHECK(index < buckets_.size(), "Histogram bucket out of range");
+    const uint64_t unit = uint64_t{2} << subBits_;
+    if (!logSpaced_ || index < unit)
+        return index;
+    // Invert indexFor: index = (shift << subBits) + (value >> shift)
+    // with (value >> shift) in [S, 2S).
+    const uint64_t shift = (index >> subBits_) - 1;
+    const uint64_t mantissa =
+        index - (shift << subBits_); // In [S, 2S).
+    return mantissa << shift;
+}
+
+uint64_t
+Histogram::bucketHigh(uint32_t index) const
+{
+    PRA_CHECK(index < buckets_.size(), "Histogram bucket out of range");
+    const uint64_t unit = uint64_t{2} << subBits_;
+    if (!logSpaced_ || index < unit)
+        return index;
+    const uint64_t shift = (index >> subBits_) - 1;
+    return bucketLow(index) + (uint64_t{1} << shift) - 1;
 }
 
 uint64_t
@@ -86,9 +152,10 @@ Histogram::percentile(double fraction) const
     for (size_t i = 0; i < buckets_.size(); i++) {
         seen += buckets_[i];
         if (seen >= target)
-            return i;
+            return std::min(bucketHigh(static_cast<uint32_t>(i)),
+                            maxValue_);
     }
-    return buckets_.size(); // All remaining weight is overflow.
+    return maxValue_ + 1; // All remaining weight is overflow.
 }
 
 void

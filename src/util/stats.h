@@ -66,14 +66,40 @@ class RunningStat
 };
 
 /**
- * Histogram over non-negative integer samples with unit-width buckets
- * [0, maxValue]; samples above maxValue land in an overflow bucket.
+ * Histogram over non-negative integer samples.
+ *
+ * Two bucket layouts share one interface:
+ *
+ *  - **unit-width** (the historical constructor): buckets [0,
+ *    maxValue], one value each. Exact, but the bucket array scales
+ *    with maxValue, so the constructor rejects ranges whose array
+ *    would not comfortably fit in memory (kMaxUnitBuckets).
+ *  - **log-spaced** (logSpaced()): HDR-style buckets — exact up to
+ *    2 * 2^subBits, then 2^subBits geometrically growing buckets per
+ *    power of two, so a maxValue of 2^40 cycles costs a few KB
+ *    instead of 8 TB. Every bucket's relative width is below
+ *    2^-subBits, which bounds the percentile error the coarsening
+ *    introduces.
+ *
+ * In both layouts samples above maxValue land in a saturating
+ * overflow bucket and report as maxValue + 1 from percentile() — a
+ * loud sentinel rather than a silently wrong in-range value.
  */
 class Histogram
 {
   public:
+    /** Largest unit-bucket array the constructor will allocate. */
+    static constexpr uint64_t kMaxUnitBuckets = uint64_t{1} << 24;
+
     /** @param max_value largest sample with a dedicated bucket. */
     explicit Histogram(uint32_t max_value = 64);
+
+    /**
+     * A log-spaced histogram covering [0, max_value] with
+     * 2^sub_bits buckets per power of two (sub_bits in [0, 8]);
+     * values up to 2 * 2^sub_bits get exact unit buckets.
+     */
+    static Histogram logSpaced(uint64_t max_value, int sub_bits = 5);
 
     void add(uint64_t sample, uint64_t weight = 1);
 
@@ -86,16 +112,37 @@ class Histogram
     uint64_t overflow() const { return overflow_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
 
+    /** Largest sample with a dedicated bucket. */
+    uint64_t maxValue() const { return maxValue_; }
+    bool isLogSpaced() const { return logSpaced_; }
+
+    /** Smallest sample value bucket @p index covers. */
+    uint64_t bucketLow(uint32_t index) const;
+    /** Largest sample value bucket @p index covers (inclusive). */
+    uint64_t bucketHigh(uint32_t index) const;
+
     /**
-     * Smallest sample value v such that at least @p fraction of the
-     * recorded weight is <= v. Overflowed samples count as maxValue+1.
+     * Upper bound of the smallest bucket b such that at least
+     * @p fraction of the recorded weight lies in buckets <= b,
+     * clamped to maxValue. Exact for unit buckets (bucket == value);
+     * for log-spaced buckets a conservative (never understated)
+     * value within 2^-subBits relative error. Overflowed samples
+     * saturate to maxValue + 1.
      */
     uint64_t percentile(double fraction) const;
 
     void reset();
 
   private:
+    Histogram(uint64_t max_value, int sub_bits);
+
+    /** Bucket index of @p sample (which must be <= maxValue_). */
+    size_t indexFor(uint64_t sample) const;
+
     std::vector<uint64_t> buckets_;
+    uint64_t maxValue_ = 0;
+    int subBits_ = 0;
+    bool logSpaced_ = false;
     uint64_t overflow_ = 0;
     uint64_t count_ = 0;
     double sum_ = 0.0;

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the serving subsystem: counter-based arrivals, the
+ * max-batch + timeout dispatch rule, the incremental batch cost
+ * curve, the fleet event loop, and the determinism of the serving
+ * sweep's CSV across threads and cache modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dnn/activation_synth.h"
+#include "dnn/model_zoo.h"
+#include "models/engines.h"
+#include "sim/memory/memory_config.h"
+#include "sim/memory/memory_model.h"
+#include "sim/serving/serving_sim.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+std::vector<EngineSelection>
+allKindsGrid()
+{
+    std::vector<EngineSelection> grid;
+    for (const auto &kind : models::builtinEngines().kinds())
+        grid.push_back({kind, {}});
+    return grid;
+}
+
+TEST(Arrival, GapIsAPureFunctionOfSeedAndIndex)
+{
+    ArrivalSpec spec;
+    spec.meanGapCycles = 1234.5;
+    for (int i : {0, 1, 7, 4096})
+        EXPECT_EQ(arrivalGap(spec, i), arrivalGap(spec, i)) << i;
+
+    ArrivalSpec reseeded = spec;
+    reseeded.seed = spec.seed + 1;
+    bool any_differs = false;
+    for (int i = 0; i < 16; i++)
+        any_differs |= arrivalGap(spec, i) != arrivalGap(reseeded, i);
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(Arrival, UniformIsAFixedRoundedGap)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Uniform;
+    spec.meanGapCycles = 250.5;
+    auto arrivals = generateArrivals(spec, 4);
+    ASSERT_EQ(arrivals.size(), 4u);
+    // llround(250.5) = 251, evenly spaced from the first request.
+    EXPECT_EQ(arrivals[0], 251u);
+    EXPECT_EQ(arrivals[1], 502u);
+    EXPECT_EQ(arrivals[2], 753u);
+    EXPECT_EQ(arrivals[3], 1004u);
+}
+
+TEST(Arrival, TracePrefixIsStable)
+{
+    ArrivalSpec spec;
+    spec.meanGapCycles = 777.0;
+    auto short_trace = generateArrivals(spec, 8);
+    auto long_trace = generateArrivals(spec, 64);
+    for (size_t i = 0; i < short_trace.size(); i++)
+        EXPECT_EQ(short_trace[i], long_trace[i]) << i;
+}
+
+TEST(Arrival, PoissonGapsAverageNearTheMean)
+{
+    ArrivalSpec spec;
+    spec.meanGapCycles = 1000.0;
+    double sum = 0.0;
+    const int n = 4096;
+    for (int i = 0; i < n; i++)
+        sum += static_cast<double>(arrivalGap(spec, i));
+    double mean = sum / n;
+    EXPECT_GT(mean, 900.0);
+    EXPECT_LT(mean, 1100.0);
+}
+
+TEST(Arrival, GapsNeverAliasToZero)
+{
+    // Exponential draws near zero round up to one full cycle, so the
+    // trace stays strictly increasing.
+    ArrivalSpec spec;
+    spec.meanGapCycles = 1.0;
+    auto arrivals = generateArrivals(spec, 256);
+    for (size_t i = 1; i < arrivals.size(); i++)
+        EXPECT_LT(arrivals[i - 1], arrivals[i]);
+}
+
+TEST(ArrivalDeathTest, RejectsDegenerateSpecs)
+{
+    ArrivalSpec spec;
+    spec.meanGapCycles = 0.5;
+    EXPECT_DEATH(arrivalGap(spec, 0), "mean gap");
+    ArrivalSpec ok;
+    EXPECT_DEATH(arrivalGap(ok, -1), "negative");
+    EXPECT_DEATH(generateArrivals(ok, 0), "at least one");
+    EXPECT_DEATH(parseArrivalKind("bursty"), "uniform or poisson");
+}
+
+TEST(Batching, TimeoutZeroDispatchesGreedily)
+{
+    BatchingPolicy greedy{8, 0};
+    EXPECT_EQ(dispatchCycle(greedy, 0, 1000, 2000), 1000u);
+    EXPECT_EQ(dispatchCycle(greedy, 5000, 1000, 2000), 5000u);
+}
+
+TEST(Batching, FillWinsWhenItBeatsTheTimeout)
+{
+    BatchingPolicy policy{8, 10000};
+    EXPECT_EQ(dispatchCycle(policy, 0, 1000, 2000), 2000u);
+}
+
+TEST(Batching, TimeoutCapsTheHeadOfLineWait)
+{
+    BatchingPolicy policy{8, 500};
+    EXPECT_EQ(dispatchCycle(policy, 0, 1000, 2000), 1500u);
+}
+
+TEST(Batching, NeverFillingBatchWaitsOnlyForTheTimeout)
+{
+    BatchingPolicy policy{8, 500};
+    EXPECT_EQ(dispatchCycle(policy, 0, 1000, kNeverFills), 1500u);
+}
+
+TEST(Batching, SaturatedDeadlineFallsBackToTheHead)
+{
+    // A huge timeout saturates instead of wrapping; with no filling
+    // request either, the dispatch goes out at the head's arrival.
+    BatchingPolicy policy{8, kNeverFills};
+    EXPECT_EQ(dispatchCycle(policy, 0, 1000, kNeverFills), 1000u);
+    BatchingPolicy small{8, 100};
+    EXPECT_EQ(dispatchCycle(small, 0, kNeverFills - 10, kNeverFills),
+              kNeverFills - 10);
+}
+
+TEST(BatchingDeathTest, RejectsBadPolicyAndOrdering)
+{
+    BatchingPolicy bad{0, 0};
+    EXPECT_DEATH(dispatchCycle(bad, 0, 0, 0), "maxBatch");
+    BatchingPolicy ok{2, 0};
+    EXPECT_DEATH(dispatchCycle(ok, 0, 1000, 999), "fill precedes");
+}
+
+TEST(CostCurve, PrefixesMatchStandaloneRunBatch)
+{
+    // The incremental construction must reproduce a standalone
+    // runBatch(b) + memory model bit for bit at every prefix.
+    auto net = dnn::makeTinyNetwork();
+    dnn::ActivationSynthesizer synth(net);
+    WorkloadSource source(synth);
+    AccelConfig accel;
+    accel.memory = parseMemoryPreset("dadn");
+    SampleSpec sample{2};
+    util::InnerExecutor exec;
+    const int max_batch = 3;
+    for (const char *kind : {"dadn", "pragmatic"}) {
+        auto engine = models::builtinEngines().create(kind);
+        BatchCostCurve curve = buildBatchCostCurve(
+            net, *engine, source, accel, sample, exec, max_batch);
+        ASSERT_EQ(curve.batchSystemCycles.size(),
+                  static_cast<size_t>(max_batch));
+        for (int b = 1; b <= max_batch; b++) {
+            NetworkResult batch = engine->runBatch(
+                net, source, accel, sample, exec, b);
+            applyMemoryModel(net, accel, batch);
+            EXPECT_EQ(curve.batchSystemCycles[b - 1],
+                      batch.totalSystemCycles())
+                << kind << " b=" << b;
+        }
+        for (size_t i = 1; i < curve.batchSystemCycles.size(); i++)
+            EXPECT_GE(curve.batchSystemCycles[i],
+                      curve.batchSystemCycles[i - 1])
+                << kind;
+    }
+}
+
+BatchCostCurve
+syntheticCurve(std::vector<double> cycles)
+{
+    BatchCostCurve curve;
+    curve.networkName = "Synthetic";
+    curve.engineName = "Fixed";
+    curve.batchSystemCycles = std::move(cycles);
+    return curve;
+}
+
+ServingConfig
+uniformConfig(double gap, int requests, int max_batch,
+              uint64_t timeout)
+{
+    ServingConfig config;
+    config.arrival.kind = ArrivalKind::Uniform;
+    config.arrival.meanGapCycles = gap;
+    config.requests = requests;
+    config.policy.maxBatch = max_batch;
+    config.policy.timeoutCycles = timeout;
+    return config;
+}
+
+TEST(ServingSim, GreedyUniformTraceIsHandCheckable)
+{
+    // Uniform arrivals at 1000, 2000, 3000, 4000; one instance,
+    // batch cost 100/150 cycles, greedy dispatch: each request goes
+    // out alone at its arrival and finishes 100 cycles later.
+    ServingReport r = simulateServing(
+        syntheticCurve({100.0, 150.0}), uniformConfig(1000.0, 4, 2, 0));
+    EXPECT_EQ(r.dispatches, 4);
+    EXPECT_DOUBLE_EQ(r.meanBatch, 1.0);
+    EXPECT_EQ(r.makespanCycles, 4100u);
+    EXPECT_DOUBLE_EQ(r.meanLatencyCycles, 100.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 400.0 / 4100.0);
+    EXPECT_DOUBLE_EQ(r.imagesPerSecond, 4.0 * 1e9 / 4100.0);
+}
+
+TEST(ServingSim, TimeoutHoldsTheHeadToFillBatches)
+{
+    // Same trace with a 1000-cycle timeout: request 0 waits for
+    // request 1 (deadline and fill coincide at 2000), so the fleet
+    // runs two batches of two. Latencies are {1150, 150} per batch;
+    // the log-spaced histogram reports conservative bucket bounds.
+    ServingReport r = simulateServing(
+        syntheticCurve({100.0, 150.0}),
+        uniformConfig(1000.0, 4, 2, 1000));
+    EXPECT_EQ(r.dispatches, 2);
+    EXPECT_DOUBLE_EQ(r.meanBatch, 2.0);
+    EXPECT_EQ(r.makespanCycles, 4150u);
+    EXPECT_DOUBLE_EQ(r.meanLatencyCycles, 650.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 300.0 / 4150.0);
+    // 150 lands in the two-wide bucket [150, 151]; 1150 in the
+    // sixteen-wide bucket [1136, 1151].
+    EXPECT_EQ(r.p50Cycles, 151u);
+    EXPECT_EQ(r.p95Cycles, 1151u);
+    EXPECT_EQ(r.p99Cycles, 1151u);
+}
+
+TEST(ServingSim, FleetSharesLoadAcrossInstances)
+{
+    // Cost 3000 > gap 1000 saturates one instance; two instances
+    // alternate (earliest-free, lowest id on ties) and every request
+    // still dispatches alone with maxBatch = 1.
+    ServingConfig config = uniformConfig(1000.0, 4, 1, 0);
+    config.instances = 2;
+    ServingReport r =
+        simulateServing(syntheticCurve({3000.0}), config);
+    EXPECT_EQ(r.dispatches, 4);
+    EXPECT_EQ(r.makespanCycles, 8000u);
+    EXPECT_DOUBLE_EQ(r.meanLatencyCycles,
+                     (3000.0 + 3000.0 + 4000.0 + 4000.0) / 4.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 12000.0 / (2.0 * 8000.0));
+}
+
+TEST(ServingSim, SubCycleCostsChargeAtLeastOneCycle)
+{
+    ServingReport r = simulateServing(syntheticCurve({0.2}),
+                                      uniformConfig(10.0, 2, 1, 0));
+    EXPECT_EQ(r.dispatches, 2);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_EQ(r.makespanCycles, 21u);
+}
+
+TEST(ServingSimDeathTest, RejectsDegenerateConfigs)
+{
+    BatchCostCurve curve = syntheticCurve({100.0});
+    ServingConfig config = uniformConfig(1000.0, 4, 2, 0);
+    EXPECT_DEATH(simulateServing(curve, config), "maxBatch");
+    ServingConfig no_instances = uniformConfig(1000.0, 4, 1, 0);
+    no_instances.instances = 0;
+    EXPECT_DEATH(simulateServing(curve, no_instances), "instance");
+    ServingConfig no_requests = uniformConfig(1000.0, 1, 1, 0);
+    no_requests.requests = 0;
+    EXPECT_DEATH(simulateServing(curve, no_requests), "request");
+}
+
+ServingSweepOptions
+smokeOptions(int threads)
+{
+    ServingSweepOptions options;
+    options.threads = threads;
+    options.sample.maxUnits = 2;
+    options.offeredPerSecond = {1e4, 1e7};
+    options.serving.requests = 32;
+    options.serving.policy.maxBatch = 4;
+    options.serving.policy.timeoutCycles = 1000000;
+    options.serving.arrival.seed = options.seed;
+    return options;
+}
+
+TEST(ServingSweep, CsvByteIdenticalAcrossThreadsAndCache)
+{
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    auto grid = allKindsGrid();
+    auto serial = runServingSweep(networks, grid,
+                                  models::builtinEngines(),
+                                  smokeOptions(1));
+    std::ostringstream serial_csv;
+    writeServingCsv(serial_csv, serial);
+
+    auto parallel = runServingSweep(networks, grid,
+                                    models::builtinEngines(),
+                                    smokeOptions(4));
+    std::ostringstream parallel_csv;
+    writeServingCsv(parallel_csv, parallel);
+    EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+
+    ServingSweepOptions uncached = smokeOptions(4);
+    uncached.cache = false;
+    auto no_cache = runServingSweep(networks, grid,
+                                    models::builtinEngines(),
+                                    uncached);
+    std::ostringstream no_cache_csv;
+    writeServingCsv(no_cache_csv, no_cache);
+    EXPECT_EQ(serial_csv.str(), no_cache_csv.str());
+}
+
+TEST(ServingSweep, ReportsFollowGridThenRateOrder)
+{
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    std::vector<EngineSelection> grid = {{"stripes", {}},
+                                         {"dadn", {}}};
+    auto reports = runServingSweep(networks, grid,
+                                   models::builtinEngines(),
+                                   smokeOptions(1));
+    ASSERT_EQ(reports.size(), 4u);
+    EXPECT_EQ(reports[0].engineName, "Stripes");
+    EXPECT_DOUBLE_EQ(reports[0].offeredPerSecond, 1e4);
+    EXPECT_EQ(reports[1].engineName, "Stripes");
+    EXPECT_DOUBLE_EQ(reports[1].offeredPerSecond, 1e7);
+    EXPECT_EQ(reports[2].engineName, "DaDN");
+    EXPECT_EQ(reports[3].engineName, "DaDN");
+
+    std::ostringstream csv;
+    writeServingCsv(csv, reports);
+    std::istringstream lines(csv.str());
+    std::string header, row;
+    std::getline(lines, header);
+    EXPECT_EQ(header.rfind("network,engine,arrival,offered_per_s", 0),
+              0u);
+    std::getline(lines, row);
+    EXPECT_EQ(row.rfind("Tiny,Stripes,poisson,10000,", 0), 0u);
+}
+
+TEST(ServingSweep, SaturationFillsBatchesAndStarvationDoesNot)
+{
+    // At an offered load far above capacity every dispatch fills the
+    // batch cap; far below it (with a finite timeout) the dispatcher
+    // times out and sends singletons.
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    std::vector<EngineSelection> grid = {{"dadn", {}}};
+    ServingSweepOptions options = smokeOptions(1);
+    options.offeredPerSecond = {1.0, 1e9};
+    options.serving.policy.timeoutCycles = 10;
+    auto reports = runServingSweep(networks, grid,
+                                   models::builtinEngines(), options);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_DOUBLE_EQ(reports[0].meanBatch, 1.0);
+    EXPECT_DOUBLE_EQ(reports[1].meanBatch, 4.0);
+    EXPECT_GT(reports[1].utilization, reports[0].utilization);
+}
+
+TEST(ServingSweepDeathTest, RejectsOutOfRangeRates)
+{
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    std::vector<EngineSelection> grid = {{"dadn", {}}};
+    ServingSweepOptions zero_rate = smokeOptions(1);
+    zero_rate.offeredPerSecond = {0.0};
+    EXPECT_DEATH(runServingSweep(networks, grid,
+                                 models::builtinEngines(), zero_rate),
+                 "offered rate");
+    ServingSweepOptions no_rates = smokeOptions(1);
+    no_rates.offeredPerSecond.clear();
+    EXPECT_DEATH(runServingSweep(networks, grid,
+                                 models::builtinEngines(), no_rates),
+                 "no offered rates");
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Byte-compare a tool's stdout against a committed golden file.
+
+Usage: check_golden_csv.py GOLDEN_FILE BINARY [ARG...]
+
+Runs BINARY with the given arguments and fails loudly (with a unified
+diff) unless its stdout is byte-identical to GOLDEN_FILE. CTest uses
+this to pin tool-level CSV output — e.g. the pra_serve smoke report —
+the same way CI's byte-compare jobs do, so `ctest` alone reproduces
+the golden verdict locally.
+"""
+
+import difflib
+import subprocess
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    golden_path, binary = argv[1], argv[2]
+    with open(golden_path, "rb") as f:
+        golden = f.read()
+    proc = subprocess.run([binary] + argv[3:], stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        sys.stderr.write(
+            "FAIL: %s exited with %d\n" % (binary, proc.returncode))
+        return 1
+    if proc.stdout == golden:
+        return 0
+    sys.stderr.write("FAIL: output differs from %s\n" % golden_path)
+    diff = difflib.unified_diff(
+        golden.decode(errors="replace").splitlines(keepends=True),
+        proc.stdout.decode(errors="replace").splitlines(keepends=True),
+        fromfile=golden_path,
+        tofile="actual",
+    )
+    sys.stderr.writelines(diff)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

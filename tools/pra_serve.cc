@@ -1,0 +1,246 @@
+/**
+ * @file
+ * pra_serve: batched-serving capacity planning on the simulated
+ * accelerator fleet.
+ *
+ *   pra_serve [--networks all|a,b] [--engines paper|all|spec,spec]
+ *             [--layers conv|fc|all]
+ *             [--activations synthetic|propagated]
+ *             [--memory off|ideal|preset]
+ *             [--traffic R1,R2,...] [--arrival poisson|uniform]
+ *             [--instances N] [--max-batch B] [--timeout CYCLES]
+ *             [--requests N] [--threads N] [--inner-threads N]
+ *             [--cache on|off] [--planes on|off]
+ *             [--units N | --full] [--seed S] [--csv FILE] [--smoke]
+ *             [--list-engines] [--list-memory]
+ *
+ * For every (network, engine) cell pra_serve builds the batch cost
+ * curve — the system cycles of batches of 1..--max-batch images,
+ * priced by the same engines and (optionally) memory hierarchy the
+ * sweep uses — then plays an event-driven fleet simulation against
+ * each offered --traffic rate: --instances identical accelerators,
+ * seeded --arrival request arrivals, and the max-batch + timeout
+ * dispatch rule of src/sim/serving/batching.h. Reports stream as
+ * CSV: p50/p95/p99 and mean latency (cycles), completed images/s and
+ * utilization at the nominal 1 GHz clock, mean batch size, and the
+ * trace makespan.
+ *
+ * "--traffic" lists offered loads in images per second (at 1 GHz);
+ * one CSV row per (network, engine, rate). "--timeout" bounds, in
+ * simulated cycles, how long a dispatcher holds the oldest waiting
+ * request hoping to fill a batch (0 = dispatch greedily as soon as
+ * an instance frees up). "--requests" sets the trace length.
+ *
+ * Determinism matches the sweep: cost curves are bit-identical
+ * across --threads/--inner-threads/--cache, arrivals are
+ * counter-based in (seed, index), and the event loop is serial — so
+ * the serving CSV is byte-identical for any thread count, with the
+ * cache on or off (CI asserts this).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "dnn/model_zoo.h"
+#include "models/engines.h"
+#include "sim/memory/memory_config.h"
+#include "sim/serving/serving_sim.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+using namespace pra;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string item =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (!item.empty())
+            items.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return items;
+}
+
+std::vector<dnn::Network>
+parseNetworks(const std::string &list, dnn::LayerSelect select)
+{
+    if (list == "all")
+        return dnn::makeAllNetworks(select);
+    std::vector<dnn::Network> networks;
+    for (const auto &name : splitList(list))
+        networks.push_back(dnn::makeNetworkByName(name, select));
+    if (networks.empty())
+        util::fatal("no networks selected");
+    return networks;
+}
+
+std::vector<sim::EngineSelection>
+parseEngines(const std::string &list)
+{
+    if (list == "paper")
+        return models::paperEngineGrid();
+    if (list == "all") {
+        std::vector<sim::EngineSelection> grid;
+        for (const auto &kind : models::builtinEngines().kinds())
+            grid.push_back({kind, {}});
+        return grid;
+    }
+    std::vector<sim::EngineSelection> grid;
+    for (const auto &spec : splitList(list))
+        grid.push_back(sim::parseEngineSpec(spec));
+    if (grid.empty())
+        util::fatal("no engines selected");
+    return grid;
+}
+
+/** Parse --traffic: comma-separated positive rates (images/s). */
+std::vector<double>
+parseTraffic(const std::string &list)
+{
+    std::vector<double> rates;
+    for (const auto &item : splitList(list)) {
+        double rate = 0.0;
+        size_t parsed = 0;
+        try {
+            rate = std::stod(item, &parsed);
+        } catch (...) {
+            parsed = 0;
+        }
+        if (parsed != item.size() || !(rate > 0.0) ||
+            rate > sim::kCyclesPerSecond)
+            util::fatal("--traffic rates must be positive images/s "
+                        "up to 1e9 (got '" + item + "')");
+        rates.push_back(rate);
+    }
+    if (rates.empty())
+        util::fatal("--traffic lists no rates");
+    return rates;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(argc, argv);
+    args.checkUnknown({"networks", "engines", "layers", "activations",
+                       "memory", "traffic", "arrival", "instances",
+                       "max-batch", "timeout", "requests", "threads",
+                       "inner-threads", "cache", "planes", "units",
+                       "full", "seed", "csv", "smoke", "list-engines",
+                       "list-memory"});
+    sim::setCyclePlanesEnabled(args.getBool("planes", true));
+
+    if (args.getBool("list-engines")) {
+        const auto &registry = models::builtinEngines();
+        for (const auto &kind : registry.kinds())
+            std::printf("%-14s %s\n", kind.c_str(),
+                        registry.help(kind).c_str());
+        return 0;
+    }
+    if (args.getBool("list-memory")) {
+        for (const auto &name : sim::memoryPresetNames())
+            std::printf("%-8s %s\n", name.c_str(),
+                        sim::memoryPresetHelp(name).c_str());
+        return 0;
+    }
+
+    bool smoke = args.getBool("smoke");
+    sim::ActivationMode activations = sim::parseActivationMode(
+        args.getString("activations", "synthetic"));
+    dnn::LayerSelect select;
+    if (activations == sim::ActivationMode::Propagated) {
+        if (args.has("layers") && args.getString("layers") != "all")
+            util::fatal("--activations=propagated propagates the "
+                        "full layer pipeline; --layers must be 'all' "
+                        "(or omitted)");
+        select = dnn::LayerSelect::All;
+    } else {
+        select = dnn::parseLayerSelect(args.getString("layers",
+                                                      "conv"));
+    }
+    std::vector<dnn::Network> networks = parseNetworks(
+        args.getString("networks", smoke ? "tiny" : "all"), select);
+    std::vector<sim::EngineSelection> engines =
+        parseEngines(args.getString("engines", "paper"));
+
+    sim::ServingSweepOptions options;
+    options.threads = static_cast<int>(
+        args.getInt("threads", util::ThreadPool::hardwareThreads()));
+    options.innerThreads =
+        static_cast<int>(args.getInt("inner-threads", 0));
+    options.cache = args.getBool("cache", true);
+    options.activations = activations;
+    options.accel.memory =
+        sim::parseMemoryPreset(args.getString("memory", "off"));
+    int64_t default_units = smoke ? 4 : 64;
+    int64_t units = args.getInt("units", default_units);
+    if (args.has("units") && units <= 0)
+        util::fatal("--units must be a positive sampling cap (got " +
+                    std::to_string(units) +
+                    "); use --full for an exhaustive run");
+    options.sample.maxUnits = args.getBool("full") ? 0 : units;
+    int64_t seed = args.getInt("seed", 0x5eed);
+    if (seed < 0)
+        util::fatal("--seed must be non-negative (got " +
+                    std::to_string(seed) + ")");
+    options.seed = static_cast<uint64_t>(seed);
+    options.serving.arrival.seed = options.seed;
+
+    // Degenerate serving parameters get loud rejections, not silent
+    // empty simulations.
+    options.offeredPerSecond = parseTraffic(
+        args.getString("traffic", smoke ? "1000,100000" : "10000"));
+    options.serving.arrival.kind = sim::parseArrivalKind(
+        args.getString("arrival", "poisson"));
+    int64_t instances = args.getInt("instances", 1);
+    if (instances <= 0)
+        util::fatal("--instances must be a positive fleet size "
+                    "(got " + std::to_string(instances) + ")");
+    options.serving.instances = static_cast<int>(instances);
+    int64_t max_batch = args.getInt("max-batch", 8);
+    if (max_batch <= 0)
+        util::fatal("--max-batch must be a positive batch cap (got " +
+                    std::to_string(max_batch) + ")");
+    options.serving.policy.maxBatch = static_cast<int>(max_batch);
+    int64_t timeout = args.getInt("timeout", 1000000);
+    if (timeout < 0)
+        util::fatal("--timeout must be a non-negative cycle count "
+                    "(got " + std::to_string(timeout) + ")");
+    options.serving.policy.timeoutCycles =
+        static_cast<uint64_t>(timeout);
+    int64_t requests = args.getInt("requests", smoke ? 64 : 512);
+    if (requests <= 0)
+        util::fatal("--requests must be a positive trace length "
+                    "(got " + std::to_string(requests) + ")");
+    options.serving.requests = static_cast<int>(requests);
+
+    std::vector<sim::ServingReport> reports = sim::runServingSweep(
+        networks, engines, models::builtinEngines(), options);
+
+    std::string csv_path = args.getString("csv", "");
+    if (csv_path.empty()) {
+        sim::writeServingCsv(std::cout, reports);
+    } else {
+        std::ofstream out(csv_path);
+        if (!out)
+            util::fatal("cannot open '" + csv_path + "'");
+        sim::writeServingCsv(out, reports);
+        std::fprintf(stderr, "wrote %zu serving rows to %s\n",
+                     reports.size(), csv_path.c_str());
+    }
+    return 0;
+}

@@ -4,7 +4,8 @@
  *
  *   pra_sweep [--networks all|a,b] [--engines paper|all|spec,spec]
  *             [--layers conv|fc|all] [--activations synthetic|propagated]
- *             [--memory off|ideal|preset] [--threads N]
+ *             [--memory off|ideal|preset] [--batch B] [--shard i/N]
+ *             [--threads N]
  *             [--inner-threads N] [--cache on|off] [--planes on|off]
  *             [--units N | --full] [--seed S]
  *             [--csv FILE] [--per-layer] [--smoke] [--list-engines]
@@ -40,6 +41,20 @@
  * memory-energy summary to stderr. "ideal" counts traffic at
  * infinite bandwidth: zero stalls, compute columns exactly equal to
  * an "off" run.
+ *
+ * "--batch B" prices a batch of B images per cell instead of one:
+ * each engine runs B per-image streams (image 0 is the historical
+ * one) and reports per-batch totals plus the batch/cycles_per_image
+ * CSV columns; with --memory enabled, filter traffic amortizes over
+ * the batch while ifmap/ofmap traffic scales with it. "--batch 1"
+ * (default) is byte-identical to the historical single-image sweep.
+ *
+ * "--shard i/N" prices only shard i of the grid-order cell list
+ * (0 <= i < N, contiguous balanced split). Concatenating the CSV
+ * bodies of shards 0..N-1 (headers dropped after the first)
+ * reproduces the unsharded output byte for byte, so a big sweep can
+ * fan out across jobs. The speedup summary needs the whole grid and
+ * is skipped when sharded.
  *
  * "--cache off" rebuilds every cell's workload from scratch instead
  * of sharing one synthesis per (network, stream, seed) — only useful
@@ -200,10 +215,10 @@ main(int argc, char **argv)
 {
     util::ArgParser args(argc, argv);
     args.checkUnknown({"networks", "engines", "layers", "activations",
-                       "memory", "threads", "inner-threads", "cache",
-                       "planes", "units", "full", "seed", "csv",
-                       "per-layer", "smoke", "list-engines",
-                       "list-memory"});
+                       "memory", "batch", "shard", "threads",
+                       "inner-threads", "cache", "planes", "units",
+                       "full", "seed", "csv", "per-layer", "smoke",
+                       "list-engines", "list-memory"});
     sim::setCyclePlanesEnabled(args.getBool("planes", true));
 
     if (args.getBool("list-engines")) {
@@ -265,6 +280,34 @@ main(int argc, char **argv)
         util::fatal("--seed must be non-negative (got " +
                     std::to_string(seed) + ")");
     options.seed = static_cast<uint64_t>(seed);
+    int64_t batch = args.getInt("batch", 1);
+    if (batch <= 0)
+        util::fatal("--batch must be a positive image count (got " +
+                    std::to_string(batch) + ")");
+    options.batch = static_cast<int>(batch);
+    if (args.has("shard")) {
+        std::string shard = args.getString("shard");
+        size_t slash = shard.find('/');
+        size_t parsed_i = 0;
+        size_t parsed_n = 0;
+        long long i = -1;
+        long long n = -1;
+        if (slash != std::string::npos && slash > 0 &&
+            slash + 1 < shard.size()) {
+            try {
+                i = std::stoll(shard.substr(0, slash), &parsed_i);
+                n = std::stoll(shard.substr(slash + 1), &parsed_n);
+            } catch (...) {
+                i = n = -1;
+            }
+        }
+        if (i < 0 || n <= 0 || i >= n || parsed_i != slash ||
+            parsed_n != shard.size() - slash - 1)
+            util::fatal("--shard must be i/N with 0 <= i < N (got '" +
+                        shard + "')");
+        options.shardIndex = static_cast<int>(i);
+        options.shardCount = static_cast<int>(n);
+    }
 
     std::vector<sim::NetworkResult> results = sim::runSweep(
         networks, engines, models::builtinEngines(), options);
@@ -281,7 +324,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "wrote %zu cells to %s\n",
                      results.size(), csv_path.c_str());
     }
-    printSummary(networks, results, engines.size());
+    // The speedup table indexes the full grid (and needs its DaDN
+    // baseline cells); a shard holds only a slice of it.
+    if (options.shardCount == 1)
+        printSummary(networks, results, engines.size());
     if (options.accel.memory.enabled)
         printMemorySummary(results, options.accel.memory.preset);
     return 0;
