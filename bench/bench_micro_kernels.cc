@@ -17,10 +17,12 @@
 
 #include "dnn/activation_synth.h"
 #include "dnn/model_zoo.h"
+#include "fixedpoint/fixed_point.h"
 #include "fixedpoint/oneffset.h"
 #include "models/pragmatic/pip.h"
 #include "models/pragmatic/schedule.h"
 #include "models/pragmatic/tile.h"
+#include "sim/operand_planes.h"
 #include "sim/workload_cache.h"
 #include "util/random.h"
 
@@ -184,6 +186,56 @@ BM_BrickPlanesBuild(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BrickPlanesBuild);
+
+/**
+ * The Dynamic-Stripes per-group reduction kernel over real brick
+ * planes: OR the orMask of each group member, then derive the
+ * runtime bit-serial precision from the combined mask. Range is the
+ * group size in columns (granularity); items_per_second is brick
+ * masks reduced per second.
+ */
+void
+BM_DynamicPrecisionReduction(benchmark::State &state)
+{
+    const size_t group = static_cast<size_t>(state.range(0));
+    auto net = dnn::makeAlexNet();
+    dnn::ActivationSynthesizer synth(net);
+    sim::BrickPlanes planes =
+        sim::buildBrickPlanes(synth.synthesizeFixed16Trimmed(2));
+    const size_t masks = planes.orMask.size();
+    for (auto _ : state) {
+        int64_t cycles = 0;
+        for (size_t base = 0; base + group <= masks; base += group) {
+            uint16_t mask = 0;
+            for (size_t m = 0; m < group; m++)
+                mask |= planes.orMask[base + m];
+            cycles += fixedpoint::dynamicPrecision(mask, false);
+        }
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * (masks / group) * group));
+}
+BENCHMARK(BM_DynamicPrecisionReduction)->Arg(1)->Arg(4)->Arg(16);
+
+/**
+ * Weight-side plane construction for one conv layer: the full
+ * synthetic code stream (every filter) reduced into per-(set, lane)
+ * popcount/mask summaries. This is the one-time cost a weight-aware
+ * engine (laconic) pays per layer before pricing it.
+ */
+void
+BM_WeightPlanesBuild(benchmark::State &state)
+{
+    auto net = dnn::makeAlexNet();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::syntheticWeightPlanes(
+            net.layers[2], dnn::kBrickSize));
+    state.SetItemsProcessed(
+        state.iterations() * net.layers[2].numFilters *
+        net.layers[2].synapsesPerFilter());
+}
+BENCHMARK(BM_WeightPlanesBuild);
 
 /**
  * One pallet-sync layer, first-stage width from the range argument:

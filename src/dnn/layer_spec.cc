@@ -30,7 +30,7 @@ layerSelected(LayerKind kind, LayerSelect select)
 
 LayerSpec
 LayerSpec::fullyConnected(std::string name, int inputs, int outputs,
-                          int precision)
+                          int precision, int weight_precision)
 {
     LayerSpec spec;
     spec.name = std::move(name);
@@ -44,6 +44,7 @@ LayerSpec::fullyConnected(std::string name, int inputs, int outputs,
     spec.stride = 1;
     spec.pad = 0;
     spec.profiledPrecision = precision;
+    spec.profiledWeightPrecision = weight_precision;
     return spec;
 }
 
@@ -172,6 +173,8 @@ LayerSpec::valid() const
     if (filterX > inputX + 2 * pad || filterY > inputY + 2 * pad)
         return false;
     if (profiledPrecision < 1 || profiledPrecision > 16)
+        return false;
+    if (profiledWeightPrecision < 1 || profiledWeightPrecision > 16)
         return false;
     for (int producer : producers)
         if (producer < 0)

@@ -103,6 +103,14 @@ struct LayerSpec
     int profiledPrecision = 16;
 
     /**
+     * Profiled *weight* precision in bits: the magnitude window the
+     * layer's weight codes occupy (DNNsim-style per-layer weight
+     * profiles). Only weight-aware engines (Laconic, weight-side
+     * planes) consume it; activation-only engines never read it.
+     */
+    int profiledWeightPrecision = 8;
+
+    /**
      * The layer's position among the *priced* (non-pool) layers of
      * its unfiltered network, or -1 when unknown (hand-built layers
      * and pool layers). The model zoo assigns it before applying a
@@ -139,7 +147,8 @@ struct LayerSpec
      * stride 1, no padding.
      */
     static LayerSpec fullyConnected(std::string name, int inputs,
-                                    int outputs, int precision = 16);
+                                    int outputs, int precision = 16,
+                                    int weight_precision = 8);
 
     /**
      * Build a pooling layer: a @p window x @p window reduction with
@@ -191,7 +200,8 @@ struct LayerSpec
      * Sanity-check the geometry; returns false on malformed specs.
      *
      * All kinds: positive dimensions, stride >= 1, pad >= 0,
-     * profiled precision in [1, 16], and the filter must fit the
+     * profiled neuron and weight precisions in [1, 16], and the
+     * filter must fit the
      * padded input on each axis (checked symmetrically for X and Y);
      * outX()/outY() floor semantics then guarantee at least one
      * window per axis, so a non-tiling stride is *accepted* — the

@@ -11,10 +11,15 @@ namespace dnn {
 
 namespace {
 
-/** Shorthand builder for one conv layer spec. */
+/**
+ * Shorthand builder for one conv layer spec. @p wprec is the
+ * companion profiled *weight* precision (DNNsim-style per-layer
+ * weight profiles; only weight-aware engines read it): front layers
+ * need a wider magnitude window than the mid-network 8-bit norm.
+ */
 LayerSpec
 conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
-     int filters, int stride, int pad, int precision)
+     int filters, int stride, int pad, int precision, int wprec = 8)
 {
     LayerSpec spec;
     spec.name = std::move(name);
@@ -27,6 +32,7 @@ conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
     spec.stride = stride;
     spec.pad = pad;
     spec.profiledPrecision = precision;
+    spec.profiledWeightPrecision = wprec;
     PRA_CHECK(spec.valid(),
                          "model_zoo: malformed layer " + spec.name);
     return spec;
@@ -40,11 +46,12 @@ conv(std::string name, int in_x, int in_y, int channels, int f_x, int f_y,
  * precisions the same way).
  */
 LayerSpec
-fc(std::string name, int inputs, int outputs, int precision)
+fc(std::string name, int inputs, int outputs, int precision,
+   int wprec = 8)
 {
     LayerSpec spec =
         LayerSpec::fullyConnected(std::move(name), inputs, outputs,
-                                  precision);
+                                  precision, wprec);
     PRA_CHECK(spec.valid(),
                          "model_zoo: malformed layer " + spec.name);
     return spec;
@@ -126,27 +133,27 @@ std::vector<int>
 addInception(std::vector<LayerSpec> &layers, const std::string &name,
              std::vector<int> input, int size, int channels, int n1x1,
              int n3x3red, int n3x3, int n5x5red, int n5x5,
-             int pool_proj, int precision)
+             int pool_proj, int precision, int wprec)
 {
     int b1 = addLayer(layers,
                       conv(name + "/1x1", size, size, channels,
-                           1, 1, n1x1, 1, 0, precision),
+                           1, 1, n1x1, 1, 0, precision, wprec),
                       input);
     int r3 = addLayer(layers,
                       conv(name + "/3x3_reduce", size, size, channels,
-                           1, 1, n3x3red, 1, 0, precision),
+                           1, 1, n3x3red, 1, 0, precision, wprec),
                       input);
     int b3 = addLayer(layers,
                       conv(name + "/3x3", size, size, n3x3red,
-                           3, 3, n3x3, 1, 1, precision),
+                           3, 3, n3x3, 1, 1, precision, wprec),
                       {r3});
     int r5 = addLayer(layers,
                       conv(name + "/5x5_reduce", size, size, channels,
-                           1, 1, n5x5red, 1, 0, precision),
+                           1, 1, n5x5red, 1, 0, precision, wprec),
                       input);
     int b5 = addLayer(layers,
                       conv(name + "/5x5", size, size, n5x5red,
-                           5, 5, n5x5, 1, 2, precision),
+                           5, 5, n5x5, 1, 2, precision, wprec),
                       {r5});
     int pp = addLayer(layers,
                       pool(name + "/pool", size, size, channels, 3, 1,
@@ -154,7 +161,7 @@ addInception(std::vector<LayerSpec> &layers, const std::string &name,
                       input);
     int bp = addLayer(layers,
                       conv(name + "/pool_proj", size, size, channels,
-                           1, 1, pool_proj, 1, 0, precision),
+                           1, 1, pool_proj, 1, 0, precision, wprec),
                       {pp});
     return {b1, b3, b5, bp};
 }
@@ -171,7 +178,7 @@ makeAlexNet(LayerSelect select)
     // Table II precision profile: 9-8-5-5-7. Pools bridge the
     // published shapes (pool5: 13x13x256 -> the 6x6x256 fc6 input).
     net.layers = {
-        conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0, 9),
+        conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0, 9, 10),
         pool("pool1", 55, 55, 96, 3, 2),
         conv("conv2", 27, 27, 96, 5, 5, 256, 1, 2, 8),
         pool("pool2", 27, 27, 256, 3, 2),
@@ -180,9 +187,9 @@ makeAlexNet(LayerSelect select)
         conv("conv5", 13, 13, 384, 3, 3, 256, 1, 1, 7),
         pool("pool5", 13, 13, 256, 3, 2),
         // FC tail: fc6 consumes the 6x6x256 pool5 output.
-        fc("fc6", 6 * 6 * 256, 4096, 10),
-        fc("fc7", 4096, 4096, 9),
-        fc("fc8", 4096, 1000, 9),
+        fc("fc6", 6 * 6 * 256, 4096, 10, 9),
+        fc("fc7", 4096, 4096, 9, 9),
+        fc("fc8", 4096, 1000, 9, 10),
     };
     return applySelect(std::move(net), select);
 }
@@ -199,11 +206,11 @@ makeNiN(LayerSelect select)
     net.targets = {0.104, 0.221, 0.271, 0.374, 0.10};
     // Table II: 8-8-8-9-7-8-8-9-9-8-8-8.
     net.layers = {
-        conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0, 8),
+        conv("conv1", 227, 227, 3, 11, 11, 96, 4, 0, 8, 10),
         conv("cccp1", 55, 55, 96, 1, 1, 96, 1, 0, 8),
         conv("cccp2", 55, 55, 96, 1, 1, 96, 1, 0, 8),
         pool("pool1", 55, 55, 96, 3, 2),
-        conv("conv2", 27, 27, 96, 5, 5, 256, 1, 2, 9),
+        conv("conv2", 27, 27, 96, 5, 5, 256, 1, 2, 9, 9),
         conv("cccp3", 27, 27, 256, 1, 1, 256, 1, 0, 7),
         conv("cccp4", 27, 27, 256, 1, 1, 256, 1, 0, 8),
         pool("pool2", 27, 27, 256, 3, 2),
@@ -236,42 +243,42 @@ makeGoogLeNet(LayerSelect select)
     // conv1, conv2 block, inception 3a,3b,4a,4b,4c,4d,4e,5a,5b.
     auto &layers = net.layers;
     addLayer(layers, conv("conv1/7x7_s2", 224, 224, 3,
-                          7, 7, 64, 2, 3, 10));
+                          7, 7, 64, 2, 3, 10, 10));
     int p1 = addLayer(layers, pool("pool1/3x3_s2", 112, 112, 64, 3, 2,
                                    PoolOp::Max, 0, true));
     int c2r = addLayer(layers, conv("conv2/3x3_reduce", 56, 56, 64,
-                                    1, 1, 64, 1, 0, 8),
+                                    1, 1, 64, 1, 0, 8, 9),
                        {p1});
     int c2 = addLayer(layers, conv("conv2/3x3", 56, 56, 64,
-                                   3, 3, 192, 1, 1, 8),
+                                   3, 3, 192, 1, 1, 8, 9),
                       {c2r});
     int p2 = addLayer(layers, pool("pool2/3x3_s2", 56, 56, 192, 3, 2,
                                    PoolOp::Max, 0, true),
                       {c2});
     auto m3a = addInception(layers, "inception_3a", {p2}, 28, 192,
-                            64, 96, 128, 16, 32, 32, 10);
+                            64, 96, 128, 16, 32, 32, 10, 9);
     auto m3b = addInception(layers, "inception_3b", m3a, 28, 256,
-                            128, 128, 192, 32, 96, 64, 9);
+                            128, 128, 192, 32, 96, 64, 9, 8);
     int p3 = addLayer(layers, pool("pool3/3x3_s2", 28, 28, 480, 3, 2,
                                    PoolOp::Max, 0, true),
                       m3b);
     auto m4a = addInception(layers, "inception_4a", {p3}, 14, 480,
-                            192, 96, 208, 16, 48, 64, 8);
+                            192, 96, 208, 16, 48, 64, 8, 8);
     auto m4b = addInception(layers, "inception_4b", m4a, 14, 512,
-                            160, 112, 224, 24, 64, 64, 10);
+                            160, 112, 224, 24, 64, 64, 10, 8);
     auto m4c = addInception(layers, "inception_4c", m4b, 14, 512,
-                            128, 128, 256, 24, 64, 64, 9);
+                            128, 128, 256, 24, 64, 64, 9, 8);
     auto m4d = addInception(layers, "inception_4d", m4c, 14, 512,
-                            112, 144, 288, 32, 64, 64, 8);
+                            112, 144, 288, 32, 64, 64, 8, 8);
     auto m4e = addInception(layers, "inception_4e", m4d, 14, 528,
-                            256, 160, 320, 32, 128, 128, 9);
+                            256, 160, 320, 32, 128, 128, 9, 8);
     int p4 = addLayer(layers, pool("pool4/3x3_s2", 14, 14, 832, 3, 2,
                                    PoolOp::Max, 0, true),
                       m4e);
     auto m5a = addInception(layers, "inception_5a", {p4}, 7, 832,
-                            256, 160, 320, 32, 128, 128, 10);
+                            256, 160, 320, 32, 128, 128, 10, 9);
     auto m5b = addInception(layers, "inception_5b", m5a, 7, 832,
-                            384, 192, 384, 48, 128, 128, 7);
+                            384, 192, 384, 48, 128, 128, 7, 9);
     // Global average pooling closes the network (no FC tail).
     addLayer(layers, pool("pool5/7x7_s1", 7, 7, 1024, 7, 1,
                           PoolOp::Avg),
@@ -288,7 +295,7 @@ makeVggM(LayerSelect select)
     // Table II: 7-7-7-8-7. Pool shapes follow Chatfield et al.:
     // pool2 needs ceil rounding (26 -> 13), pool1/pool5 floor.
     net.layers = {
-        conv("conv1", 224, 224, 3, 7, 7, 96, 2, 0, 7),
+        conv("conv1", 224, 224, 3, 7, 7, 96, 2, 0, 7, 9),
         pool("pool1", 109, 109, 96, 3, 2),
         conv("conv2", 54, 54, 96, 5, 5, 256, 2, 1, 7),
         pool("pool2", 26, 26, 256, 3, 2, PoolOp::Max, 0, true),
@@ -297,9 +304,9 @@ makeVggM(LayerSelect select)
         conv("conv5", 13, 13, 512, 3, 3, 512, 1, 1, 7),
         pool("pool5", 13, 13, 512, 3, 2),
         // FC tail (Chatfield et al.): full6/7/8 off the 6x6x512 pool5.
-        fc("fc6", 6 * 6 * 512, 4096, 10),
-        fc("fc7", 4096, 4096, 9),
-        fc("fc8", 4096, 1000, 9),
+        fc("fc6", 6 * 6 * 512, 4096, 10, 9),
+        fc("fc7", 4096, 4096, 9, 9),
+        fc("fc8", 4096, 1000, 9, 10),
     };
     return applySelect(std::move(net), select);
 }
@@ -313,7 +320,7 @@ makeVggS(LayerSelect select)
     // Table II: 7-8-9-7-9. VGG-S pools: 3x3/3 front (floor), 2x2/2
     // middle, 3x3/3 tail (ceil: 17 -> 6), per Chatfield et al.
     net.layers = {
-        conv("conv1", 224, 224, 3, 7, 7, 96, 2, 0, 7),
+        conv("conv1", 224, 224, 3, 7, 7, 96, 2, 0, 7, 9),
         pool("pool1", 109, 109, 96, 3, 3),
         conv("conv2", 36, 36, 96, 5, 5, 256, 1, 1, 8),
         pool("pool2", 34, 34, 256, 2, 2),
@@ -322,9 +329,9 @@ makeVggS(LayerSelect select)
         conv("conv5", 17, 17, 512, 3, 3, 512, 1, 1, 9),
         pool("pool5", 17, 17, 512, 3, 3, PoolOp::Max, 0, true),
         // FC tail (Chatfield et al.): same shape as VGG-M's.
-        fc("fc6", 6 * 6 * 512, 4096, 10),
-        fc("fc7", 4096, 4096, 9),
-        fc("fc8", 4096, 1000, 9),
+        fc("fc6", 6 * 6 * 512, 4096, 10, 9),
+        fc("fc7", 4096, 4096, 9, 9),
+        fc("fc8", 4096, 1000, 9, 10),
     };
     return applySelect(std::move(net), select);
 }
@@ -338,13 +345,13 @@ makeVgg19(LayerSelect select)
     // Table II: 12-12-12-11-12-10-11-11-13-12-13-13-13-13-13-13.
     const int prec[16] = {12, 12, 12, 11, 12, 10, 11, 11,
                           13, 12, 13, 13, 13, 13, 13, 13};
-    struct Stage { int size; int in; int out; int count; };
+    struct Stage { int size; int in; int out; int count; int wprec; };
     const Stage stages[5] = {
-        {224, 3, 64, 2},
-        {112, 64, 128, 2},
-        {56, 128, 256, 4},
-        {28, 256, 512, 4},
-        {14, 512, 512, 4},
+        {224, 3, 64, 2, 9},
+        {112, 64, 128, 2, 8},
+        {56, 128, 256, 4, 8},
+        {28, 256, 512, 4, 8},
+        {14, 512, 512, 4, 8},
     };
     int idx = 0;
     for (int s = 0; s < 5; s++) {
@@ -354,7 +361,8 @@ makeVgg19(LayerSelect select)
                 "conv" + std::to_string(s + 1) + "_" +
                     std::to_string(c + 1),
                 stages[s].size, stages[s].size, channels,
-                3, 3, stages[s].out, 1, 1, prec[idx++]));
+                3, 3, stages[s].out, 1, 1, prec[idx++],
+                stages[s].wprec));
             channels = stages[s].out;
         }
         // Every stage ends in a 2x2/2 max pool (all divisions exact).
@@ -364,9 +372,9 @@ makeVgg19(LayerSelect select)
     }
     PRA_CHECK(idx == 16, "VGG19 precision list mismatch");
     // FC tail (Simonyan & Zisserman): fc6 off the 7x7x512 pool5.
-    net.layers.push_back(fc("fc6", 7 * 7 * 512, 4096, 11));
-    net.layers.push_back(fc("fc7", 4096, 4096, 10));
-    net.layers.push_back(fc("fc8", 4096, 1000, 10));
+    net.layers.push_back(fc("fc6", 7 * 7 * 512, 4096, 11, 10));
+    net.layers.push_back(fc("fc7", 4096, 4096, 10, 10));
+    net.layers.push_back(fc("fc8", 4096, 1000, 10, 11));
     return applySelect(std::move(net), select);
 }
 

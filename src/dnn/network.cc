@@ -43,6 +43,8 @@ Network::workloadFingerprint() const
         h = util::fnv1aMix(h, static_cast<uint64_t>(layer.poolCeil));
         h = util::fnv1aMix(
             h, static_cast<uint64_t>(layer.profiledPrecision));
+        h = util::fnv1aMix(
+            h, static_cast<uint64_t>(layer.profiledWeightPrecision));
         h = util::fnv1aMix(h, static_cast<uint64_t>(layer.ordinal));
         h = util::fnv1aMix(h, layer.producers.size());
         for (int producer : layer.producers)

@@ -36,6 +36,16 @@ significantBits(uint16_t value)
     return msbPosition(value) + 1;
 }
 
+int
+dynamicPrecision(uint16_t mask, bool leading_bit_only)
+{
+    if (mask == 0)
+        return 0;
+    if (leading_bit_only)
+        return msbPosition(mask) + 1;
+    return msbPosition(mask) - lsbPosition(mask) + 1;
+}
+
 double
 essentialBitFraction(std::span<const uint16_t> values, int width)
 {

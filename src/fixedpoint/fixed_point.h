@@ -46,6 +46,15 @@ int lsbPosition(uint16_t value);
 int significantBits(uint16_t value);
 
 /**
+ * The bit-serial precision a runtime detector (Dynamic-Stripes)
+ * derives from the OR @p mask of a value group: the span between the
+ * group's leading and trailing set bits, or — when only the leading
+ * bit is detected (@p leading_bit_only) — everything below the
+ * leading bit as well. 0 for an all-zero group (nothing to stream).
+ */
+int dynamicPrecision(uint16_t mask, bool leading_bit_only);
+
+/**
  * Average fraction of set bits per value over @p values, measured
  * against a @p width-bit representation (paper Table I, "All").
  */

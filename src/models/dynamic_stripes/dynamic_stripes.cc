@@ -1,0 +1,292 @@
+#include "models/dynamic_stripes/dynamic_stripes.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "fixedpoint/fixed_point.h"
+#include "models/pragmatic/brick_cost.h"
+#include "models/stripes/stripes.h"
+#include "sim/operand_planes.h"
+#include "sim/tiling.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace pra {
+namespace models {
+
+namespace {
+
+/** Exact per-block accumulators (combine in block order). */
+struct DsPartial
+{
+    int64_t processCycles = 0;
+    int64_t terms = 0;
+};
+
+/**
+ * The Diffy front end: each column's detector input is the absolute
+ * spatial x-difference against the previous column (x == 0 keeps the
+ * raw value). Magnitude codes, so the difference is taken on the
+ * integer values.
+ */
+dnn::NeuronTensor
+diffyTransform(const dnn::NeuronTensor &input)
+{
+    dnn::NeuronTensor out(input.sizeX(), input.sizeY(), input.sizeI());
+    for (int y = 0; y < input.sizeY(); y++)
+        for (int x = 0; x < input.sizeX(); x++)
+            for (int i = 0; i < input.sizeI(); i++) {
+                int v = input.at(x, y, i);
+                if (x > 0)
+                    v -= input.at(x - 1, y, i);
+                out.at(x, y, i) = static_cast<uint16_t>(std::abs(v));
+            }
+    return out;
+}
+
+/**
+ * Per-brick detector masks: the shared orMask plane when one
+ * applies, else the same reduction over a zero-copy brick view
+ * (bit-identical by construction — summarizeBrick is the single
+ * reduction both paths share).
+ */
+class MaskSource
+{
+  public:
+    MaskSource(const sim::LayerTiling &tiling,
+               const dnn::NeuronTensor &src,
+               const sim::BrickPlanes *planes)
+        : tiling_(tiling), src_(src), planes_(planes)
+    {
+    }
+
+    uint16_t
+    mask(const sim::WindowCoord &w, const sim::SynapseSetCoord &s) const
+    {
+        if (planes_) {
+            const dnn::LayerSpec &layer = tiling_.layer();
+            int x = w.x * layer.stride - layer.pad + s.fx;
+            int y = w.y * layer.stride - layer.pad + s.fy;
+            if (x < 0 || x >= layer.inputX || y < 0 ||
+                y >= layer.inputY)
+                return 0;
+            return planes_->orMask[planes_->index(
+                x, y, s.brickI / dnn::kBrickSize)];
+        }
+        return sim::summarizeBrick(tiling_.gatherBrickView(src_, w, s))
+            .orMask;
+    }
+
+  private:
+    const sim::LayerTiling &tiling_;
+    const dnn::NeuronTensor &src_;
+    const sim::BrickPlanes *planes_;
+};
+
+/**
+ * The static layer-wide configuration: exactly Stripes at the
+ * profiled precision, or — leading-bit-only detection — at the top
+ * of the synthesis window (see the header comment).
+ */
+sim::LayerResult
+layerWideResult(const dnn::LayerSpec &layer,
+                const sim::AccelConfig &accel,
+                const DynamicStripesConfig &config)
+{
+    int precision = layer.profiledPrecision;
+    if (config.leadingBit)
+        precision = std::min(16, dnn::synthesisAnchor(layer) +
+                                     layer.profiledPrecision);
+    return StripesModel(accel).layerResult(layer, precision);
+}
+
+sim::LayerResult
+simulateImpl(const dnn::LayerSpec &layer,
+             const dnn::NeuronTensor &input,
+             const sim::LayerWorkload *workload,
+             const sim::AccelConfig &accel,
+             const DynamicStripesConfig &config,
+             const sim::SampleSpec &sample,
+             const util::InnerExecutor &exec)
+{
+    if (config.layerWide)
+        return layerWideResult(layer, accel, config);
+
+    const int wpp = accel.windowsPerPallet;
+    const int gc = config.groupColumns;
+    if (gc < 1 || wpp % gc != 0)
+        util::fatal("dynamic_stripes: granularity must be a positive "
+                    "divisor of windowsPerPallet (" +
+                    std::to_string(wpp) + "); got " +
+                    std::to_string(gc));
+    const int regs = config.columnRegisters;
+    PRA_CHECK(regs >= 0, "dynamic_stripes: negative column registers");
+
+    sim::LayerTiling tiling(layer, accel);
+    sim::SamplePlan plan = sim::planSample(tiling.numPallets(), sample);
+    PRA_CHECK(!plan.indices.empty(),
+              "dynamic_stripes: layer has no pallets");
+    const int64_t num_sets = tiling.numSynapseSets();
+
+    // The detector input: the raw stream, or its Diffy difference.
+    // Diffy masks summarize a *different* tensor than the shared
+    // workload planes, so the plane path rebuilds them locally.
+    const dnn::NeuronTensor *src = &input;
+    dnn::NeuronTensor diffed;
+    std::optional<sim::BrickPlanes> local_planes;
+    const sim::LayerWorkload *plane_source = workload;
+    if (config.diffy) {
+        diffed = diffyTransform(input);
+        src = &diffed;
+        plane_source = nullptr;
+    }
+    BrickCostContext ctx(tiling, *src, plane_source,
+                         kMaxFirstStageBits);
+    const sim::BrickPlanes *planes = ctx.planes();
+    if (config.diffy && accel.neuronLanes == dnn::kBrickSize) {
+        local_planes = sim::buildBrickPlanes(diffed);
+        planes = &*local_planes;
+    }
+    MaskSource masks(tiling, *src, planes);
+    const std::vector<sim::SynapseSetCoord> &set_coords =
+        ctx.setCoords();
+
+    const int64_t num_units = static_cast<int64_t>(plan.indices.size());
+    const int blocks = exec.blockCount(num_units);
+    std::vector<DsPartial> partials(
+        static_cast<size_t>(std::max(blocks, 1)));
+
+    // Pallets are independent (the run-ahead window resets at a
+    // pallet boundary), so contiguous pallet blocks accumulate exact
+    // partials that combine to the serial result.
+    exec.forEachBlock(blocks, [&](int block) {
+        auto [lo, hi] = util::InnerExecutor::blockRange(num_units,
+                                                        blocks, block);
+        DsPartial acc;
+        std::vector<sim::WindowCoord> col_coords(
+            static_cast<size_t>(wpp));
+        std::vector<int> group_prec(static_cast<size_t>(wpp / gc));
+        std::vector<int64_t> finish(group_prec.size());
+        std::vector<int64_t> ring(static_cast<size_t>(
+            std::max(regs, 1)));
+        for (int64_t pi = lo; pi < hi; pi++) {
+            int64_t pallet = plan.indices[static_cast<size_t>(pi)];
+            const int active = tiling.windowsInPallet(pallet);
+            for (int c = 0; c < active; c++)
+                col_coords[static_cast<size_t>(c)] = tiling.windowCoord(
+                    tiling.windowIndex(pallet, c));
+            // Groups past the active prefix have no columns (only the
+            // layer's last pallet is partial) and never gate anyone.
+            const int groups = (active + gc - 1) / gc;
+            std::fill(finish.begin(), finish.end(), int64_t{0});
+            std::fill(ring.begin(), ring.end(), int64_t{0});
+            int64_t pallet_done = 0;
+            for (int64_t s = 0; s < num_sets; s++) {
+                const sim::SynapseSetCoord &sc =
+                    set_coords[static_cast<size_t>(s)];
+                const int real_lanes =
+                    std::min(accel.neuronLanes,
+                             layer.inputChannels - sc.brickI);
+                for (int g = 0; g < groups; g++) {
+                    const int first = g * gc;
+                    const int last = std::min(first + gc, active);
+                    uint16_t m = 0;
+                    for (int c = first; c < last; c++)
+                        m |= masks.mask(
+                            col_coords[static_cast<size_t>(c)], sc);
+                    const int p = fixedpoint::dynamicPrecision(
+                        m, config.leadingBit);
+                    group_prec[static_cast<size_t>(g)] = p;
+                    // Every member column streams the group's
+                    // precision over the brick's real lanes.
+                    acc.terms += static_cast<int64_t>(p) * real_lanes *
+                                 (last - first);
+                }
+                if (regs == 0) {
+                    // Lockstep: the pallet advances at its slowest
+                    // group; even an all-zero step holds the
+                    // pipeline for the SB read cycle.
+                    int step = 0;
+                    for (int g = 0; g < groups; g++)
+                        step = std::max(
+                            step, group_prec[static_cast<size_t>(g)]);
+                    acc.processCycles += std::max(1, step);
+                } else {
+                    // Run-ahead: group g may start set s once the
+                    // slowest group finished set s - regs (its
+                    // register frees up then).
+                    int64_t gate =
+                        s >= regs
+                            ? ring[static_cast<size_t>(s % regs)]
+                            : 0;
+                    int64_t slowest = 0;
+                    for (int g = 0; g < groups; g++) {
+                        size_t gi = static_cast<size_t>(g);
+                        finish[gi] =
+                            std::max(finish[gi], gate) +
+                            std::max(1, group_prec[gi]);
+                        slowest = std::max(slowest, finish[gi]);
+                    }
+                    ring[static_cast<size_t>(s % regs)] = slowest;
+                    pallet_done = slowest;
+                }
+            }
+            if (regs > 0)
+                acc.processCycles += pallet_done;
+        }
+        partials[static_cast<size_t>(block)] = acc;
+    });
+
+    DsPartial total;
+    for (const DsPartial &partial : partials) {
+        total.processCycles += partial.processCycles;
+        total.terms += partial.terms;
+    }
+
+    sim::LayerResult result;
+    result.layerName = layer.name;
+    result.engineName = "DynamicStripes";
+    result.sampleScale = plan.scale;
+    double passes = static_cast<double>(tiling.passes());
+    result.cycles = passes * plan.scale *
+                    static_cast<double>(total.processCycles);
+    result.effectualTerms = plan.scale *
+                            static_cast<double>(total.terms) *
+                            layer.numFilters;
+    // One SB read per pallet step, as in every pallet-synced model.
+    result.sbReadSteps = passes *
+                         static_cast<double>(tiling.numPallets()) *
+                         static_cast<double>(num_sets);
+    return result;
+}
+
+} // namespace
+
+sim::LayerResult
+simulateLayerDynamicStripes(const dnn::LayerSpec &layer,
+                            const dnn::NeuronTensor &input,
+                            const sim::AccelConfig &accel,
+                            const DynamicStripesConfig &config,
+                            const sim::SampleSpec &sample)
+{
+    return simulateImpl(layer, input, nullptr, accel, config, sample,
+                        util::InnerExecutor());
+}
+
+sim::LayerResult
+simulateLayerDynamicStripes(const dnn::LayerSpec &layer,
+                            const sim::LayerWorkload &workload,
+                            const sim::AccelConfig &accel,
+                            const DynamicStripesConfig &config,
+                            const sim::SampleSpec &sample,
+                            const util::InnerExecutor &exec)
+{
+    return simulateImpl(layer, workload.tensor(), &workload, accel,
+                        config, sample, exec);
+}
+
+} // namespace models
+} // namespace pra

@@ -2,6 +2,8 @@
 
 #include "models/analytic/term_count_engine.h"
 #include "models/dadn/dadn_engine.h"
+#include "models/dynamic_stripes/dynamic_stripes_engine.h"
+#include "models/laconic/laconic_engine.h"
 #include "models/pragmatic/pragmatic_engine.h"
 #include "models/stripes/stripes_engine.h"
 
@@ -22,6 +24,19 @@ registerBuiltinEngines(sim::EngineRegistry &registry)
         "repr=fixed16|quant8]",
         [](const sim::EngineKnobs &knobs) {
             return std::make_unique<StripesEngine>(knobs);
+        });
+    registry.registerEngine(
+        "dynamic_stripes",
+        "runtime per-group precision Stripes [granularity=N|layer "
+        "column-regs=N leading-bit=0|1 diffy=0|1]",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<DynamicStripesEngine>(knobs);
+        });
+    registry.registerEngine(
+        "laconic",
+        "both-operand essential-bit term serialization (no knobs)",
+        [](const sim::EngineKnobs &knobs) {
+            return std::make_unique<LaconicEngine>(knobs);
         });
     registry.registerEngine(
         "pragmatic",
@@ -67,6 +82,19 @@ paperEngineGrid()
         grid.push_back({"pragmatic", {{"bits", std::to_string(l)}}});
     grid.push_back({"pragmatic-col", {{"bits", "2"}, {"ssr", "1"}}});
     return grid;
+}
+
+std::vector<sim::EngineSelection>
+coreEngineGrid()
+{
+    // Frozen expansion of "--engines=all" (see the header comment):
+    // the five kinds that existed when the smoke goldens were
+    // committed, default knobs, sorted order.
+    return {{"dadn", {}},
+            {"pragmatic", {}},
+            {"pragmatic-col", {}},
+            {"stripes", {}},
+            {"terms", {}}};
 }
 
 } // namespace models

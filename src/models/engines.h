@@ -4,11 +4,13 @@
  * registered behind the sim::Engine interface.
  *
  * Kinds (see each adapter header for knobs):
- *   dadn           bit-parallel DaDianNao baseline
- *   stripes        bit-serial Stripes baseline
- *   pragmatic      Pragmatic, pallet synchronization
- *   pragmatic-col  Pragmatic, per-column synchronization (SSRs)
- *   terms          analytic term-count model (work, not cycles)
+ *   dadn             bit-parallel DaDianNao baseline
+ *   stripes          bit-serial Stripes baseline
+ *   dynamic_stripes  Stripes with runtime per-group precision
+ *   pragmatic        Pragmatic, pallet synchronization
+ *   pragmatic-col    Pragmatic, per-column synchronization (SSRs)
+ *   laconic          both-operand essential-bit term serialization
+ *   terms            analytic term-count model (work, not cycles)
  */
 
 #pragma once
@@ -18,7 +20,7 @@
 namespace pra {
 namespace models {
 
-/** Register the five built-in engine kinds into @p registry. */
+/** Register the built-in engine kinds into @p registry. */
 void registerBuiltinEngines(sim::EngineRegistry &registry);
 
 /** The shared, immutable registry of built-in engines. */
@@ -29,6 +31,16 @@ const sim::EngineRegistry &builtinEngines();
  * DaDN, Stripes, PRA-0b..4b (pallet) and PRA-2b-1R (column).
  */
 std::vector<sim::EngineSelection> paperEngineGrid();
+
+/**
+ * The historical five-kind grid "--engines=all" expands to: dadn,
+ * pragmatic, pragmatic-col, stripes, terms with default knobs, in
+ * registry (sorted) order. Deliberately frozen: the committed smoke
+ * goldens and the CI row counts pin this expansion, so newly
+ * registered kinds (dynamic_stripes, laconic) must NOT grow it —
+ * select them explicitly instead.
+ */
+std::vector<sim::EngineSelection> coreEngineGrid();
 
 } // namespace models
 } // namespace pra

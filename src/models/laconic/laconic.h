@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Laconic cycle model: term-serial computation over the essential
+ * bits of *both* operands (Sharify et al., "Laconic Deep Learning
+ * Computing" — the both-operand endpoint of the oneffset family this
+ * repo grows from Pragmatic).
+ *
+ * A Laconic PE decomposes a product into oneffset pairs: a neuron
+ * with A set bits times a synapse with W set bits takes A x W
+ * single-bit term cycles. Execution follows the shared
+ * pass/pallet/synapse-set tiling: per synapse set, every (column,
+ * lane, filter) unit multiplies its neuron brick lane against its
+ * synapse lane, and the pallet advances when its slowest unit
+ * finishes:
+ *
+ *   step(pallet, set) = max over columns, lanes of
+ *       actPop(col, lane) x wgtMaxPop(set, lane)
+ *
+ * with the one-cycle SB-read floor every pallet-synced model shares.
+ * wgtMaxPop is the per-(set, lane) maximum over *all* filters, so a
+ * multi-pass layer prices every pass at the worst-case pass — a
+ * deliberate (documented) upper-bound approximation that keeps the
+ * weight planes pass-independent; effectual terms stay exact, since
+ * wgtSumPop sums every filter's popcount:
+ *
+ *   terms += actPop(col, lane) x wgtSumPop(set, lane)
+ *
+ * summed over one pass (the sum already covers every filter, hence
+ * every pass). Weight popcounts come from the shared weight-side
+ * planes (sim/operand_planes.h): the deterministic synthetic codes,
+ * or the requantized reference weights under --activations=propagated.
+ */
+
+#pragma once
+
+#include "dnn/layer_spec.h"
+#include "dnn/tensor.h"
+#include "sim/accel_config.h"
+#include "sim/layer_result.h"
+#include "sim/sampling.h"
+#include "sim/workload_cache.h"
+#include "util/thread_pool.h"
+
+namespace pra {
+namespace models {
+
+/**
+ * Price one layer from its input tensor (every neuron-brick lane
+ * popcount rederived from a zero-copy brick view).
+ */
+sim::LayerResult
+simulateLayerLaconic(const dnn::LayerSpec &layer,
+                     const dnn::NeuronTensor &input,
+                     const sim::AccelConfig &accel,
+                     const sim::SampleSpec &sample);
+
+/**
+ * Same result from a shared workload (lane popcounts served from the
+ * workload's per-lane plane when the machine's lanes match
+ * kBrickSize). Bit-identical to the tensor overload.
+ */
+sim::LayerResult
+simulateLayerLaconic(const dnn::LayerSpec &layer,
+                     const sim::LayerWorkload &workload,
+                     const sim::AccelConfig &accel,
+                     const sim::SampleSpec &sample,
+                     const util::InnerExecutor &exec);
+
+} // namespace models
+} // namespace pra

@@ -107,8 +107,7 @@ class BrickCostModel
         }
         auto view = tiling_.gatherBrickView(input_, w, s);
         Cost cost;
-        for (uint16_t n : view)
-            cost.terms += std::popcount(n);
+        cost.terms = sim::summarizeBrick(view).pop;
         cost.cycles = brickScheduleCycles(view, bits_);
         return cost;
     }
@@ -140,7 +139,8 @@ class BrickCostContext
                      const dnn::NeuronTensor &input,
                      const sim::LayerWorkload *workload,
                      int first_stage_bits)
-        : costs_(tiling, input, resolvePlanes(tiling, workload),
+        : tiling_(tiling), workload_(workload),
+          costs_(tiling, input, resolvePlanes(tiling, workload),
                  resolveCycles(tiling, workload, first_stage_bits),
                  first_stage_bits)
     {
@@ -156,6 +156,46 @@ class BrickCostContext
     const std::vector<sim::SynapseSetCoord> &setCoords() const
     {
         return setCoords_;
+    }
+
+    /**
+     * The shared activation planes this context resolved, or nullptr
+     * on the tensor path / a reshaped machine — exposed so
+     * two-operand engines reduce over exactly the plane object the
+     * cost model reads (e.g. Dynamic-Stripes' per-group orMask).
+     */
+    const sim::BrickPlanes *planes() const
+    {
+        return resolvePlanes(tiling_, workload_);
+    }
+
+    /**
+     * The weight-side planes of this layer: the workload's lazily
+     * built shared planes when they apply (kBrickSize lanes), else a
+     * context-local synthetic build matching the machine's lane
+     * count (a reshaped machine prices the synthetic weight streams
+     * even under --activations=propagated — the shared requantized
+     * planes assume brick-width lanes). Resolved on first call and
+     * never touched by
+     * activation-only engines, so they pay nothing. Not
+     * synchronized: resolve it once before fanning work out across
+     * inner threads.
+     */
+    const sim::WeightBrickPlanes &
+    weightPlanes() const
+    {
+        if (!weightPlanes_) {
+            if (workload_ &&
+                tiling_.config().neuronLanes == dnn::kBrickSize) {
+                weightPlanes_ =
+                    &workload_->weightPlanes(tiling_.layer());
+            } else {
+                localWeights_ = sim::syntheticWeightPlanes(
+                    tiling_.layer(), tiling_.config().neuronLanes);
+                weightPlanes_ = &localWeights_;
+            }
+        }
+        return *weightPlanes_;
     }
 
   private:
@@ -184,8 +224,12 @@ class BrickCostContext
         return workload->cyclePlane(first_stage_bits).data();
     }
 
+    const sim::LayerTiling &tiling_;
+    const sim::LayerWorkload *workload_;
     BrickCostModel costs_;
     std::vector<sim::SynapseSetCoord> setCoords_;
+    mutable const sim::WeightBrickPlanes *weightPlanes_ = nullptr;
+    mutable sim::WeightBrickPlanes localWeights_;
 };
 
 } // namespace models

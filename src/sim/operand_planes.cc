@@ -1,0 +1,179 @@
+#include "sim/operand_planes.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "dnn/weight_synth.h"
+#include "util/check.h"
+
+namespace pra {
+namespace sim {
+
+BrickSummary
+summarizeBrick(std::span<const uint16_t> lanes)
+{
+    BrickSummary s;
+    int max_pop = 0;
+    int non_zero = 0;
+    for (uint16_t v : lanes) {
+        int p = std::popcount(v);
+        s.pop += p;
+        max_pop = std::max(max_pop, p);
+        s.orMask |= v;
+        non_zero += v != 0;
+    }
+    s.maxPop = static_cast<uint8_t>(max_pop);
+    s.nonZero = static_cast<uint8_t>(non_zero);
+    return s;
+}
+
+BrickPlanes
+buildBrickPlanes(const dnn::NeuronTensor &tensor)
+{
+    PRA_CHECK(!tensor.empty(),
+              "brickPlanes: empty workload has no planes");
+    BrickPlanes planes;
+    planes.sizeX = tensor.sizeX();
+    planes.sizeY = tensor.sizeY();
+    planes.bricksPerColumn =
+        (tensor.sizeI() + dnn::kBrickSize - 1) / dnn::kBrickSize;
+    size_t cells = static_cast<size_t>(planes.sizeX) * planes.sizeY *
+                   planes.bricksPerColumn;
+    planes.pop.resize(cells);
+    planes.maxPop.resize(cells);
+    planes.orPop.resize(cells);
+    planes.nonZero.resize(cells);
+    planes.orMask.resize(cells);
+
+    const uint16_t *data = tensor.flat().data();
+    const int channels = tensor.sizeI();
+    size_t out = 0;
+    // Channel-major layout: each (x, y) column is `channels`
+    // consecutive elements, carved into kBrickSize bricks.
+    for (int64_t column = 0;
+         column < static_cast<int64_t>(planes.sizeX) * planes.sizeY;
+         column++) {
+        const uint16_t *lane = data + column * channels;
+        for (int base = 0; base < channels; base += dnn::kBrickSize) {
+            int lanes = std::min(dnn::kBrickSize, channels - base);
+            BrickSummary s = summarizeBrick(
+                std::span<const uint16_t>(lane + base,
+                                          static_cast<size_t>(lanes)));
+            planes.pop[out] = s.pop;
+            planes.maxPop[out] = s.maxPop;
+            planes.orPop[out] =
+                static_cast<uint8_t>(std::popcount(s.orMask));
+            planes.nonZero[out] = s.nonZero;
+            planes.orMask[out] = s.orMask;
+            out++;
+        }
+    }
+    return planes;
+}
+
+LanePopPlanes
+buildLanePopPlanes(const dnn::NeuronTensor &tensor)
+{
+    PRA_CHECK(!tensor.empty(),
+              "lanePopPlanes: empty workload has no planes");
+    LanePopPlanes planes;
+    planes.sizeX = tensor.sizeX();
+    planes.sizeY = tensor.sizeY();
+    planes.bricksPerColumn =
+        (tensor.sizeI() + dnn::kBrickSize - 1) / dnn::kBrickSize;
+    size_t cells = static_cast<size_t>(planes.sizeX) * planes.sizeY *
+                   planes.bricksPerColumn * dnn::kBrickSize;
+    planes.pop.assign(cells, 0);
+
+    const uint16_t *data = tensor.flat().data();
+    const int channels = tensor.sizeI();
+    size_t out = 0;
+    for (int64_t column = 0;
+         column < static_cast<int64_t>(planes.sizeX) * planes.sizeY;
+         column++) {
+        const uint16_t *lane = data + column * channels;
+        for (int base = 0; base < channels; base += dnn::kBrickSize) {
+            int lanes = std::min(dnn::kBrickSize, channels - base);
+            for (int i = 0; i < lanes; i++)
+                planes.pop[out + i] = static_cast<uint8_t>(
+                    std::popcount(lane[base + i]));
+            out += dnn::kBrickSize;
+        }
+    }
+    return planes;
+}
+
+WeightBrickPlanes
+buildWeightBrickPlanes(
+    const dnn::LayerSpec &layer, int lanes,
+    const std::function<void(int filter, std::span<uint16_t> codes)>
+        &filter_codes)
+{
+    PRA_CHECK(layer.priced(),
+              "weightBrickPlanes: pool layers carry no weights");
+    PRA_CHECK(lanes >= 1, "weightBrickPlanes: lanes must be positive");
+    const int channels = layer.inputChannels;
+    const int bricks = (channels + lanes - 1) / lanes;
+    const int positions = layer.filterX * layer.filterY;
+
+    WeightBrickPlanes planes;
+    planes.lanes = lanes;
+    planes.numSets = positions * bricks;
+    size_t cells = static_cast<size_t>(planes.numSets) * lanes;
+    planes.sumPop.assign(cells, 0);
+    planes.maxPop.assign(cells, 0);
+    planes.orMask.assign(cells, 0);
+    planes.maxMag.assign(cells, 0);
+
+    // Stream one filter at a time, reducing its codes into the
+    // per-(set, lane) accumulators. The flat (fy * Fx + fx) * I + c
+    // filter layout keeps each set's lanes contiguous.
+    std::vector<uint16_t> codes(
+        static_cast<size_t>(layer.synapsesPerFilter()));
+    for (int f = 0; f < layer.numFilters; f++) {
+        filter_codes(f, codes);
+        for (int pos = 0; pos < positions; pos++) {
+            const uint16_t *column =
+                codes.data() + static_cast<size_t>(pos) * channels;
+            for (int brick = 0; brick < bricks; brick++) {
+                int real = std::min(lanes, channels - brick * lanes);
+                size_t idx = planes.index(pos * bricks + brick, 0);
+                const uint16_t *lane = column + brick * lanes;
+                for (int l = 0; l < real; l++) {
+                    uint16_t code = lane[l];
+                    int p = std::popcount(code);
+                    planes.sumPop[idx + l] += p;
+                    planes.maxPop[idx + l] = static_cast<uint8_t>(
+                        std::max<int>(planes.maxPop[idx + l], p));
+                    planes.orMask[idx + l] |= code;
+                    planes.maxMag[idx + l] = std::max<uint16_t>(
+                        planes.maxMag[idx + l], code);
+                }
+            }
+        }
+    }
+    return planes;
+}
+
+WeightBrickPlanes
+syntheticWeightPlanes(const dnn::LayerSpec &layer, int lanes)
+{
+    return buildWeightBrickPlanes(
+        layer, lanes, [&layer](int filter, std::span<uint16_t> codes) {
+            dnn::synthesizeWeightCodes(layer, filter, codes);
+        });
+}
+
+WeightBrickPlanes
+propagatedWeightPlanes(const dnn::LayerSpec &layer, uint64_t synth_seed,
+                       int lanes)
+{
+    dnn::PropagatedWeightCodes source(layer, synth_seed);
+    return buildWeightBrickPlanes(
+        layer, lanes, [&source](int filter, std::span<uint16_t> codes) {
+            source.filterCodes(filter, codes);
+        });
+}
+
+} // namespace sim
+} // namespace pra

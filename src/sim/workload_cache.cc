@@ -25,58 +25,23 @@ emptyWorkload()
     return empty;
 }
 
-BrickPlanes
-buildBrickPlanes(const dnn::NeuronTensor &tensor)
-{
-    PRA_CHECK(!tensor.empty(),
-                         "brickPlanes: empty workload has no planes");
-    BrickPlanes planes;
-    planes.sizeX = tensor.sizeX();
-    planes.sizeY = tensor.sizeY();
-    planes.bricksPerColumn =
-        (tensor.sizeI() + dnn::kBrickSize - 1) / dnn::kBrickSize;
-    size_t cells = static_cast<size_t>(planes.sizeX) * planes.sizeY *
-                   planes.bricksPerColumn;
-    planes.pop.resize(cells);
-    planes.maxPop.resize(cells);
-    planes.orPop.resize(cells);
-    planes.nonZero.resize(cells);
-
-    const uint16_t *data = tensor.flat().data();
-    const int channels = tensor.sizeI();
-    size_t out = 0;
-    // Channel-major layout: each (x, y) column is `channels`
-    // consecutive elements, carved into kBrickSize bricks.
-    for (int64_t column = 0;
-         column < static_cast<int64_t>(planes.sizeX) * planes.sizeY;
-         column++) {
-        const uint16_t *lane = data + column * channels;
-        for (int base = 0; base < channels; base += dnn::kBrickSize) {
-            int lanes = std::min(dnn::kBrickSize, channels - base);
-            int32_t pop = 0;
-            int max_pop = 0;
-            int non_zero = 0;
-            uint16_t any = 0;
-            for (int i = 0; i < lanes; i++) {
-                uint16_t v = lane[base + i];
-                int p = std::popcount(v);
-                pop += p;
-                max_pop = std::max(max_pop, p);
-                any |= v;
-                non_zero += v != 0;
-            }
-            planes.pop[out] = pop;
-            planes.maxPop[out] = static_cast<uint8_t>(max_pop);
-            planes.orPop[out] =
-                static_cast<uint8_t>(std::popcount(any));
-            planes.nonZero[out] = static_cast<uint8_t>(non_zero);
-            out++;
-        }
-    }
-    return planes;
-}
-
 std::atomic<bool> g_cyclePlanesEnabled{true};
+
+/**
+ * The weight-plane builder a (mode, seed) workload carries:
+ * propagated workloads price the requantized reference filters the
+ * forward pass convolved; synthetic workloads keep the default
+ * builder (layer-pure synthetic weight streams).
+ */
+LayerWorkload::WeightPlaneBuilder
+weightPlaneBuilder(ActivationMode mode, uint64_t seed)
+{
+    if (mode != ActivationMode::Propagated)
+        return {};
+    return [seed](const dnn::LayerSpec &layer) {
+        return propagatedWeightPlanes(layer, seed, dnn::kBrickSize);
+    };
+}
 
 /**
  * Fold (stream, mode) into the int slot of LayerKey: synthetic and
@@ -172,6 +137,27 @@ LayerWorkload::brickPlanes() const
     std::call_once(planesOnce_,
                    [this] { planes_ = buildBrickPlanes(tensor_); });
     return planes_;
+}
+
+const LanePopPlanes &
+LayerWorkload::lanePopPlanes() const
+{
+    std::call_once(lanePopsOnce_, [this] {
+        lanePops_ = buildLanePopPlanes(tensor_);
+    });
+    return lanePops_;
+}
+
+const WeightBrickPlanes &
+LayerWorkload::weightPlanes(const dnn::LayerSpec &layer) const
+{
+    std::call_once(weightOnce_, [this, &layer] {
+        weightPlanes_ =
+            weightBuilder_
+                ? weightBuilder_(layer)
+                : syntheticWeightPlanes(layer, dnn::kBrickSize);
+    });
+    return weightPlanes_;
 }
 
 std::span<const uint8_t>
@@ -285,7 +271,8 @@ WorkloadCache::layer(const dnn::ActivationSynthesizer &synth,
             }
             mine->promise.set_value(
                 std::make_shared<const LayerWorkload>(
-                    std::move(tensor)));
+                    std::move(tensor),
+                    weightPlaneBuilder(mode, synth.seed())));
         } catch (...) {
             mine->promise.set_exception(std::current_exception());
         }
@@ -363,8 +350,10 @@ WorkloadSource::layer(int layer_idx, InputStream stream) const
         // construction); the cached path makes the same alias.
         if (stream == InputStream::Fixed16Trimmed)
             stream = InputStream::Fixed16Raw;
-        return std::make_shared<const LayerWorkload>(propagatedStream(
-            *chain(), synth_.network(), layer_idx, stream));
+        return std::make_shared<const LayerWorkload>(
+            propagatedStream(*chain(), synth_.network(), layer_idx,
+                             stream),
+            weightPlaneBuilder(mode_, synth_.seed()));
     }
     return std::make_shared<const LayerWorkload>(
         synthesizeStream(synth_, layer_idx, stream, image_));

@@ -26,7 +26,8 @@
  *
  * A LayerWorkload also precomputes, per 16-channel brick position,
  * packed summaries of the oneffset content the engines otherwise
- * rederive lane by lane:
+ * rederive lane by lane (the plane types and builders live in
+ * sim/operand_planes.h, shared with the weight-side planes):
  *
  *  - pop:     total oneffsets (set bits) of the brick — the brick's
  *             effectual-term count;
@@ -58,6 +59,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -71,6 +73,7 @@
 #include "dnn/network.h"
 #include "dnn/propagate.h"
 #include "dnn/tensor.h"
+#include "sim/operand_planes.h"
 
 namespace pra {
 namespace sim {
@@ -137,42 +140,33 @@ propagatedStream(const dnn::PropagatedChain &chain,
                  InputStream stream);
 
 /**
- * Packed per-brick planes of one layer stream (see file comment).
- * Bricks are dnn::kBrickSize consecutive channels; entry (x, y, b)
- * lives at flat index (y * sizeX + x) * bricksPerColumn + b. The
- * last brick of a column is partial when the channel count is not a
- * brick multiple (missing lanes count as zero, as gathers pad them).
- */
-struct BrickPlanes
-{
-    int sizeX = 0;
-    int sizeY = 0;
-    int bricksPerColumn = 0; ///< ceil(channels / kBrickSize).
-
-    std::vector<int32_t> pop;    ///< Brick term (set-bit) totals.
-    std::vector<uint8_t> maxPop; ///< Max lane popcount (L=4 cycles).
-    std::vector<uint8_t> orPop;  ///< Popcount of lane OR (L=0 cycles).
-    std::vector<uint8_t> nonZero; ///< Non-zero lanes in the brick.
-
-    size_t
-    index(int x, int y, int brick) const
-    {
-        return (static_cast<size_t>(y) * sizeX + x) * bricksPerColumn +
-               brick;
-    }
-};
-
-/**
- * One layer's input stream plus its lazily built brick planes.
+ * One layer's input stream plus its lazily built operand planes
+ * (sim/operand_planes.h owns the plane types and builders).
  * Immutable once constructed; share freely across threads via
- * std::shared_ptr<const LayerWorkload>.
+ * std::shared_ptr<const LayerWorkload>. Activation-side planes
+ * (brick, lane-pop, cycle) derive from the stream tensor; the
+ * optional weight-side planes derive from the layer's weight source
+ * — everything is built on first use, so activation-only engines
+ * never pay for operand sides they don't read.
  */
 class LayerWorkload
 {
   public:
+    /**
+     * Builds the workload's weight-side planes on first
+     * weightPlanes() use. An empty builder means the synthetic
+     * weight streams (seed-independent; sim::syntheticWeightPlanes);
+     * propagated sources install a builder that requantizes the
+     * reference filters instead.
+     */
+    using WeightPlaneBuilder =
+        std::function<WeightBrickPlanes(const dnn::LayerSpec &)>;
+
     /** Wrap a synthesized stream (empty tensor = no-input view). */
-    explicit LayerWorkload(dnn::NeuronTensor tensor)
-        : tensor_(std::move(tensor))
+    explicit LayerWorkload(dnn::NeuronTensor tensor,
+                           WeightPlaneBuilder weight_builder = {})
+        : tensor_(std::move(tensor)),
+          weightBuilder_(std::move(weight_builder))
     {
     }
 
@@ -183,6 +177,25 @@ class LayerWorkload
      * Must not be called on an empty (no-input) workload.
      */
     const BrickPlanes &brickPlanes() const;
+
+    /**
+     * The per-lane popcount planes (Laconic's act-side operand),
+     * built on first use (thread-safe). Must not be called on an
+     * empty (no-input) workload.
+     */
+    const LanePopPlanes &lanePopPlanes() const;
+
+    /**
+     * The weight-side planes of @p layer (the layer this workload is
+     * the input stream of — every caller must pass the same spec),
+     * built on first use (thread-safe) with kBrickSize lanes per set.
+     * Synthetic workloads derive them from the layer alone;
+     * propagated workloads install a builder over the requantized
+     * reference filters, so weight-aware engines price the same
+     * weights the forward pass convolved.
+     */
+    const WeightBrickPlanes &
+    weightPlanes(const dnn::LayerSpec &layer) const;
 
     /**
      * The schedule-cycle plane for first-stage width
@@ -199,8 +212,13 @@ class LayerWorkload
 
   private:
     dnn::NeuronTensor tensor_;
+    WeightPlaneBuilder weightBuilder_;
     mutable std::once_flag planesOnce_;
     mutable BrickPlanes planes_;
+    mutable std::once_flag lanePopsOnce_;
+    mutable LanePopPlanes lanePops_;
+    mutable std::once_flag weightOnce_;
+    mutable WeightBrickPlanes weightPlanes_;
     /** Slot l holds the plane for first_stage_bits == l + 1. */
     mutable std::once_flag cyclesOnce_[3];
     mutable std::vector<uint8_t> cycles_[3];

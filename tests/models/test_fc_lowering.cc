@@ -92,7 +92,7 @@ TEST(FcLowering, EveryEngineKindPricesFcAsItsConvTwin)
     sim::AccelConfig accel;
     sim::SampleSpec sample{0}; // Exhaustive: both layers are tiny.
 
-    ASSERT_EQ(registry.kinds().size(), 5u);
+    ASSERT_EQ(registry.kinds().size(), 7u);
     for (const auto &kind : registry.kinds()) {
         std::unique_ptr<sim::Engine> engine =
             registry.create(kind, {});

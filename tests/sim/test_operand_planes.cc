@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the shared operand-plane layer: the packed
+ * activation-side summaries (per-brick and per-lane) against direct
+ * tensor reductions, and the weight-side planes against a manual
+ * materialization of the code streams — including the propagated
+ * (requantized reference weights) build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "dnn/activation_synth.h"
+#include "dnn/propagate.h"
+#include "dnn/weight_synth.h"
+#include "sim/operand_planes.h"
+#include "util/random.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+dnn::NeuronTensor
+randomTensor(int sx, int sy, int si, uint64_t seed)
+{
+    dnn::NeuronTensor t(sx, sy, si);
+    util::Xoshiro256 rng(seed);
+    for (auto &v : t.flat())
+        v = static_cast<uint16_t>(rng.nextBounded(65536));
+    return t;
+}
+
+dnn::LayerSpec
+weightLayer()
+{
+    dnn::LayerSpec spec;
+    spec.name = "planes-ref";
+    spec.inputX = 5;
+    spec.inputY = 5;
+    spec.inputChannels = 24; // 1.5 bricks: partial-lane edge case.
+    spec.filterX = 3;
+    spec.filterY = 3;
+    spec.numFilters = 10;
+    spec.stride = 1;
+    spec.pad = 1;
+    spec.profiledPrecision = 8;
+    spec.profiledWeightPrecision = 9;
+    return spec;
+}
+
+TEST(OperandPlanes, BrickSummariesMatchDirectReduction)
+{
+    // 24 channels: brick 1 has only 8 real lanes.
+    dnn::NeuronTensor t = randomTensor(4, 3, 24, 0x9a11);
+    BrickPlanes planes = buildBrickPlanes(t);
+    ASSERT_EQ(planes.sizeX, 4);
+    ASSERT_EQ(planes.sizeY, 3);
+    ASSERT_EQ(planes.bricksPerColumn, 2);
+    for (int y = 0; y < 3; y++)
+        for (int x = 0; x < 4; x++)
+            for (int b = 0; b < 2; b++) {
+                int lanes = std::min(dnn::kBrickSize, 24 - b * 16);
+                int32_t pop = 0;
+                int max_pop = 0, non_zero = 0;
+                uint16_t or_mask = 0;
+                for (int l = 0; l < lanes; l++) {
+                    uint16_t v = t.at(x, y, b * 16 + l);
+                    int p = std::popcount(v);
+                    pop += p;
+                    max_pop = std::max(max_pop, p);
+                    non_zero += v != 0;
+                    or_mask |= v;
+                }
+                size_t idx = planes.index(x, y, b);
+                EXPECT_EQ(planes.pop[idx], pop);
+                EXPECT_EQ(planes.maxPop[idx], max_pop);
+                EXPECT_EQ(planes.nonZero[idx], non_zero);
+                EXPECT_EQ(planes.orMask[idx], or_mask);
+                // orPop is definitionally the popcount of orMask.
+                EXPECT_EQ(planes.orPop[idx],
+                          std::popcount(planes.orMask[idx]));
+            }
+}
+
+TEST(OperandPlanes, LanePopPlanesMatchTensorPopcounts)
+{
+    dnn::NeuronTensor t = randomTensor(3, 4, 24, 0x9a12);
+    LanePopPlanes planes = buildLanePopPlanes(t);
+    for (int y = 0; y < 4; y++)
+        for (int x = 0; x < 3; x++)
+            for (int b = 0; b < 2; b++)
+                for (int l = 0; l < dnn::kBrickSize; l++) {
+                    int want = b * 16 + l < 24
+                                   ? std::popcount(
+                                         t.at(x, y, b * 16 + l))
+                                   : 0;
+                    EXPECT_EQ(planes.pop[planes.index(x, y, b, l)],
+                              want);
+                }
+}
+
+TEST(OperandPlanes, SyntheticWeightPlanesMatchMaterializedCodes)
+{
+    dnn::LayerSpec layer = weightLayer();
+    WeightBrickPlanes planes =
+        syntheticWeightPlanes(layer, dnn::kBrickSize);
+    int positions = layer.filterX * layer.filterY;
+    int bricks = 2;
+    ASSERT_EQ(planes.numSets, positions * bricks);
+    ASSERT_EQ(planes.lanes, dnn::kBrickSize);
+
+    std::vector<uint16_t> codes(
+        static_cast<size_t>(layer.synapsesPerFilter()));
+    std::vector<int32_t> sum(planes.sumPop.size(), 0);
+    std::vector<int> maxp(planes.sumPop.size(), 0);
+    std::vector<uint16_t> ors(planes.sumPop.size(), 0);
+    std::vector<uint16_t> mags(planes.sumPop.size(), 0);
+    for (int f = 0; f < layer.numFilters; f++) {
+        dnn::synthesizeWeightCodes(layer, f, codes);
+        for (int pos = 0; pos < positions; pos++)
+            for (int c = 0; c < layer.inputChannels; c++) {
+                uint16_t code = codes[static_cast<size_t>(
+                    pos * layer.inputChannels + c)];
+                size_t idx = planes.index(
+                    pos * bricks + c / dnn::kBrickSize,
+                    c % dnn::kBrickSize);
+                sum[idx] += std::popcount(code);
+                maxp[idx] = std::max(maxp[idx], std::popcount(code));
+                ors[idx] |= code;
+                mags[idx] = std::max(mags[idx], code);
+            }
+    }
+    for (size_t i = 0; i < planes.sumPop.size(); i++) {
+        EXPECT_EQ(planes.sumPop[i], sum[i]) << i;
+        EXPECT_EQ(planes.maxPop[i], maxp[i]) << i;
+        EXPECT_EQ(planes.orMask[i], ors[i]) << i;
+        EXPECT_EQ(planes.maxMag[i], mags[i]) << i;
+    }
+
+    // Determinism: a second build is identical.
+    WeightBrickPlanes again =
+        syntheticWeightPlanes(layer, dnn::kBrickSize);
+    EXPECT_EQ(planes.sumPop, again.sumPop);
+    EXPECT_EQ(planes.orMask, again.orMask);
+}
+
+TEST(OperandPlanes, ReshapedLaneCountReindexesBricks)
+{
+    dnn::LayerSpec layer = weightLayer();
+    WeightBrickPlanes wide = syntheticWeightPlanes(layer, 16);
+    WeightBrickPlanes narrow = syntheticWeightPlanes(layer, 8);
+    // 24 channels: 2 bricks of 16 lanes, or 3 bricks of 8 lanes.
+    EXPECT_EQ(wide.numSets, layer.filterX * layer.filterY * 2);
+    EXPECT_EQ(narrow.numSets, layer.filterX * layer.filterY * 3);
+    // Same codes, different packing: total popcount mass agrees.
+    int64_t wide_sum = 0, narrow_sum = 0;
+    for (int32_t s : wide.sumPop)
+        wide_sum += s;
+    for (int32_t s : narrow.sumPop)
+        narrow_sum += s;
+    EXPECT_EQ(wide_sum, narrow_sum);
+    // The wide build's lanes beyond a partial brick stay zero.
+    for (int pos = 0; pos < layer.filterX * layer.filterY; pos++)
+        for (int l = 8; l < 16; l++) {
+            size_t idx = wide.index(pos * 2 + 1, l);
+            EXPECT_EQ(wide.sumPop[idx], 0);
+            EXPECT_EQ(wide.orMask[idx], 0);
+        }
+}
+
+TEST(OperandPlanes, PropagatedPlanesMatchRequantizedReferenceWeights)
+{
+    dnn::LayerSpec layer = weightLayer();
+    const uint64_t synth_seed = 0x5eed;
+    WeightBrickPlanes planes =
+        propagatedWeightPlanes(layer, synth_seed, dnn::kBrickSize);
+
+    // Manual requantization of the same reference weights the
+    // propagated forward pass uses.
+    std::vector<dnn::FilterTensor> filters = dnn::synthesizeFilters(
+        layer, synth_seed ^ dnn::kPropagationFilterSalt);
+    ASSERT_EQ(filters.size(), static_cast<size_t>(layer.numFilters));
+    int max_mag = 0;
+    for (const auto &f : filters)
+        for (int16_t w : f.flat())
+            max_mag = std::max(max_mag, std::abs(w));
+    ASSERT_GT(max_mag, 0);
+    const int max_code = (1 << layer.profiledWeightPrecision) - 1;
+    const double scale = static_cast<double>(max_code) / max_mag;
+
+    int positions = layer.filterX * layer.filterY;
+    int bricks = 2;
+    std::vector<int32_t> sum(planes.sumPop.size(), 0);
+    std::vector<uint16_t> mags(planes.sumPop.size(), 0);
+    for (const auto &f : filters)
+        for (int pos = 0; pos < positions; pos++)
+            for (int c = 0; c < layer.inputChannels; c++) {
+                int fy = pos / layer.filterX;
+                int fx = pos % layer.filterX;
+                uint16_t code = static_cast<uint16_t>(
+                    std::llround(std::abs(f.at(fx, fy, c)) * scale));
+                size_t idx = planes.index(
+                    pos * bricks + c / dnn::kBrickSize,
+                    c % dnn::kBrickSize);
+                sum[idx] += std::popcount(code);
+                mags[idx] = std::max(mags[idx], code);
+            }
+    for (size_t i = 0; i < planes.sumPop.size(); i++) {
+        EXPECT_EQ(planes.sumPop[i], sum[i]) << i;
+        EXPECT_EQ(planes.maxMag[i], mags[i]) << i;
+    }
+    // The requantized stream is not the synthetic one.
+    WeightBrickPlanes synth =
+        syntheticWeightPlanes(layer, dnn::kBrickSize);
+    EXPECT_NE(planes.sumPop, synth.sumPop);
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

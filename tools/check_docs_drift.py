@@ -12,6 +12,11 @@ This script extracts that set and asserts each flag appears as
 ``--flag`` in README.md's "CLI flag reference" table, so the table
 cannot silently rot when someone adds a flag.
 
+The same mechanism covers the engine registry: every kind registered
+in ``src/models/engines.cc`` (``registerEngine("kind", ...)``) must
+appear as a ``| `kind` |`` row of README.md's engine table, and every
+such row must name a registered kind — stale rows fail too.
+
 It also dead-link-checks the documentation: every relative markdown
 link in README.md, docs/ARCHITECTURE.md, and CHANGES.md must resolve
 to an existing file (links are rooted at the linking file's own
@@ -72,6 +77,38 @@ def declared_flags():
     return flags
 
 
+REGISTER_ENGINE_RE = re.compile(r'registerEngine\(\s*"([a-z0-9_-]+)"')
+
+# The README section holding the engine table, up to the next
+# same-level heading.
+ENGINE_SECTION_RE = re.compile(
+    r"^## Engines\n(?P<body>.*?)(?=^## )", re.MULTILINE | re.DOTALL
+)
+
+# Engine-table rows: a table line whose first cell is a backticked
+# kind, e.g. "| `stripes` | ... |".
+ENGINE_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_-]*)`\s*\|",
+                           re.MULTILINE)
+
+
+def registered_engine_kinds():
+    """Engine kinds registered in src/models/engines.cc."""
+    text = (REPO / "src/models/engines.cc").read_text(encoding="utf-8")
+    return set(REGISTER_ENGINE_RE.findall(text))
+
+
+def engine_table_drift(readme):
+    """(missing_rows, stale_rows) between the registry and README."""
+    kinds = registered_engine_kinds()
+    section = ENGINE_SECTION_RE.search(readme)
+    rows = (
+        set(ENGINE_ROW_RE.findall(section.group("body")))
+        if section
+        else set()
+    )
+    return sorted(kinds - rows), sorted(rows - kinds)
+
+
 # Markdown files whose relative links must resolve.
 LINKED_DOCS = ["README.md", "docs/ARCHITECTURE.md", "CHANGES.md"]
 
@@ -130,6 +167,27 @@ def main():
         )
         return 1
 
+    missing_rows, stale_rows = engine_table_drift(readme)
+    if missing_rows or stale_rows:
+        if missing_rows:
+            print(
+                "check_docs_drift: engine kinds registered in "
+                "src/models/engines.cc but missing from README.md's "
+                "'Engines' table:",
+                file=sys.stderr,
+            )
+            for kind in missing_rows:
+                print(f"  | `{kind}` | ...", file=sys.stderr)
+        if stale_rows:
+            print(
+                "check_docs_drift: stale README.md engine-table rows "
+                "naming no registered kind:",
+                file=sys.stderr,
+            )
+            for kind in stale_rows:
+                print(f"  | `{kind}` | ...", file=sys.stderr)
+        return 1
+
     dead = dead_links()
     if dead:
         print(
@@ -142,9 +200,10 @@ def main():
         return 1
 
     print(
-        f"check_docs_drift: OK — {len(flags)} flags all documented "
-        f"in README.md; relative links in {', '.join(LINKED_DOCS)} "
-        "all resolve"
+        f"check_docs_drift: OK — {len(flags)} flags and "
+        f"{len(registered_engine_kinds())} engine kinds all "
+        f"documented in README.md; relative links in "
+        f"{', '.join(LINKED_DOCS)} all resolve"
     )
     return 0
 

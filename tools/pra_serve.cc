@@ -92,12 +92,10 @@ parseEngines(const std::string &list)
 {
     if (list == "paper")
         return models::paperEngineGrid();
-    if (list == "all") {
-        std::vector<sim::EngineSelection> grid;
-        for (const auto &kind : models::builtinEngines().kinds())
-            grid.push_back({kind, {}});
-        return grid;
-    }
+    // "all" is the frozen historical five-kind grid, not every
+    // registered kind — the smoke goldens pin its expansion.
+    if (list == "all")
+        return models::coreEngineGrid();
     std::vector<sim::EngineSelection> grid;
     for (const auto &spec : splitList(list))
         grid.push_back(sim::parseEngineSpec(spec));
