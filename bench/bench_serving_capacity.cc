@@ -8,12 +8,17 @@
  * memory model prices shows up here directly) and plays the
  * event-driven fleet simulation of src/sim/serving at each --traffic
  * rate, reporting p99 latency, delivered images/s, utilization and
- * the mean dispatched batch. The cost curves fan out across
- * --threads workers and the whole report is bit-identical across
- * thread counts and cache modes; CI byte-compares the smoke run and
- * records the --json digest as a perf artifact (BENCH_serving.json).
+ * the mean dispatched batch. A second, degraded-capacity table
+ * replays the same design points under deterministic fail-stop
+ * faults at each --mtbf-axis intensity (mttr = mtbf / 10) and
+ * reports surviving availability, goodput, retries, and permanent
+ * failures. The cost curves fan out across --threads workers and the
+ * whole report is bit-identical across thread counts and cache
+ * modes; CI byte-compares the smoke run and records the --json
+ * digest as a perf artifact (BENCH_serving.json).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -61,6 +66,40 @@ parseTraffic(const std::string &list)
     return rates;
 }
 
+/** Parse --mtbf-axis: comma-separated positive cycle counts. */
+std::vector<uint64_t>
+parseMtbfAxis(const std::string &list)
+{
+    std::vector<uint64_t> axis;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        std::string item =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (!item.empty()) {
+            long long cycles = 0;
+            size_t parsed = 0;
+            try {
+                cycles = std::stoll(item, &parsed);
+            } catch (...) {
+                parsed = 0;
+            }
+            if (parsed != item.size() || cycles <= 0)
+                util::fatal("--mtbf-axis entries must be positive "
+                            "cycle counts (got '" + item + "')");
+            axis.push_back(static_cast<uint64_t>(cycles));
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (axis.empty())
+        util::fatal("--mtbf-axis lists no intensities");
+    return axis;
+}
+
 } // namespace
 
 int
@@ -69,7 +108,7 @@ main(int argc, char **argv)
     auto opt = bench::BenchOptions::parse(
         argc, argv, 48,
         {"traffic", "arrival", "instances", "max-batch", "timeout",
-         "requests"},
+         "requests", "mtbf-axis"},
         /*supports_activations=*/true, /*supports_json=*/true,
         /*supports_memory=*/true);
     // pra-lint: allow(arg-check-unknown) BenchOptions::parse already checked the full flag set incl. extras
@@ -136,7 +175,44 @@ main(int argc, char **argv)
     std::printf("Saturating rates fill the --max-batch cap and "
                 "amortize FC filter traffic;\nlight load degenerates "
                 "to batch-1 dispatch after --timeout cycles.\n");
-    report.digest(rendered);
+
+    // Degraded capacity: replay the same design points at each
+    // --mtbf-axis fault intensity (mttr = mtbf / 10) and report what
+    // availability and goodput survive. The event loop is serial and
+    // cheap next to the cost-curve builds, but runServingSweep
+    // rebuilds the curves per intensity — acceptable for a bench.
+    report.phase("degrade");
+    std::vector<uint64_t> axis = parseMtbfAxis(args.getString(
+        "mtbf-axis", opt.smoke ? "5000000,1000000"
+                               : "1000000000,100000000"));
+    util::TextTable degraded({"network", "engine", "offered/s",
+                              "mtbf", "avail", "goodput/s",
+                              "retries", "permfail"});
+    for (uint64_t mtbf : axis) {
+        sim::ServingSweepOptions faulted = serving;
+        faulted.serving.faults.mtbfCycles = mtbf;
+        faulted.serving.faults.mttrCycles =
+            std::max<uint64_t>(1, mtbf / 10);
+        faulted.serving.faults.seed = opt.seed;
+        auto rows = sim::runServingSweep(opt.networks,
+                                         models::paperEngineGrid(),
+                                         models::builtinEngines(),
+                                         faulted);
+        for (const auto &r : rows) {
+            degraded.addRow({r.networkName, r.engineName,
+                             util::formatDouble(r.offeredPerSecond),
+                             std::to_string(r.mtbfCycles),
+                             util::formatDouble(r.availability),
+                             util::formatDouble(r.imagesPerSecond),
+                             std::to_string(r.retries),
+                             std::to_string(r.permanentFailures)});
+        }
+    }
+    std::string degraded_rendered = degraded.render();
+    std::printf("degraded capacity (fail-stop faults, mttr = "
+                "mtbf/10):\n%s\n", degraded_rendered.c_str());
+
+    report.digest(rendered + degraded_rendered);
     report.write();
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/saturating.h"
 
 namespace pra {
 namespace sim {
@@ -18,11 +19,10 @@ dispatchCycle(const BatchingPolicy &policy, uint64_t instance_free,
               "dispatchCycle: fill precedes head");
     // Wait for a full batch or the head's timeout, whichever comes
     // first; the timeout deadline saturates rather than wrapping for
-    // huge --timeout values.
+    // huge --timeout values (kNeverFills == UINT64_MAX, so the
+    // saturated sum is exactly the "never" sentinel).
     uint64_t deadline =
-        head_arrival > kNeverFills - policy.timeoutCycles
-            ? kNeverFills
-            : head_arrival + policy.timeoutCycles;
+        util::saturatingAdd(head_arrival, policy.timeoutCycles);
     uint64_t ready = std::min(fill_arrival, deadline);
     // A dispatch that can never fill under a saturated timeout would
     // otherwise wait forever; the finite trace has nothing further

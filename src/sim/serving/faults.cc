@@ -1,0 +1,171 @@
+#include "sim/serving/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/saturating.h"
+
+namespace pra {
+namespace sim {
+
+namespace {
+
+/** Domain tags so fault draws never collide with arrival/workload
+ *  seeds (or with each other across the up/repair/jitter streams). */
+constexpr uint64_t kUpSalt = 0xfa17'0000'5eed'0001ull;
+constexpr uint64_t kRepairSalt = 0xfa17'0000'5eed'0002ull;
+constexpr uint64_t kBackoffSalt = 0xfa17'0000'5eed'0003ull;
+
+/**
+ * One duration draw with mean @p mean_cycles: exponential (or the
+ * mean itself for FaultKind::Fixed), rounded half away from zero and
+ * clamped to a full cycle — a pure function of (salt, seed,
+ * instance, index), mirroring arrivalGap.
+ */
+uint64_t
+durationDraw(uint64_t salt, const FaultSpec &spec, uint64_t mean_cycles,
+             int instance, int index)
+{
+    PRA_CHECK(instance >= 0, "fault draw: negative instance");
+    PRA_CHECK(index >= 0, "fault draw: negative event index");
+    double duration = static_cast<double>(mean_cycles);
+    if (spec.kind == FaultKind::Exponential) {
+        util::Xoshiro256 rng(util::fnv1aMix(
+            util::fnv1aMix(
+                util::fnv1aMix(util::fnv1aMix(util::kFnv1aOffset, salt),
+                               spec.seed),
+                static_cast<uint64_t>(instance)),
+            static_cast<uint64_t>(index)));
+        duration *= rng.nextExponential(1.0);
+    }
+    // Clamp before the cast: a draw beyond 2^63 is already "never"
+    // territory and must not invoke UB in llround.
+    if (duration >= 9.0e18)
+        return kNoFault;
+    return std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(duration)));
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Exponential: return "exponential";
+      case FaultKind::Fixed: return "fixed";
+    }
+    util::fatal("faultKindName: bad kind");
+}
+
+FaultKind
+parseFaultKind(const std::string &text)
+{
+    if (text == "exponential")
+        return FaultKind::Exponential;
+    if (text == "fixed")
+        return FaultKind::Fixed;
+    util::fatal("--fault-dist must be exponential or fixed (got '" +
+                text + "')");
+}
+
+uint64_t
+upDuration(const FaultSpec &spec, int instance, int index)
+{
+    PRA_CHECK(faultsEnabled(spec),
+              "upDuration: faults are disabled (mtbf == 0)");
+    return durationDraw(kUpSalt, spec, spec.mtbfCycles, instance,
+                        index);
+}
+
+uint64_t
+repairDuration(const FaultSpec &spec, int instance, int index)
+{
+    PRA_CHECK(faultsEnabled(spec),
+              "repairDuration: faults are disabled (mtbf == 0)");
+    PRA_CHECK(spec.mttrCycles >= 1,
+              "repairDuration: mean repair time must be at least one "
+              "cycle when faults are enabled");
+    return durationDraw(kRepairSalt, spec, spec.mttrCycles, instance,
+                        index);
+}
+
+FaultTimeline::FaultTimeline(const FaultSpec &spec, int instance)
+    : spec_(spec), instance_(instance)
+{
+    if (!faultsEnabled(spec_))
+        return;
+    fail_ = upDuration(spec_, instance_, 0);
+    repair_ = util::saturatingAdd(
+        fail_, fail_ == kNoFault
+                   ? 0
+                   : repairDuration(spec_, instance_, 0));
+}
+
+void
+FaultTimeline::advance()
+{
+    if (fail_ == kNoFault)
+        return;
+    index_++;
+    fail_ = util::saturatingAdd(
+        repair_, upDuration(spec_, instance_, index_));
+    repair_ =
+        fail_ == kNoFault
+            ? kNoFault
+            : util::saturatingAdd(
+                  fail_, repairDuration(spec_, instance_, index_));
+}
+
+uint64_t
+upCyclesBefore(const FaultSpec &spec, int instance, uint64_t horizon)
+{
+    if (!faultsEnabled(spec))
+        return horizon;
+    uint64_t up = 0;
+    uint64_t window_start = 0;
+    FaultTimeline timeline(spec, instance);
+    while (window_start < horizon) {
+        uint64_t fail = std::min(timeline.failCycle(), horizon);
+        up += fail - window_start;
+        if (timeline.failCycle() >= horizon)
+            break;
+        window_start = std::min(timeline.repairCycle(), horizon);
+        timeline.advance();
+    }
+    return up;
+}
+
+uint64_t
+retryBackoffCycles(const RetryPolicy &policy, uint64_t seed,
+                   int request, int retry)
+{
+    PRA_CHECK(request >= 0, "retryBackoffCycles: negative request");
+    PRA_CHECK(retry >= 1, "retryBackoffCycles: retry is 1-based");
+    uint64_t base =
+        util::saturatingShl(policy.backoffBaseCycles, retry - 1);
+    if (base == 0)
+        return 0;
+    util::Xoshiro256 rng(util::fnv1aMix(
+        util::fnv1aMix(
+            util::fnv1aMix(util::fnv1aMix(util::kFnv1aOffset,
+                                          kBackoffSalt),
+                           seed),
+            static_cast<uint64_t>(request)),
+        static_cast<uint64_t>(retry)));
+    // Stretch by [1, 2): full-jitter would let delays collapse to
+    // zero and re-synchronize the herd the moment backoff is small.
+    // The scaled draw is clamped before the cast — a saturated base
+    // times a fraction near one can round to 2^64, whose uint64 cast
+    // would be UB.
+    const double scaled = static_cast<double>(base) * rng.nextDouble();
+    const uint64_t jitter =
+        scaled >= 9.0e18 ? base : static_cast<uint64_t>(scaled);
+    return util::saturatingAdd(base, std::min(jitter, base));
+}
+
+} // namespace sim
+} // namespace pra

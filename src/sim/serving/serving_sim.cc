@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <memory>
+#include <queue>
+#include <set>
+#include <tuple>
+#include <utility>
 
 #include "sim/memory/memory_model.h"
 #include "util/csv.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/saturating.h"
 #include "util/stats.h"
 
 namespace pra {
@@ -22,6 +28,53 @@ roundTrip(double value)
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", value);
     return buf;
+}
+
+/** Shared sanity checks of both fleet loops. */
+void
+checkServingConfig(const BatchCostCurve &curve,
+                   const ServingConfig &config)
+{
+    PRA_CHECK(config.instances >= 1,
+              "simulateServing: need at least one instance");
+    PRA_CHECK(config.requests >= 1,
+              "simulateServing: need at least one request");
+    PRA_CHECK(config.policy.maxBatch >= 1 &&
+                  static_cast<size_t>(config.policy.maxBatch) <=
+                      curve.batchSystemCycles.size(),
+              "simulateServing: cost curve does not cover maxBatch");
+    PRA_CHECK(config.queueCap >= 0,
+              "simulateServing: queue cap must be non-negative");
+    PRA_CHECK(config.degradeWatermark >= 0,
+              "simulateServing: degrade watermark must be "
+              "non-negative");
+    PRA_CHECK(config.retry.maxRetries >= 0,
+              "simulateServing: retry limit must be non-negative");
+    if (faultsEnabled(config.faults))
+        PRA_CHECK(config.faults.mttrCycles >= 1,
+                  "simulateServing: mean repair time must be at "
+                  "least one cycle when faults are enabled");
+}
+
+/** Copy the degraded-layer configuration into the report. */
+void
+stampServingConfig(ServingReport &report, const ServingConfig &config)
+{
+    report.arrivalKind = config.arrival.kind;
+    report.offeredPerSecond =
+        kCyclesPerSecond / config.arrival.meanGapCycles;
+    report.instances = config.instances;
+    report.maxBatch = config.policy.maxBatch;
+    report.timeoutCycles = config.policy.timeoutCycles;
+    report.requests = config.requests;
+    report.degraded = servingDegradedEnabled(config);
+    report.mtbfCycles = config.faults.mtbfCycles;
+    report.mttrCycles = config.faults.mttrCycles;
+    report.faultKind = config.faults.kind;
+    report.queueCap = config.queueCap;
+    report.degradeWatermark = config.degradeWatermark;
+    report.retryLimit = config.retry.maxRetries;
+    report.backoffBaseCycles = config.retry.backoffBaseCycles;
 }
 
 } // namespace
@@ -60,18 +113,18 @@ buildBatchCostCurve(const dnn::Network &network, const Engine &engine,
     return curve;
 }
 
-ServingReport
-simulateServing(const BatchCostCurve &curve, const ServingConfig &config)
-{
-    PRA_CHECK(config.instances >= 1,
-              "simulateServing: need at least one instance");
-    PRA_CHECK(config.requests >= 1,
-              "simulateServing: need at least one request");
-    PRA_CHECK(config.policy.maxBatch >= 1 &&
-                  static_cast<size_t>(config.policy.maxBatch) <=
-                      curve.batchSystemCycles.size(),
-              "simulateServing: cost curve does not cover maxBatch");
+namespace {
 
+/**
+ * The historical perfect-fleet loop: instances never fail, the queue
+ * is unbounded, every request completes. Every committed serving
+ * golden pins this loop's output byte for byte, so it stays
+ * untouched; runDegradedFleet() below must reproduce it exactly when
+ * the fault layer is configured off (test-pinned).
+ */
+ServingReport
+runIdealFleet(const BatchCostCurve &curve, const ServingConfig &config)
+{
     const std::vector<uint64_t> arrivals =
         generateArrivals(config.arrival, config.requests);
     const size_t n = arrivals.size();
@@ -125,13 +178,7 @@ simulateServing(const BatchCostCurve &curve, const ServingConfig &config)
     ServingReport report;
     report.networkName = curve.networkName;
     report.engineName = curve.engineName;
-    report.arrivalKind = config.arrival.kind;
-    report.offeredPerSecond =
-        kCyclesPerSecond / config.arrival.meanGapCycles;
-    report.instances = config.instances;
-    report.maxBatch = config.policy.maxBatch;
-    report.timeoutCycles = config.policy.timeoutCycles;
-    report.requests = config.requests;
+    stampServingConfig(report, config);
     report.dispatches = dispatches;
     report.meanBatch = static_cast<double>(config.requests) /
                        static_cast<double>(dispatches);
@@ -146,7 +193,374 @@ simulateServing(const BatchCostCurve &curve, const ServingConfig &config)
         busy_cycles / (static_cast<double>(config.instances) *
                        static_cast<double>(makespan));
     report.makespanCycles = makespan;
+    report.completed = config.requests;
     return report;
+}
+
+/**
+ * Discrete events of the degraded fleet loop. The enumerator order
+ * is the tie-break at equal cycles and is load-bearing:
+ * completions are observed before the fail-stop of the same cycle
+ * (a batch whose interval is [start, done) finished), repairs before
+ * new work is admitted, and arrivals/retries enter the queue before
+ * the dispatcher re-evaluates.
+ */
+enum class EventKind : int {
+    BatchDone = 0,
+    InstanceFail = 1,
+    InstanceRepair = 2,
+    Arrival = 3,
+    RetryReady = 4,
+    TryDispatch = 5,
+};
+
+struct FleetEvent
+{
+    uint64_t cycle = 0;
+    EventKind kind = EventKind::TryDispatch;
+    int idx = 0;      ///< Instance (fleet events) or request id.
+    int64_t epoch = 0; ///< Launch generation (BatchDone staleness).
+};
+
+/** Min-heap order over the deterministic (cycle, kind, idx) total
+ *  order; epoch disambiguates nothing but keeps the order total. */
+struct FleetEventAfter
+{
+    bool
+    operator()(const FleetEvent &a, const FleetEvent &b) const
+    {
+        return std::tie(a.cycle, a.kind, a.idx, a.epoch) >
+               std::tie(b.cycle, b.kind, b.idx, b.epoch);
+    }
+};
+
+/**
+ * The degraded fleet loop: the perfect-fleet semantics extended with
+ * fail-stop faults (in-flight batches killed, requests retried with
+ * exponential backoff, permanent-failure accounting), a bounded
+ * dispatch queue with load-shedding, and the admission-control
+ * watermark. Driven by a deterministic event heap; with the fault
+ * layer configured off it reproduces runIdealFleet bit for bit
+ * (test-pinned): dispatch decisions fire at exactly the cycles the
+ * pull-loop computes, because every decline schedules a TryDispatch
+ * wake-up at its own dispatchCycle estimate.
+ */
+ServingReport
+runDegradedFleet(const BatchCostCurve &curve,
+                 const ServingConfig &config)
+{
+    const std::vector<uint64_t> arrivals =
+        generateArrivals(config.arrival, config.requests);
+    const int n = static_cast<int>(arrivals.size());
+    const bool faults = faultsEnabled(config.faults);
+
+    // Per-request state: dispatch attempts consumed so far.
+    std::vector<int> tries(static_cast<size_t>(n), 0);
+    // Waiting requests, ordered by (queue-entry cycle, id): trace
+    // order for arrivals, requeue order for retries.
+    std::set<std::pair<uint64_t, int>> pending;
+    size_t next_arrival = 0; ///< Trace index of the next Arrival.
+
+    const size_t instances = static_cast<size_t>(config.instances);
+    std::vector<uint64_t> free_at(instances, 0);
+    std::vector<char> up(instances, 1);
+    std::vector<int64_t> epoch(instances, 0);
+    std::vector<uint64_t> launch_at(instances, 0);
+    std::vector<std::vector<int>> flight(instances);
+    std::vector<FaultTimeline> timelines;
+    timelines.reserve(instances);
+    for (size_t i = 0; i < instances; i++)
+        timelines.emplace_back(config.faults,
+                               static_cast<int>(i));
+
+    std::priority_queue<FleetEvent, std::vector<FleetEvent>,
+                        FleetEventAfter>
+        events;
+    for (int r = 0; r < n; r++)
+        events.push({arrivals[static_cast<size_t>(r)],
+                     EventKind::Arrival, r, 0});
+    for (size_t i = 0; i < instances; i++)
+        if (timelines[i].failCycle() != kNoFault)
+            events.push({timelines[i].failCycle(),
+                         EventKind::InstanceFail,
+                         static_cast<int>(i), 0});
+
+    util::Histogram latencies = util::Histogram::logSpaced(
+        kLatencyHistogramMax, kLatencyHistogramSubBits);
+    util::Histogram faulted_latencies = util::Histogram::logSpaced(
+        kLatencyHistogramMax, kLatencyHistogramSubBits);
+    uint64_t makespan = 0;
+    double busy_cycles = 0.0;
+    int64_t dispatches = 0;
+    int64_t dispatched_images = 0;
+    int64_t degraded_dispatches = 0;
+    int64_t killed_batches = 0;
+    int64_t instance_failures = 0;
+    int64_t retries = 0;
+    int completed = 0;
+    int permanent_failures = 0;
+    int shed = 0;
+    int resolved = 0;
+
+    // A request entering the queue at cycle t: shed at the cap (the
+    // bounded queue's loud load-shedding), queued otherwise.
+    auto admit = [&](uint64_t t, int request) {
+        if (config.queueCap > 0 &&
+            pending.size() >= static_cast<size_t>(config.queueCap)) {
+            shed++;
+            resolved++;
+            makespan = std::max(makespan, t);
+            return;
+        }
+        pending.insert({t, request});
+    };
+
+    auto handleEvent = [&](const FleetEvent &ev, uint64_t t) {
+        switch (ev.kind) {
+          case EventKind::BatchDone: {
+            const size_t i = static_cast<size_t>(ev.idx);
+            if (ev.epoch != epoch[i])
+                return; // The batch this completion meant was killed.
+            for (int r : flight[i]) {
+                const uint64_t latency =
+                    t - arrivals[static_cast<size_t>(r)];
+                latencies.add(latency);
+                if (tries[static_cast<size_t>(r)] > 1)
+                    faulted_latencies.add(latency);
+                completed++;
+                resolved++;
+            }
+            busy_cycles += static_cast<double>(t - launch_at[i]);
+            makespan = std::max(makespan, t);
+            flight[i].clear();
+            return;
+          }
+          case EventKind::InstanceFail: {
+            const size_t i = static_cast<size_t>(ev.idx);
+            instance_failures++;
+            up[i] = 0;
+            if (!flight[i].empty()) {
+                // Fail-stop mid-batch: the whole batch is lost.
+                killed_batches++;
+                busy_cycles += static_cast<double>(t - launch_at[i]);
+                for (int r : flight[i]) {
+                    const int used = tries[static_cast<size_t>(r)];
+                    if (used > config.retry.maxRetries) {
+                        permanent_failures++;
+                        resolved++;
+                        makespan = std::max(makespan, t);
+                        continue;
+                    }
+                    retries++;
+                    const uint64_t ready = util::saturatingAdd(
+                        t, retryBackoffCycles(config.retry,
+                                              config.faults.seed, r,
+                                              used));
+                    events.push({ready, EventKind::RetryReady, r, 0});
+                }
+                flight[i].clear();
+                epoch[i]++;
+            }
+            if (timelines[i].repairCycle() != kNoFault)
+                events.push({timelines[i].repairCycle(),
+                             EventKind::InstanceRepair, ev.idx, 0});
+            return;
+          }
+          case EventKind::InstanceRepair: {
+            const size_t i = static_cast<size_t>(ev.idx);
+            up[i] = 1;
+            free_at[i] = t;
+            timelines[i].advance();
+            if (timelines[i].failCycle() != kNoFault)
+                events.push({timelines[i].failCycle(),
+                             EventKind::InstanceFail, ev.idx, 0});
+            return;
+          }
+          case EventKind::Arrival:
+            next_arrival = static_cast<size_t>(ev.idx) + 1;
+            admit(t, ev.idx);
+            return;
+          case EventKind::RetryReady:
+            admit(t, ev.idx);
+            return;
+          case EventKind::TryDispatch:
+            return; // Only exists to wake the dispatcher below.
+        }
+    };
+
+    // Launch every batch the policy allows at cycle t; when the next
+    // launch is strictly in the future, schedule a TryDispatch
+    // wake-up at exactly that estimate (re-evaluated there, so new
+    // arrivals/retries/repairs can only pull it earlier).
+    auto dispatchAt = [&](uint64_t t) {
+        while (!pending.empty()) {
+            // Earliest-free instance among in-service idle ones,
+            // lowest id on ties (the perfect-fleet rule).
+            int j = -1;
+            for (size_t i = 0; i < instances; i++) {
+                if (!up[i] || !flight[i].empty())
+                    continue;
+                if (j < 0 || free_at[i] < free_at[static_cast<size_t>(j)])
+                    j = static_cast<int>(i);
+            }
+            if (j < 0)
+                return; // Every instance is busy or down.
+            const size_t ji = static_cast<size_t>(j);
+
+            const size_t occupancy = pending.size();
+            const bool degrade =
+                config.degradeWatermark > 0 &&
+                occupancy >=
+                    static_cast<size_t>(config.degradeWatermark);
+            BatchingPolicy policy = config.policy;
+            if (degrade) {
+                // Watermark crossed: shed to half the batch cap and
+                // greedy launches before the cap has to drop.
+                policy.maxBatch = std::max(1, policy.maxBatch / 2);
+                policy.timeoutCycles = 0;
+            }
+            const size_t max_batch =
+                static_cast<size_t>(policy.maxBatch);
+
+            const uint64_t head = pending.begin()->first;
+            uint64_t fill;
+            if (occupancy >= max_batch) {
+                auto it = pending.begin();
+                std::advance(it,
+                             static_cast<ptrdiff_t>(max_batch) - 1);
+                fill = it->first;
+            } else {
+                // Estimate the fill from the trace tail; retries
+                // still in backoff are unknowable to a dispatcher.
+                const size_t idx =
+                    next_arrival + (max_batch - occupancy) - 1;
+                fill = idx < static_cast<size_t>(n)
+                           ? arrivals[idx]
+                           : kNeverFills;
+                // A requeued head can outrank older trace arrivals.
+                fill = std::max(fill, head);
+            }
+            const uint64_t start =
+                dispatchCycle(policy, free_at[ji], head, fill);
+            if (start > t) {
+                events.push({start, EventKind::TryDispatch, 0, 0});
+                return;
+            }
+            // start < t only after a watermark flip mid-wait; the
+            // launch happens now either way.
+            const uint64_t launch = std::max(start, t);
+
+            size_t take = 0;
+            while (take < max_batch && !pending.empty()) {
+                auto it = pending.begin();
+                flight[ji].push_back(it->second);
+                tries[static_cast<size_t>(it->second)]++;
+                pending.erase(it);
+                take++;
+            }
+            const double cost = curve.batchSystemCycles[take - 1];
+            const uint64_t cost_cycles = std::max<uint64_t>(
+                1, static_cast<uint64_t>(std::llround(cost)));
+            const uint64_t done =
+                util::saturatingAdd(launch, cost_cycles);
+            launch_at[ji] = launch;
+            free_at[ji] = done;
+            if (done != kNoFault)
+                events.push({done, EventKind::BatchDone, j,
+                             epoch[ji]});
+            dispatches++;
+            dispatched_images += static_cast<int64_t>(take);
+            if (degrade)
+                degraded_dispatches++;
+        }
+    };
+
+    while (!events.empty() && resolved < n) {
+        const uint64_t t = events.top().cycle;
+        while (!events.empty() && events.top().cycle == t) {
+            FleetEvent ev = events.top();
+            events.pop();
+            handleEvent(ev, t);
+        }
+        if (resolved >= n)
+            break;
+        dispatchAt(t);
+    }
+    // The heap can only drain with unresolved requests when every
+    // instance wedged permanently (saturated repair/completion
+    // times): account the stranded requests as permanent failures
+    // rather than stalling or spinning.
+    permanent_failures += n - resolved;
+    resolved = n;
+
+    ServingReport report;
+    report.networkName = curve.networkName;
+    report.engineName = curve.engineName;
+    stampServingConfig(report, config);
+    report.dispatches = dispatches;
+    report.meanBatch =
+        dispatches == 0
+            ? 0.0
+            : static_cast<double>(dispatched_images) /
+                  static_cast<double>(dispatches);
+    report.p50Cycles = latencies.percentile(0.50);
+    report.p95Cycles = latencies.percentile(0.95);
+    report.p99Cycles = latencies.percentile(0.99);
+    report.meanLatencyCycles = latencies.mean();
+    const double span = static_cast<double>(std::max<uint64_t>(
+        makespan, 1));
+    report.imagesPerSecond =
+        static_cast<double>(completed) * kCyclesPerSecond / span;
+    report.utilization =
+        busy_cycles / (static_cast<double>(config.instances) * span);
+    report.makespanCycles = makespan;
+    report.completed = completed;
+    report.retries = retries;
+    report.permanentFailures = permanent_failures;
+    report.shedRequests = shed;
+    report.killedBatches = killed_batches;
+    report.instanceFailures = instance_failures;
+    report.degradedDispatches = degraded_dispatches;
+    if (faults) {
+        uint64_t up_cycles = 0;
+        for (size_t i = 0; i < instances; i++)
+            up_cycles +=
+                upCyclesBefore(config.faults, static_cast<int>(i),
+                               makespan);
+        report.availability =
+            static_cast<double>(up_cycles) /
+            (static_cast<double>(config.instances) * span);
+    }
+    report.p99FaultedCycles = faulted_latencies.count() > 0
+                                  ? faulted_latencies.percentile(0.99)
+                                  : 0;
+    return report;
+}
+
+} // namespace
+
+bool
+servingDegradedEnabled(const ServingConfig &config)
+{
+    return faultsEnabled(config.faults) || config.queueCap > 0 ||
+           config.degradeWatermark > 0;
+}
+
+ServingReport
+simulateServing(const BatchCostCurve &curve, const ServingConfig &config)
+{
+    checkServingConfig(curve, config);
+    return servingDegradedEnabled(config)
+               ? runDegradedFleet(curve, config)
+               : runIdealFleet(curve, config);
+}
+
+ServingReport
+simulateServingDegraded(const BatchCostCurve &curve,
+                        const ServingConfig &config)
+{
+    checkServingConfig(curve, config);
+    return runDegradedFleet(curve, config);
 }
 
 std::vector<ServingReport>
@@ -234,29 +648,73 @@ writeServingCsv(std::ostream &out,
                 const std::vector<ServingReport> &reports)
 {
     util::CsvWriter csv(out);
-    csv.writeHeader({"network", "engine", "arrival", "offered_per_s",
-                     "instances", "max_batch", "timeout_cycles",
-                     "requests", "dispatches", "mean_batch",
-                     "p50_cycles", "p95_cycles", "p99_cycles",
-                     "mean_latency_cycles", "images_per_s",
-                     "utilization", "makespan_cycles"});
+    // The degraded-serving columns appear only when some report ran
+    // the degraded loop, so historical (fault-free) CSVs — and the
+    // committed goldens that pin them — keep their exact shape.
+    bool degraded = false;
     for (const auto &r : reports)
-        csv.writeRow({r.networkName, r.engineName,
-                      arrivalKindName(r.arrivalKind),
-                      roundTrip(r.offeredPerSecond),
-                      std::to_string(r.instances),
-                      std::to_string(r.maxBatch),
-                      std::to_string(r.timeoutCycles),
-                      std::to_string(r.requests),
-                      std::to_string(r.dispatches),
-                      roundTrip(r.meanBatch),
-                      std::to_string(r.p50Cycles),
-                      std::to_string(r.p95Cycles),
-                      std::to_string(r.p99Cycles),
-                      roundTrip(r.meanLatencyCycles),
-                      roundTrip(r.imagesPerSecond),
-                      roundTrip(r.utilization),
-                      std::to_string(r.makespanCycles)});
+        degraded = degraded || r.degraded;
+
+    std::vector<std::string> header = {
+        "network", "engine", "arrival", "offered_per_s",
+        "instances", "max_batch", "timeout_cycles",
+        "requests", "dispatches", "mean_batch",
+        "p50_cycles", "p95_cycles", "p99_cycles",
+        "mean_latency_cycles", "images_per_s",
+        "utilization", "makespan_cycles"};
+    if (degraded) {
+        const char *extra[] = {
+            "mtbf_cycles", "mttr_cycles", "fault_dist", "queue_cap",
+            "degrade_watermark", "retry_limit", "backoff_cycles",
+            "completed", "retries", "permanent_failures",
+            "shed_requests", "killed_batches", "instance_failures",
+            "degraded_dispatches", "availability",
+            "p99_faulted_cycles"};
+        header.insert(header.end(), std::begin(extra),
+                      std::end(extra));
+    }
+    csv.writeHeader(header);
+
+    for (const auto &r : reports) {
+        std::vector<std::string> row = {
+            r.networkName, r.engineName,
+            arrivalKindName(r.arrivalKind),
+            roundTrip(r.offeredPerSecond),
+            std::to_string(r.instances),
+            std::to_string(r.maxBatch),
+            std::to_string(r.timeoutCycles),
+            std::to_string(r.requests),
+            std::to_string(r.dispatches),
+            roundTrip(r.meanBatch),
+            std::to_string(r.p50Cycles),
+            std::to_string(r.p95Cycles),
+            std::to_string(r.p99Cycles),
+            roundTrip(r.meanLatencyCycles),
+            roundTrip(r.imagesPerSecond),
+            roundTrip(r.utilization),
+            std::to_string(r.makespanCycles)};
+        if (degraded) {
+            const std::string tail[] = {
+                std::to_string(r.mtbfCycles),
+                std::to_string(r.mttrCycles),
+                faultKindName(r.faultKind),
+                std::to_string(r.queueCap),
+                std::to_string(r.degradeWatermark),
+                std::to_string(r.retryLimit),
+                std::to_string(r.backoffBaseCycles),
+                std::to_string(r.completed),
+                std::to_string(r.retries),
+                std::to_string(r.permanentFailures),
+                std::to_string(r.shedRequests),
+                std::to_string(r.killedBatches),
+                std::to_string(r.instanceFailures),
+                std::to_string(r.degradedDispatches),
+                roundTrip(r.availability),
+                std::to_string(r.p99FaultedCycles)};
+            row.insert(row.end(), std::begin(tail), std::end(tail));
+        }
+        csv.writeRow(row);
+    }
 }
 
 } // namespace sim

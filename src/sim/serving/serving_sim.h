@@ -52,6 +52,7 @@
 #include "sim/sampling.h"
 #include "sim/serving/arrival.h"
 #include "sim/serving/batching.h"
+#include "sim/serving/faults.h"
 #include "sim/workload_cache.h"
 #include "util/thread_pool.h"
 
@@ -75,7 +76,30 @@ struct ServingConfig
     int requests = 256;    ///< Trace length (one image per request).
     ArrivalSpec arrival;   ///< Arrival process (gap set per rate).
     BatchingPolicy policy; ///< Max-batch + timeout dispatch rule.
+
+    // --- Degraded-serving layer (defaults model the perfect fleet
+    // --- the historical goldens pin: no faults, unbounded queue).
+    FaultSpec faults;      ///< Fail-stop schedule (mtbf 0 = off).
+    RetryPolicy retry;     ///< Requeue rule for killed batches.
+    /** Dispatch-queue bound; arrivals beyond it shed. 0 = unbounded. */
+    int queueCap = 0;
+    /**
+     * Admission-control watermark: when the dispatch queue holds at
+     * least this many waiting requests, the dispatcher degrades to
+     * half the max batch and greedy (no-timeout) launches, trading
+     * batch amortization for queue drain before the cap has to shed.
+     * 0 = off.
+     */
+    int degradeWatermark = 0;
 };
+
+/**
+ * True when @p config needs the degraded event loop (fault
+ * injection, a bounded queue, or admission control); false selects
+ * the historical perfect-fleet loop, whose output every committed
+ * serving golden pins byte for byte.
+ */
+bool servingDegradedEnabled(const ServingConfig &config);
 
 /** System-cycle cost of batches of 1..maxBatch images of one cell. */
 struct BatchCostCurve
@@ -113,23 +137,60 @@ struct ServingReport
     int requests = 0;
 
     int64_t dispatches = 0;   ///< Batches launched.
-    double meanBatch = 0.0;   ///< requests / dispatches.
+    double meanBatch = 0.0;   ///< Dispatched images / dispatches.
     uint64_t p50Cycles = 0;   ///< Median request latency.
     uint64_t p95Cycles = 0;
     uint64_t p99Cycles = 0;
     double meanLatencyCycles = 0.0;
-    double imagesPerSecond = 0.0; ///< Completed throughput at 1 GHz.
+    /**
+     * Completed throughput (goodput) at 1 GHz: only requests that
+     * finished count, so under faults this is goodput vs the
+     * offeredPerSecond column.
+     */
+    double imagesPerSecond = 0.0;
     double utilization = 0.0; ///< Busy share of instances * makespan.
-    uint64_t makespanCycles = 0; ///< Last completion cycle.
+    uint64_t makespanCycles = 0; ///< Last completion/resolution cycle.
+
+    // --- Degraded-serving columns, emitted only when the fault
+    // --- layer is configured (see writeServingCsv).
+    bool degraded = false; ///< Degraded loop configured for this run.
+    uint64_t mtbfCycles = 0;     ///< Config echo (0 = faults off).
+    uint64_t mttrCycles = 0;     ///< Config echo.
+    FaultKind faultKind = FaultKind::Exponential;
+    int queueCap = 0;            ///< Config echo (0 = unbounded).
+    int degradeWatermark = 0;    ///< Config echo (0 = off).
+    int retryLimit = 0;          ///< Config echo (retry.maxRetries).
+    uint64_t backoffBaseCycles = 0; ///< Config echo.
+    int completed = 0;        ///< Requests that finished.
+    int64_t retries = 0;      ///< Re-queued attempts after kills.
+    int permanentFailures = 0; ///< Requests out of retry budget.
+    int shedRequests = 0;     ///< Requests dropped at the full queue.
+    int64_t killedBatches = 0; ///< In-flight batches lost to faults.
+    int64_t instanceFailures = 0; ///< Fail-stop events before the end.
+    int64_t degradedDispatches = 0; ///< Launches under the watermark.
+    /** Instance up-share of instances * makespan (1 with faults off). */
+    double availability = 1.0;
+    /** p99 latency over requests that survived >= 1 kill (0: none). */
+    uint64_t p99FaultedCycles = 0;
 };
 
 /**
  * Run the fleet event loop for one cost curve under @p config
  * (whose policy.maxBatch must not exceed the curve's length).
+ * Dispatches to the degraded loop iff servingDegradedEnabled().
  * Deterministic: same inputs, same report, bit for bit.
  */
 ServingReport simulateServing(const BatchCostCurve &curve,
                               const ServingConfig &config);
+
+/**
+ * The degraded fleet event loop, callable directly so tests can pin
+ * its fault-free specialization: with faults, queue cap, and
+ * watermark all off it must reproduce every field simulateServing's
+ * perfect-fleet loop reports, bit for bit.
+ */
+ServingReport simulateServingDegraded(const BatchCostCurve &curve,
+                                      const ServingConfig &config);
 
 /** Options of a serving sweep over (networks x engines x rates). */
 struct ServingSweepOptions

@@ -1,0 +1,49 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace pra {
+namespace util {
+
+std::string
+atomicTempPath(const std::string &path)
+{
+    return path + ".tmp";
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &producer)
+{
+    const std::string temp = atomicTempPath(path);
+    {
+        std::ofstream out(temp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot open '" + temp + "' for writing");
+        try {
+            producer(out);
+        } catch (...) {
+            out.close();
+            std::remove(temp.c_str());
+            throw;
+        }
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(temp.c_str());
+            fatal("failed while writing '" + temp + "'; '" + path +
+                  "' left untouched");
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        fatal("cannot rename '" + temp + "' onto '" + path + "'");
+    }
+}
+
+} // namespace util
+} // namespace pra

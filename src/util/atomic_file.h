@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Atomic whole-file writes for CSV/JSON outputs.
+ *
+ * Tools that honor --csv=PATH used to stream straight into the
+ * destination, so a failure mid-write (full disk, killed process,
+ * fatal() in the producer) left a torn file where a previous good
+ * result may have lived. writeFileAtomic() writes the payload to a
+ * sibling temporary (PATH + ".tmp"), verifies the stream survived,
+ * and only then renames over PATH — std::rename is atomic within a
+ * filesystem on POSIX, so readers of PATH observe either the old
+ * bytes or the new bytes, never a prefix.
+ */
+
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace pra {
+namespace util {
+
+/** The temporary sibling writeFileAtomic() stages @p path through. */
+std::string atomicTempPath(const std::string &path);
+
+/**
+ * Write a file atomically: open @p path + ".tmp", hand the stream to
+ * @p producer, flush, and rename onto @p path. Any failure — the
+ * temporary cannot be opened, the stream is in a failed state after
+ * the producer ran (including failures the producer injects), the
+ * rename is refused, or the producer throws — removes the temporary
+ * and calls fatal() (or rethrows), leaving whatever @p path held
+ * before completely untouched.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::function<void(std::ostream &)> &producer);
+
+} // namespace util
+} // namespace pra

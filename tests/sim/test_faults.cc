@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection layer
+ * (sim/serving/faults.h): counter-based replayable draws, the
+ * fail/repair timeline walk, availability accounting, and the
+ * retry-backoff schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/serving/faults.h"
+
+namespace pra {
+namespace sim {
+namespace {
+
+FaultSpec
+expSpec(uint64_t mtbf, uint64_t mttr, uint64_t seed = 0x5eed)
+{
+    FaultSpec spec;
+    spec.mtbfCycles = mtbf;
+    spec.mttrCycles = mttr;
+    spec.kind = FaultKind::Exponential;
+    spec.seed = seed;
+    return spec;
+}
+
+FaultSpec
+fixedSpec(uint64_t mtbf, uint64_t mttr)
+{
+    FaultSpec spec = expSpec(mtbf, mttr);
+    spec.kind = FaultKind::Fixed;
+    return spec;
+}
+
+TEST(Faults, DisabledSpecInjectsNothing)
+{
+    FaultSpec off;
+    EXPECT_FALSE(faultsEnabled(off));
+    FaultTimeline timeline(off, 0);
+    EXPECT_EQ(timeline.failCycle(), kNoFault);
+    EXPECT_EQ(timeline.repairCycle(), kNoFault);
+    timeline.advance();
+    EXPECT_EQ(timeline.failCycle(), kNoFault);
+    EXPECT_EQ(upCyclesBefore(off, 0, 12345), 12345u);
+}
+
+TEST(Faults, DrawsAreAPureFunctionOfSpecInstanceAndIndex)
+{
+    FaultSpec spec = expSpec(100000, 10000);
+    for (int instance : {0, 1, 7}) {
+        for (int index : {0, 1, 33}) {
+            EXPECT_EQ(upDuration(spec, instance, index),
+                      upDuration(spec, instance, index));
+            EXPECT_EQ(repairDuration(spec, instance, index),
+                      repairDuration(spec, instance, index));
+        }
+    }
+    // Different instances, indices, and seeds decorrelate.
+    bool instance_differs = false, index_differs = false,
+         seed_differs = false;
+    FaultSpec reseeded = expSpec(100000, 10000, 0x5eed + 1);
+    for (int i = 0; i < 16; i++) {
+        instance_differs |=
+            upDuration(spec, 0, i) != upDuration(spec, 1, i);
+        index_differs |=
+            upDuration(spec, 0, i) != upDuration(spec, 0, i + 16);
+        seed_differs |=
+            upDuration(spec, 0, i) != upDuration(reseeded, 0, i);
+    }
+    EXPECT_TRUE(instance_differs);
+    EXPECT_TRUE(index_differs);
+    EXPECT_TRUE(seed_differs);
+}
+
+TEST(Faults, UpAndRepairStreamsAreIndependent)
+{
+    // Same mean for both draws: the domain salts must still keep the
+    // up and repair streams distinct.
+    FaultSpec spec = expSpec(50000, 50000);
+    bool differs = false;
+    for (int i = 0; i < 16; i++)
+        differs |=
+            upDuration(spec, 0, i) != repairDuration(spec, 0, i);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Faults, FixedTimelineIsHandCheckable)
+{
+    // Fixed draws are the means themselves: fail at 1000, repaired at
+    // 1100, fail again at 2100, and so on.
+    FaultTimeline timeline(fixedSpec(1000, 100), 0);
+    EXPECT_EQ(timeline.failCycle(), 1000u);
+    EXPECT_EQ(timeline.repairCycle(), 1100u);
+    timeline.advance();
+    EXPECT_EQ(timeline.failCycle(), 2100u);
+    EXPECT_EQ(timeline.repairCycle(), 2200u);
+    timeline.advance();
+    EXPECT_EQ(timeline.failCycle(), 3200u);
+}
+
+TEST(Faults, TimelineReplayMatchesRawDraws)
+{
+    FaultSpec spec = expSpec(100000, 10000);
+    FaultTimeline timeline(spec, 3);
+    uint64_t expected_fail = upDuration(spec, 3, 0);
+    uint64_t expected_repair =
+        expected_fail + repairDuration(spec, 3, 0);
+    for (int k = 0; k < 8; k++) {
+        ASSERT_EQ(timeline.failCycle(), expected_fail) << k;
+        ASSERT_EQ(timeline.repairCycle(), expected_repair) << k;
+        timeline.advance();
+        expected_fail =
+            expected_repair + upDuration(spec, 3, k + 1);
+        expected_repair =
+            expected_fail + repairDuration(spec, 3, k + 1);
+    }
+}
+
+TEST(Faults, HugeMeansSaturateToNever)
+{
+    // A mean beyond the uint64 range degenerates to a perfect
+    // instance instead of wrapping into an early fault.
+    FaultTimeline timeline(fixedSpec(kNoFault, 1), 0);
+    EXPECT_EQ(timeline.failCycle(), kNoFault);
+    timeline.advance();
+    EXPECT_EQ(timeline.failCycle(), kNoFault);
+    EXPECT_EQ(upCyclesBefore(fixedSpec(kNoFault, 1), 0, 777), 777u);
+}
+
+TEST(Faults, UpCyclesBeforeCountsMttrWindows)
+{
+    // Fixed 1000/100 windows: horizon 2150 spans up [0,1000),
+    // repair [1000,1100), up [1100,2100), repair [2100,2150) cut
+    // short -> 2000 up cycles.
+    FaultSpec spec = fixedSpec(1000, 100);
+    EXPECT_EQ(upCyclesBefore(spec, 0, 500), 500u);
+    EXPECT_EQ(upCyclesBefore(spec, 0, 1000), 1000u);
+    EXPECT_EQ(upCyclesBefore(spec, 0, 1050), 1000u);
+    EXPECT_EQ(upCyclesBefore(spec, 0, 1100), 1000u);
+    EXPECT_EQ(upCyclesBefore(spec, 0, 2150), 2000u);
+}
+
+TEST(Faults, BackoffDoublesAndJitterStaysBounded)
+{
+    RetryPolicy policy;
+    policy.backoffBaseCycles = 1000;
+    for (int request : {0, 5}) {
+        for (int retry = 1; retry <= 4; retry++) {
+            const uint64_t base = UINT64_C(1000) << (retry - 1);
+            const uint64_t delay =
+                retryBackoffCycles(policy, 0x5eed, request, retry);
+            // Stretch factor in [1, 2): never collapses to zero,
+            // never more than doubles.
+            EXPECT_GE(delay, base) << request << " " << retry;
+            EXPECT_LE(delay, 2 * base) << request << " " << retry;
+            // Replayable.
+            EXPECT_EQ(delay, retryBackoffCycles(policy, 0x5eed,
+                                                request, retry));
+        }
+    }
+    // Distinct requests decorrelate (the retry herd spreads out).
+    bool differs = false;
+    for (int request = 0; request < 16; request++)
+        differs |= retryBackoffCycles(policy, 0x5eed, request, 1) !=
+                   retryBackoffCycles(policy, 0x5eed, request + 16, 1);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Faults, ZeroBaseBackoffRetriesImmediately)
+{
+    RetryPolicy policy;
+    policy.backoffBaseCycles = 0;
+    EXPECT_EQ(retryBackoffCycles(policy, 0x5eed, 0, 1), 0u);
+    EXPECT_EQ(retryBackoffCycles(policy, 0x5eed, 9, 3), 0u);
+}
+
+TEST(Faults, HugeBackoffSaturatesInsteadOfWrapping)
+{
+    RetryPolicy policy;
+    policy.backoffBaseCycles = UINT64_C(1) << 63;
+    const uint64_t delay = retryBackoffCycles(policy, 0x5eed, 0, 2);
+    EXPECT_EQ(delay, kNoFault);
+}
+
+TEST(Faults, KindNamesRoundTrip)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::Exponential), "exponential");
+    EXPECT_STREQ(faultKindName(FaultKind::Fixed), "fixed");
+    EXPECT_EQ(parseFaultKind("exponential"), FaultKind::Exponential);
+    EXPECT_EQ(parseFaultKind("fixed"), FaultKind::Fixed);
+}
+
+TEST(FaultsDeathTest, RejectsDegenerateInputs)
+{
+    FaultSpec spec = expSpec(1000, 100);
+    EXPECT_DEATH(upDuration(spec, -1, 0), "negative instance");
+    EXPECT_DEATH(upDuration(spec, 0, -1), "negative event index");
+    FaultSpec off;
+    EXPECT_DEATH(upDuration(off, 0, 0), "disabled");
+    EXPECT_DEATH(parseFaultKind("weibull"), "exponential or fixed");
+    RetryPolicy policy;
+    EXPECT_DEATH(retryBackoffCycles(policy, 0, 0, 0), "1-based");
+    EXPECT_DEATH(retryBackoffCycles(policy, 0, -1, 1),
+                 "negative request");
+}
+
+} // namespace
+} // namespace sim
+} // namespace pra

@@ -140,6 +140,21 @@ TEST(Batching, SaturatedDeadlineFallsBackToTheHead)
               kNeverFills - 10);
 }
 
+TEST(Batching, DeadlineSaturationBoundaryIsExact)
+{
+    // head + timeout == UINT64_MAX is exactly the "never" sentinel
+    // (deadline falls back to the head); one cycle short of it is a
+    // real finite deadline; one cycle past it must clamp rather than
+    // wrap around to a tiny deadline that dispatches immediately.
+    BatchingPolicy policy{8, 100};
+    EXPECT_EQ(dispatchCycle(policy, 0, kNeverFills - 101, kNeverFills),
+              kNeverFills - 1);
+    EXPECT_EQ(dispatchCycle(policy, 0, kNeverFills - 100, kNeverFills),
+              kNeverFills - 100);
+    EXPECT_EQ(dispatchCycle(policy, 0, kNeverFills - 50, kNeverFills),
+              kNeverFills - 50);
+}
+
 TEST(BatchingDeathTest, RejectsBadPolicyAndOrdering)
 {
     BatchingPolicy bad{0, 0};
@@ -362,6 +377,255 @@ TEST(ServingSweep, SaturationFillsBatchesAndStarvationDoesNot)
     EXPECT_DOUBLE_EQ(reports[0].meanBatch, 1.0);
     EXPECT_DOUBLE_EQ(reports[1].meanBatch, 4.0);
     EXPECT_GT(reports[1].utilization, reports[0].utilization);
+}
+
+TEST(ServingSim, DegradedLoopMatchesIdealLoopWithFaultsOff)
+{
+    // The event-driven degraded loop must reproduce the historical
+    // perfect-fleet loop field for field (exact doubles included)
+    // whenever the fault layer is off — this is what keeps the
+    // committed serving goldens byte-identical by construction.
+    BatchCostCurve curve =
+        syntheticCurve({7000.0, 13000.0, 18000.0, 22000.0});
+    for (int instances : {1, 3}) {
+        for (int max_batch : {1, 4}) {
+            for (uint64_t timeout : {uint64_t{0}, uint64_t{100000}}) {
+                for (double gap : {500.0, 20000.0}) {
+                    ServingConfig config;
+                    config.arrival.meanGapCycles = gap;
+                    config.requests = 64;
+                    config.instances = instances;
+                    config.policy.maxBatch = max_batch;
+                    config.policy.timeoutCycles = timeout;
+                    ASSERT_FALSE(servingDegradedEnabled(config));
+                    ServingReport ideal =
+                        simulateServing(curve, config);
+                    ServingReport degraded =
+                        simulateServingDegraded(curve, config);
+                    SCOPED_TRACE(std::to_string(instances) + "x" +
+                                 std::to_string(max_batch) + " t" +
+                                 std::to_string(timeout) + " g" +
+                                 std::to_string(gap));
+                    EXPECT_EQ(degraded.dispatches, ideal.dispatches);
+                    EXPECT_EQ(degraded.meanBatch, ideal.meanBatch);
+                    EXPECT_EQ(degraded.p50Cycles, ideal.p50Cycles);
+                    EXPECT_EQ(degraded.p95Cycles, ideal.p95Cycles);
+                    EXPECT_EQ(degraded.p99Cycles, ideal.p99Cycles);
+                    EXPECT_EQ(degraded.meanLatencyCycles,
+                              ideal.meanLatencyCycles);
+                    EXPECT_EQ(degraded.imagesPerSecond,
+                              ideal.imagesPerSecond);
+                    EXPECT_EQ(degraded.utilization,
+                              ideal.utilization);
+                    EXPECT_EQ(degraded.makespanCycles,
+                              ideal.makespanCycles);
+                    EXPECT_EQ(degraded.completed, ideal.completed);
+                    EXPECT_EQ(degraded.retries, 0);
+                    EXPECT_EQ(degraded.shedRequests, 0);
+                    EXPECT_DOUBLE_EQ(degraded.availability, 1.0);
+                }
+            }
+        }
+    }
+}
+
+ServingConfig
+faultedConfig(double gap, int requests, uint64_t mtbf, uint64_t mttr)
+{
+    ServingConfig config = uniformConfig(gap, requests, 1, 0);
+    config.faults.mtbfCycles = mtbf;
+    config.faults.mttrCycles = mttr;
+    config.faults.kind = FaultKind::Fixed;
+    config.retry.backoffBaseCycles = 0;
+    return config;
+}
+
+TEST(ServingFaults, FixedFaultKillsBatchAndRetrySucceeds)
+{
+    // Arrivals at 1000/2000, cost 100, greedy batch-1 dispatch; the
+    // instance fail-stops at exactly 1050 (mid-batch) and repairs at
+    // 1150. Request 0's first attempt dies, its zero-backoff retry
+    // launches at the repair and completes at 1250 (latency 250);
+    // request 1 runs cleanly (latency 100).
+    ServingReport r = simulateServing(
+        syntheticCurve({100.0}), faultedConfig(1000.0, 2, 1050, 100));
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.dispatches, 3);
+    EXPECT_EQ(r.killedBatches, 1);
+    EXPECT_EQ(r.retries, 1);
+    EXPECT_EQ(r.instanceFailures, 1);
+    EXPECT_EQ(r.completed, 2);
+    EXPECT_EQ(r.permanentFailures, 0);
+    EXPECT_EQ(r.shedRequests, 0);
+    EXPECT_EQ(r.makespanCycles, 2100u);
+    EXPECT_DOUBLE_EQ(r.meanLatencyCycles, 175.0);
+    // Interrupted work counts as busy up to the kill: 50 cycles of
+    // the doomed attempt plus two clean 100-cycle batches.
+    EXPECT_DOUBLE_EQ(r.utilization, 250.0 / 2100.0);
+    // Up over [0, 1050) and [1150, 2100).
+    EXPECT_DOUBLE_EQ(r.availability, 2000.0 / 2100.0);
+    // Latency 250 of the killed-and-retried request, conservative
+    // log-bucket bound 251.
+    EXPECT_EQ(r.p99FaultedCycles, 251u);
+    EXPECT_DOUBLE_EQ(r.imagesPerSecond, 2.0 * 1e9 / 2100.0);
+}
+
+TEST(ServingFaults, RetryBudgetExhaustionIsAPermanentFailure)
+{
+    // The instance fails at 50/110/170 (up 50, repair 10) and the
+    // single request's attempts launch at 10/60/120 — each killed
+    // mid-flight. After maxRetries = 2 requeues the third kill is a
+    // permanent failure.
+    ServingConfig config = faultedConfig(10.0, 1, 50, 10);
+    config.retry.maxRetries = 2;
+    ServingReport r =
+        simulateServing(syntheticCurve({100.0}), config);
+    EXPECT_EQ(r.dispatches, 3);
+    EXPECT_EQ(r.killedBatches, 3);
+    EXPECT_EQ(r.retries, 2);
+    EXPECT_EQ(r.instanceFailures, 3);
+    EXPECT_EQ(r.completed, 0);
+    EXPECT_EQ(r.permanentFailures, 1);
+    EXPECT_EQ(r.makespanCycles, 170u);
+    EXPECT_DOUBLE_EQ(r.imagesPerSecond, 0.0);
+    // Killed attempts ran [10,50), [60,110), [120,170).
+    EXPECT_DOUBLE_EQ(r.utilization, 140.0 / 170.0);
+    // Up over [0,50), [60,110), [120,170).
+    EXPECT_DOUBLE_EQ(r.availability, 150.0 / 170.0);
+}
+
+TEST(ServingDegrade, QueueCapShedsArrivalsAtTheBound)
+{
+    // Arrivals at 100..400, cost 1000, batch-1 greedy, queue bound 1:
+    // request 0 dispatches at once, request 1 queues, requests 2 and
+    // 3 find the queue full and shed.
+    ServingConfig config = uniformConfig(100.0, 4, 1, 0);
+    config.queueCap = 1;
+    ServingReport r =
+        simulateServing(syntheticCurve({1000.0}), config);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.dispatches, 2);
+    EXPECT_EQ(r.completed, 2);
+    EXPECT_EQ(r.shedRequests, 2);
+    EXPECT_EQ(r.retries, 0);
+    EXPECT_EQ(r.permanentFailures, 0);
+    EXPECT_EQ(r.makespanCycles, 2100u);
+    // Latencies 1000 (request 0) and 1900 (request 1).
+    EXPECT_DOUBLE_EQ(r.meanLatencyCycles, 1450.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 2000.0 / 2100.0);
+    EXPECT_DOUBLE_EQ(r.availability, 1.0);
+    // Goodput counts only completions.
+    EXPECT_DOUBLE_EQ(r.imagesPerSecond, 2.0 * 1e9 / 2100.0);
+}
+
+TEST(ServingDegrade, WatermarkHalvesBatchesAndGoesGreedy)
+{
+    // Six arrivals 10..60 at gap 10, flat cost 100 for batches 1..4,
+    // timeout 10000. Un-degraded the dispatcher would hold for full
+    // batches of 4; with the watermark at queue occupancy 2 it flips
+    // to greedy half batches, so the fleet runs three batches of two
+    // back to back.
+    ServingConfig config = uniformConfig(10.0, 6, 4, 10000);
+    config.degradeWatermark = 2;
+    ServingReport r = simulateServing(
+        syntheticCurve({100.0, 100.0, 100.0, 100.0}), config);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.dispatches, 3);
+    EXPECT_EQ(r.degradedDispatches, 3);
+    EXPECT_DOUBLE_EQ(r.meanBatch, 2.0);
+    EXPECT_EQ(r.completed, 6);
+    EXPECT_EQ(r.shedRequests, 0);
+    EXPECT_EQ(r.makespanCycles, 320u);
+}
+
+TEST(ServingCsv, DegradedColumnsAppearOnlyWhenConfigured)
+{
+    BatchCostCurve curve = syntheticCurve({100.0});
+    ServingConfig plain = uniformConfig(1000.0, 2, 1, 0);
+
+    std::ostringstream plain_csv;
+    writeServingCsv(plain_csv, {simulateServing(curve, plain)});
+    EXPECT_EQ(plain_csv.str().find("mtbf_cycles"), std::string::npos);
+
+    // The degraded event loop with the fault layer off still reports
+    // the historical CSV shape (degraded is about configuration, not
+    // code path) — this is the fault-free identity the goldens need.
+    std::ostringstream ideal_loop_csv;
+    writeServingCsv(ideal_loop_csv,
+                    {simulateServingDegraded(curve, plain)});
+    EXPECT_EQ(plain_csv.str(), ideal_loop_csv.str());
+
+    ServingConfig capped = plain;
+    capped.queueCap = 16;
+    std::ostringstream degraded_csv;
+    writeServingCsv(degraded_csv, {simulateServing(curve, capped)});
+    const std::string out = degraded_csv.str();
+    EXPECT_NE(out.find("mtbf_cycles"), std::string::npos);
+    EXPECT_NE(out.find("availability"), std::string::npos);
+    EXPECT_NE(out.find("p99_faulted_cycles"), std::string::npos);
+    // One degraded report flips the whole dump (a CSV has one
+    // header), so mixed report sets stay rectangular.
+    std::ostringstream mixed_csv;
+    writeServingCsv(mixed_csv, {simulateServing(curve, plain),
+                                simulateServing(curve, capped)});
+    EXPECT_NE(mixed_csv.str().find("mtbf_cycles"), std::string::npos);
+}
+
+TEST(ServingSweep, FaultedCsvByteIdenticalAcrossThreadsAndCache)
+{
+    // Fault schedules are counter-based pure functions, so a faulted
+    // sweep must stay byte-identical across worker counts and cache
+    // modes just like the fault-free one.
+    std::vector<dnn::Network> networks = {dnn::makeTinyNetwork()};
+    auto grid = allKindsGrid();
+    auto fault = [](ServingSweepOptions options) {
+        options.serving.faults.mtbfCycles = 2000000;
+        options.serving.faults.mttrCycles = 500000;
+        options.serving.queueCap = 8;
+        options.serving.instances = 2;
+        return options;
+    };
+    auto serial = runServingSweep(networks, grid,
+                                  models::builtinEngines(),
+                                  fault(smokeOptions(1)));
+    std::ostringstream serial_csv;
+    writeServingCsv(serial_csv, serial);
+    EXPECT_NE(serial_csv.str().find("mtbf_cycles"),
+              std::string::npos);
+
+    auto parallel = runServingSweep(networks, grid,
+                                    models::builtinEngines(),
+                                    fault(smokeOptions(4)));
+    std::ostringstream parallel_csv;
+    writeServingCsv(parallel_csv, parallel);
+    EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+
+    ServingSweepOptions uncached = fault(smokeOptions(4));
+    uncached.cache = false;
+    auto no_cache = runServingSweep(networks, grid,
+                                    models::builtinEngines(),
+                                    uncached);
+    std::ostringstream no_cache_csv;
+    writeServingCsv(no_cache_csv, no_cache);
+    EXPECT_EQ(serial_csv.str(), no_cache_csv.str());
+}
+
+TEST(ServingFaultsDeathTest, RejectsDegenerateDegradedConfigs)
+{
+    BatchCostCurve curve = syntheticCurve({100.0});
+    ServingConfig faulted = uniformConfig(1000.0, 2, 1, 0);
+    faulted.faults.mtbfCycles = 1000;
+    faulted.faults.mttrCycles = 0;
+    EXPECT_DEATH(simulateServing(curve, faulted), "repair time");
+    ServingConfig bad_cap = uniformConfig(1000.0, 2, 1, 0);
+    bad_cap.queueCap = -1;
+    EXPECT_DEATH(simulateServing(curve, bad_cap), "queue cap");
+    ServingConfig bad_mark = uniformConfig(1000.0, 2, 1, 0);
+    bad_mark.degradeWatermark = -2;
+    EXPECT_DEATH(simulateServing(curve, bad_mark), "watermark");
+    ServingConfig bad_retry = uniformConfig(1000.0, 2, 1, 0);
+    bad_retry.retry.maxRetries = -1;
+    EXPECT_DEATH(simulateServing(curve, bad_retry), "retry limit");
 }
 
 TEST(ServingSweepDeathTest, RejectsOutOfRangeRates)

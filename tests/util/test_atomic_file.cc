@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for atomic whole-file writes (util/atomic_file.h): the
+ * destination must hold either its old bytes or the complete new
+ * bytes, never a torn prefix, and a failed write must not leave the
+ * staging temporary behind.
+ */
+
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pra {
+namespace util {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+bool
+exists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/** Unique-enough scratch path under the test working directory. */
+std::string
+scratchPath(const std::string &tag)
+{
+    return "atomic_file_test_" + tag + ".out";
+}
+
+class AtomicFileTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const auto &path : cleanup_) {
+            std::remove(path.c_str());
+            std::remove(atomicTempPath(path).c_str());
+        }
+    }
+
+    std::string
+    track(const std::string &path)
+    {
+        cleanup_.push_back(path);
+        return path;
+    }
+
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(AtomicFileTest, WritesFreshFileAndRemovesTemp)
+{
+    const std::string path = track(scratchPath("fresh"));
+    writeFileAtomic(path, [](std::ostream &out) {
+        out << "hello,world\n1,2\n";
+    });
+    EXPECT_EQ(slurp(path), "hello,world\n1,2\n");
+    EXPECT_FALSE(exists(atomicTempPath(path)));
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingContentCompletely)
+{
+    const std::string path = track(scratchPath("replace"));
+    writeFileAtomic(path, [](std::ostream &out) {
+        out << "a very long first version of the file\n";
+    });
+    writeFileAtomic(path, [](std::ostream &out) { out << "v2\n"; });
+    EXPECT_EQ(slurp(path), "v2\n");
+    EXPECT_FALSE(exists(atomicTempPath(path)));
+}
+
+TEST_F(AtomicFileTest, ProducerExceptionPreservesOldFile)
+{
+    const std::string path = track(scratchPath("throw"));
+    writeFileAtomic(path, [](std::ostream &out) { out << "good\n"; });
+    EXPECT_THROW(
+        writeFileAtomic(path,
+                        [](std::ostream &out) {
+                            out << "torn partial ";
+                            throw std::runtime_error("producer died");
+                        }),
+        std::runtime_error);
+    // Old bytes survive untouched and the temp is gone.
+    EXPECT_EQ(slurp(path), "good\n");
+    EXPECT_FALSE(exists(atomicTempPath(path)));
+}
+
+TEST_F(AtomicFileTest, InjectedStreamFailurePreservesOldFile)
+{
+    // A producer that drives the stream into a failed state (the
+    // in-process stand-in for a full disk) must be fatal, leave the
+    // destination's old bytes intact, and clean up the temporary.
+    const std::string path = track(scratchPath("failbit"));
+    writeFileAtomic(path, [](std::ostream &out) { out << "good\n"; });
+    EXPECT_DEATH(
+        writeFileAtomic(path,
+                        [](std::ostream &out) {
+                            out << "torn partial ";
+                            out.setstate(std::ios::failbit);
+                        }),
+        "failed while writing");
+    EXPECT_EQ(slurp(path), "good\n");
+    EXPECT_FALSE(exists(atomicTempPath(path)));
+}
+
+TEST_F(AtomicFileTest, UnwritableTargetDirectoryIsFatal)
+{
+    EXPECT_DEATH(writeFileAtomic("no_such_dir/sub/file.csv",
+                                 [](std::ostream &out) { out << "x"; }),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace util
+} // namespace pra

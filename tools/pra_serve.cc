@@ -12,6 +12,10 @@
  *             [--requests N] [--threads N] [--inner-threads N]
  *             [--cache on|off] [--planes on|off]
  *             [--units N | --full] [--seed S] [--csv FILE] [--smoke]
+ *             [--mtbf CYCLES] [--mttr CYCLES]
+ *             [--fault-dist exponential|fixed] [--fault-seed S]
+ *             [--queue-cap N] [--retries N] [--backoff CYCLES]
+ *             [--degrade-watermark N]
  *             [--list-engines] [--list-memory]
  *
  * For every (network, engine) cell pra_serve builds the batch cost
@@ -31,15 +35,31 @@
  * request hoping to fill a batch (0 = dispatch greedily as soon as
  * an instance frees up). "--requests" sets the trace length.
  *
+ * "--mtbf" enables deterministic fail-stop fault injection (mean
+ * up-time in cycles; "--mttr" is the mean repair time, default
+ * mtbf/10). A failing instance kills its in-flight batch; the killed
+ * requests retry up to "--retries" times with "--backoff"-scaled
+ * exponential backoff before counting as permanent failures.
+ * "--queue-cap" bounds the dispatch queue (arrivals beyond it shed);
+ * "--degrade-watermark" switches the dispatcher to half batches and
+ * greedy launches above that queue occupancy. Any of these adds the
+ * degraded-serving CSV columns (availability, goodput vs the offered
+ * column, retry/shed/kill counts, fault-conditioned p99); without
+ * them the CSV shape is byte-identical to the historical goldens.
+ * "--csv" writes through a temporary + rename, so a failed run never
+ * tears a previously written file.
+ *
  * Determinism matches the sweep: cost curves are bit-identical
  * across --threads/--inner-threads/--cache, arrivals are
  * counter-based in (seed, index), and the event loop is serial — so
  * the serving CSV is byte-identical for any thread count, with the
- * cache on or off (CI asserts this).
+ * cache on or off (CI asserts this), faulted or not: fault schedules
+ * are counter-based pure functions of (--fault-seed, instance,
+ * event index).
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 
 #include "dnn/model_zoo.h"
@@ -47,6 +67,7 @@
 #include "sim/memory/memory_config.h"
 #include "sim/serving/serving_sim.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -139,7 +160,9 @@ main(int argc, char **argv)
                        "max-batch", "timeout", "requests", "threads",
                        "inner-threads", "cache", "planes", "units",
                        "full", "seed", "csv", "smoke", "list-engines",
-                       "list-memory"});
+                       "list-memory", "mtbf", "mttr", "fault-dist",
+                       "fault-seed", "queue-cap", "retries",
+                       "backoff", "degrade-watermark"});
     sim::setCyclePlanesEnabled(args.getBool("planes", true));
 
     if (args.getBool("list-engines")) {
@@ -226,6 +249,62 @@ main(int argc, char **argv)
                     "(got " + std::to_string(requests) + ")");
     options.serving.requests = static_cast<int>(requests);
 
+    // --- Fault-injection / degraded-serving layer. Degenerate
+    // --- values are loud, fatal rejections (CI pins them): an
+    // --- explicit --mtbf=0 almost certainly meant "faults off", but
+    // --- silently honoring it would mask a typo'd sweep axis.
+    if (args.has("mtbf")) {
+        int64_t mtbf = args.getInt("mtbf", 0);
+        if (mtbf <= 0)
+            util::fatal("--mtbf must be a positive mean up-time in "
+                        "cycles (got " + std::to_string(mtbf) +
+                        "); omit the flag to disable faults");
+        options.serving.faults.mtbfCycles =
+            static_cast<uint64_t>(mtbf);
+    }
+    int64_t mttr = args.getInt(
+        "mttr", static_cast<int64_t>(std::max<uint64_t>(
+                    1, options.serving.faults.mtbfCycles / 10)));
+    if (mttr <= 0)
+        util::fatal("--mttr must be a positive mean repair time in "
+                    "cycles (got " + std::to_string(mttr) + ")");
+    options.serving.faults.mttrCycles = static_cast<uint64_t>(mttr);
+    options.serving.faults.kind = sim::parseFaultKind(
+        args.getString("fault-dist", "exponential"));
+    int64_t fault_seed = args.getInt("fault-seed", seed);
+    if (fault_seed < 0)
+        util::fatal("--fault-seed must be non-negative (got " +
+                    std::to_string(fault_seed) + ")");
+    options.serving.faults.seed = static_cast<uint64_t>(fault_seed);
+    if (args.has("queue-cap")) {
+        int64_t cap = args.getInt("queue-cap", 0);
+        if (cap <= 0)
+            util::fatal("--queue-cap must be a positive queue bound "
+                        "(got " + std::to_string(cap) +
+                        "); omit the flag for an unbounded queue");
+        options.serving.queueCap = static_cast<int>(cap);
+    }
+    if (args.has("degrade-watermark")) {
+        int64_t mark = args.getInt("degrade-watermark", 0);
+        if (mark <= 0)
+            util::fatal("--degrade-watermark must be a positive "
+                        "queue occupancy (got " +
+                        std::to_string(mark) +
+                        "); omit the flag to disable degradation");
+        options.serving.degradeWatermark = static_cast<int>(mark);
+    }
+    int64_t retries = args.getInt("retries", 3);
+    if (retries < 0)
+        util::fatal("--retries must be a non-negative retry budget "
+                    "(got " + std::to_string(retries) + ")");
+    options.serving.retry.maxRetries = static_cast<int>(retries);
+    int64_t backoff = args.getInt("backoff", 1000);
+    if (backoff < 0)
+        util::fatal("--backoff must be a non-negative cycle count "
+                    "(got " + std::to_string(backoff) + ")");
+    options.serving.retry.backoffBaseCycles =
+        static_cast<uint64_t>(backoff);
+
     std::vector<sim::ServingReport> reports = sim::runServingSweep(
         networks, engines, models::builtinEngines(), options);
 
@@ -233,10 +312,9 @@ main(int argc, char **argv)
     if (csv_path.empty()) {
         sim::writeServingCsv(std::cout, reports);
     } else {
-        std::ofstream out(csv_path);
-        if (!out)
-            util::fatal("cannot open '" + csv_path + "'");
-        sim::writeServingCsv(out, reports);
+        util::writeFileAtomic(csv_path, [&](std::ostream &out) {
+            sim::writeServingCsv(out, reports);
+        });
         std::fprintf(stderr, "wrote %zu serving rows to %s\n",
                      reports.size(), csv_path.c_str());
     }

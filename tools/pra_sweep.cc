@@ -72,7 +72,6 @@
  */
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 
 #include "dnn/model_zoo.h"
@@ -81,6 +80,7 @@
 #include "sim/memory/memory_config.h"
 #include "sim/sweep.h"
 #include "util/args.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -315,10 +315,9 @@ main(int argc, char **argv)
     if (csv_path.empty()) {
         sim::writeSweepCsv(std::cout, results, per_layer);
     } else {
-        std::ofstream out(csv_path);
-        if (!out)
-            util::fatal("cannot open '" + csv_path + "'");
-        sim::writeSweepCsv(out, results, per_layer);
+        util::writeFileAtomic(csv_path, [&](std::ostream &out) {
+            sim::writeSweepCsv(out, results, per_layer);
+        });
         std::fprintf(stderr, "wrote %zu cells to %s\n",
                      results.size(), csv_path.c_str());
     }
